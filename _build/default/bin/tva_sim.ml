@@ -1,0 +1,248 @@
+(* tva_sim — command-line driver for every experiment in the paper's
+   evaluation (Figs. 8-12, Table 1) plus the ablations called out in
+   DESIGN.md.  All output is the same tabular shape as the paper's
+   figures; --csv switches to machine-readable output. *)
+
+open Cmdliner
+
+let ints_conv = Arg.(list int)
+
+let attackers_arg =
+  let doc = "Comma-separated attacker counts to sweep." in
+  Arg.(value & opt ints_conv Workload.Scenario.default_attacker_counts & info [ "attackers" ] ~doc)
+
+let transfers_arg =
+  let doc = "Transfers each legitimate user performs (paper: 1000)." in
+  Arg.(value & opt int 50 & info [ "transfers" ] ~doc)
+
+let max_time_arg =
+  let doc = "Simulated-time cutoff per run, in seconds." in
+  Arg.(value & opt float 120. & info [ "max-time" ] ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let schemes_arg =
+  let doc = "Comma-separated subset of schemes (internet,siff,pushback,tva)." in
+  Arg.(value & opt (list string) [ "internet"; "siff"; "pushback"; "tva" ] & info [ "schemes" ] ~doc)
+
+let base_config transfers max_time seed =
+  { Workload.Experiment.default with Workload.Experiment.transfers_per_user = transfers; max_time; seed }
+
+let select_schemes names =
+  List.filter (fun (n, _) -> List.mem n names) Workload.Scenario.schemes
+
+let print_table csv table =
+  print_string (if csv then Stats.Table.to_csv table else Stats.Table.render table)
+
+let sweep_cmd name ~doc ~attack =
+  let run attackers transfers max_time seed csv schemes =
+    let base = base_config transfers max_time seed in
+    let series =
+      Workload.Scenario.flood_sweep ~schemes:(select_schemes schemes) ~attacker_counts:attackers
+        ~base ~attack ()
+    in
+    print_table csv (Workload.Scenario.render series)
+  in
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(
+      const run $ attackers_arg $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ schemes_arg)
+
+let fig8_cmd =
+  sweep_cmd "fig8" ~doc:"Legacy traffic floods (paper Fig. 8)."
+    ~attack:(fun ~rate_bps -> Workload.Experiment.Legacy_flood { rate_bps })
+
+let fig9_cmd =
+  sweep_cmd "fig9" ~doc:"Request packet floods (paper Fig. 9)."
+    ~attack:(fun ~rate_bps -> Workload.Experiment.Request_flood { rate_bps })
+
+let fig10_cmd =
+  sweep_cmd "fig10" ~doc:"Authorized floods via a colluder (paper Fig. 10)."
+    ~attack:(fun ~rate_bps -> Workload.Experiment.Authorized_flood { rate_bps })
+
+let fig11_cmd =
+  let doc = "Imprecise authorization policies (paper Fig. 11)." in
+  let run duration seed csv =
+    let base = { Workload.Experiment.default with Workload.Experiment.seed = seed } in
+    let runs = Workload.Scenario.fig11 ~base ~duration () in
+    print_table csv (Workload.Scenario.render_fig11 runs ~bins:5.)
+  in
+  let duration_arg =
+    Arg.(value & opt float 60. & info [ "duration" ] ~doc:"Simulated seconds (attack at t=10).")
+  in
+  Cmd.v (Cmd.info "fig11" ~doc) Term.(const run $ duration_arg $ seed_arg $ csv_arg)
+
+let table1_cmd =
+  let doc = "Per-packet processing cost of each packet type (paper Table 1)." in
+  let run iters csv =
+    let fp = Forwarder.Fastpath.create () in
+    let table = Stats.Table.create ~columns:[ "packet type"; "processing time (ns)" ] in
+    List.iter
+      (fun op ->
+        let ns = Forwarder.Fastpath.calibrate ~iters fp op in
+        Stats.Table.add_row table [ Forwarder.Fastpath.op_name op; Printf.sprintf "%.0f" ns ])
+      Forwarder.Fastpath.all_ops;
+    print_table csv table
+  in
+  let iters_arg = Arg.(value & opt int 20000 & info [ "iters" ] ~doc:"Iterations per type.") in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ iters_arg $ csv_arg)
+
+let fig12_cmd =
+  let doc = "Forwarding rate vs input rate (paper Fig. 12)." in
+  let run lrp measured csv =
+    let discipline = if lrp then Forwarder.Livelock.Lrp else Forwarder.Livelock.Naive in
+    (* Per-type processing costs: the paper's Table 1 values by default
+       (shape reproduction on the paper's hardware), or calibrated from
+       this machine's fast path with --measured. *)
+    let costs =
+      if measured then begin
+        let fp = Forwarder.Fastpath.create () in
+        List.map
+          (fun op -> (Forwarder.Fastpath.op_name op, Forwarder.Fastpath.calibrate fp op *. 1e-9))
+          Forwarder.Fastpath.all_ops
+      end
+      else
+        [
+          ("legacy IP forward", 10e-9);
+          ("request", 460e-9);
+          ("regular w/ cached entry", 33e-9);
+          ("regular w/o cached entry", 1486e-9);
+          ("renewal w/ cached entry", 439e-9);
+          ("renewal w/o cached entry", 1821e-9);
+        ]
+    in
+    let inputs = List.init 21 (fun i -> float_of_int i *. 20_000.) in
+    let table =
+      Stats.Table.create ~columns:("input_kpps" :: List.map (fun (n, _) -> n) costs)
+    in
+    List.iter
+      (fun input_pps ->
+        let row =
+          Printf.sprintf "%.0f" (input_pps /. 1e3)
+          :: List.map
+               (fun (_, processing_s) ->
+                 Printf.sprintf "%.1f"
+                   (Forwarder.Livelock.output_rate discipline
+                      ~interrupt_s:Forwarder.Livelock.default_interrupt_s ~processing_s ~input_pps
+                   /. 1e3))
+               costs
+        in
+        Stats.Table.add_row table row)
+      inputs;
+    print_table csv table
+  in
+  let lrp_arg = Arg.(value & flag & info [ "lrp" ] ~doc:"Use lazy receiver processing.") in
+  let measured_arg =
+    Arg.(value & flag & info [ "measured" ] ~doc:"Calibrate costs on this machine instead of Table 1.")
+  in
+  Cmd.v (Cmd.info "fig12" ~doc) Term.(const run $ lrp_arg $ measured_arg $ csv_arg)
+
+let run_cmd =
+  let doc = "One custom experiment run." in
+  let scheme_arg =
+    Arg.(value & opt string "tva" & info [ "scheme" ] ~doc:"internet | siff | pushback | tva")
+  in
+  let nattackers_arg = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of attackers.") in
+  let attack_arg =
+    Arg.(
+      value
+      & opt string "legacy"
+      & info [ "attack" ] ~doc:"none | legacy | request | authorized | imprecise")
+  in
+  let run scheme_name n attack transfers max_time seed =
+    let scheme =
+      match List.assoc_opt scheme_name Workload.Scenario.schemes with
+      | Some s -> s
+      | None -> failwith ("unknown scheme " ^ scheme_name)
+    in
+    let attack =
+      match attack with
+      | "none" -> Workload.Experiment.No_attack
+      | "legacy" -> Workload.Experiment.Legacy_flood { rate_bps = 1e6 }
+      | "request" -> Workload.Experiment.Request_flood { rate_bps = 1e6 }
+      | "authorized" -> Workload.Experiment.Authorized_flood { rate_bps = 1e6 }
+      | "imprecise" ->
+          Workload.Experiment.Imprecise_flood
+            { rate_bps = 1e6; groups = 1; group_interval = 3.; start_at = 10. }
+      | other -> failwith ("unknown attack " ^ other)
+    in
+    let cfg =
+      {
+        (base_config transfers max_time seed) with
+        Workload.Experiment.scheme;
+        n_attackers = n;
+        attack;
+      }
+    in
+    let r = Workload.Experiment.run cfg in
+    Printf.printf "scheme=%s attackers=%d fraction_completed=%.4f avg_transfer_time=%.4fs\n"
+      r.Workload.Experiment.scheme_name n r.fraction_completed r.avg_transfer_time;
+    Printf.printf "attempted=%d completed=%d aborted=%d sim_end=%.1fs\n"
+      (Workload.Metrics.attempted r.metrics)
+      (Workload.Metrics.completed r.metrics)
+      (Workload.Metrics.aborted r.metrics)
+      r.sim_end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ scheme_arg $ nattackers_arg $ attack_arg $ transfers_arg $ max_time_arg
+      $ seed_arg)
+
+let ablation_cmd name ~doc ~run_comparison =
+  let run transfers max_time seed csv =
+    print_table csv
+      (Workload.Ablation.render (run_comparison ~transfers ~max_time ~seed ()))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg)
+
+let ablation_queueing_cmd =
+  ablation_cmd "ablation-queueing"
+    ~doc:
+      "Per-source vs per-destination fair queueing under spoofed authorized traffic (paper \
+       Sec. 7).  Reported metrics are for the spoofed victim."
+    ~run_comparison:(fun ~transfers ~max_time ~seed () ->
+      Workload.Ablation.queueing_discipline ~transfers ~max_time ~seed ())
+
+let ablation_state_cmd =
+  ablation_cmd "ablation-state"
+    ~doc:
+      "Flow-cache provisioning (paper Sec. 3.6): the C/(N/T)min sizing rule vs an \
+       under-provisioned cache, under 100 cheap authorized flows plus a legacy flood."
+    ~run_comparison:(fun ~transfers ~max_time ~seed () ->
+      Workload.Ablation.state_provisioning ~transfers ~max_time ~seed ())
+
+let ablation_sfq_cmd =
+  ablation_cmd "ablation-sfq"
+    ~doc:
+      "Request queueing discipline (paper Sec. 3.9): bounded per-path-id queues vs stochastic \
+       fair queueing under a request flood."
+    ~run_comparison:(fun ~transfers ~max_time ~seed () ->
+      Workload.Ablation.request_queueing ~transfers ~max_time ~seed ())
+
+let default_info =
+  Cmd.info "tva_sim" ~version:"1.0.0"
+    ~doc:"Reproduce the evaluation of 'A DoS-limiting Network Architecture' (SIGCOMM 2005)."
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group default_info
+          [
+            fig8_cmd;
+            fig9_cmd;
+            fig10_cmd;
+            fig11_cmd;
+            table1_cmd;
+            fig12_cmd;
+            run_cmd;
+            ablation_queueing_cmd;
+            ablation_state_cmd;
+            ablation_sfq_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/colluder_attack.ml: Experiment Float List Printf Scenario Scheme Workload

@@ -1,0 +1,1 @@
+examples/colluder_attack.mli:

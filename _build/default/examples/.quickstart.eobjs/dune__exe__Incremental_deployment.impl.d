@@ -1,0 +1,1 @@
+examples/incremental_deployment.ml: Array Baseline Hashtbl List Net Printf Rng Sim Stats Tcp Tva Wire

@@ -1,0 +1,1 @@
+examples/public_server.ml: Experiment Float Printf Scenario Scheme Workload

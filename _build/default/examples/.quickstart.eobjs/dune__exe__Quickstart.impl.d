@@ -1,0 +1,1 @@
+examples/quickstart.ml: Net Printf Rng Sim Tcp Tva Wire

@@ -1,0 +1,1 @@
+lib/baseline/internet.ml: Droptail Net Sim Wire

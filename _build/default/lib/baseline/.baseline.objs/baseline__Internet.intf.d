@@ -1,0 +1,1 @@
+lib/baseline/internet.mli: Net Qdisc Wire

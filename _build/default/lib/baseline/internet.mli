@@ -1,0 +1,22 @@
+(** The legacy Internet baseline: FIFO drop-tail queues everywhere, routers
+    that just forward, hosts that exchange bare TCP segments.  All traffic —
+    SYNs, data, floods — competes in the same queue, which is exactly the
+    behaviour the paper's Fig. 8 "Internet" curves show collapsing. *)
+
+val make_qdisc : bandwidth_bps:float -> Qdisc.t
+(** Drop-tail FIFO sized to one bandwidth-delay product (60 ms). *)
+
+val router_handler : Net.handler
+(** Plain IP forwarding. *)
+
+module Host : sig
+  type t
+
+  val create : node:Net.node -> t
+  (** Installs itself as the node's handler; the node needs an address. *)
+
+  val addr : t -> Wire.Addr.t
+  val set_segment_handler : t -> (src:Wire.Addr.t -> Wire.Tcp_segment.t -> unit) -> unit
+  val send_segment : t -> dst:Wire.Addr.t -> Wire.Tcp_segment.t -> unit
+  val send_raw : t -> dst:Wire.Addr.t -> bytes:int -> unit
+end

@@ -1,0 +1,1 @@
+lib/core/capability.ml: Buffer Char Crypto Format Int64 Wire

@@ -1,0 +1,1 @@
+lib/core/flow_cache.ml: Capability Float Hashtbl List Wire

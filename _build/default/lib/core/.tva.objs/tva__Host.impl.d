@@ -1,0 +1,1 @@
+lib/core/host.ml: Capability Crypto Int64 List Net Params Policy Rng Sim Wire

@@ -1,0 +1,1 @@
+lib/core/path_id.ml: Crypto Int64 List Printf Wire

@@ -1,0 +1,1 @@
+lib/core/qdiscs.ml: Droptail Drr Params Path_id Sfq Token_bucket Tri_class Wire

@@ -1,0 +1,1 @@
+lib/core/qdiscs.mli: Params Qdisc

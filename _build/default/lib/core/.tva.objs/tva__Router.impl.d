@@ -1,0 +1,1 @@
+lib/core/router.ml: Capability Crypto Flow_cache Int64 List Net Params Path_id Sim Wire

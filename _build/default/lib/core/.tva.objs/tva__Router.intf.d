@@ -1,0 +1,1 @@
+lib/core/router.mli: Capability Flow_cache Net Params Sim Wire

@@ -1,0 +1,104 @@
+type entry = {
+  e_src : Wire.Addr.t;
+  e_dst : Wire.Addr.t;
+  mutable nonce : int64;
+  mutable n_bytes : int;
+  mutable t_sec : int;
+  mutable cap_ts : int;
+  mutable bytes_used : int;
+  mutable ttl_expiry : float;
+}
+
+type key = int * int
+
+type t = { table : (key, entry) Hashtbl.t; max_entries : int }
+
+let create ~max_entries () =
+  if max_entries <= 0 then invalid_arg "Flow_cache.create: capacity must be positive";
+  { table = Hashtbl.create (min max_entries 1024); max_entries }
+
+let key ~src ~dst = (Wire.Addr.to_int src, Wire.Addr.to_int dst)
+
+let size t = Hashtbl.length t.table
+let capacity t = t.max_entries
+
+let lookup t ~src ~dst = Hashtbl.find_opt t.table (key ~src ~dst)
+
+let ttl_remaining entry ~now = entry.ttl_expiry -. now
+
+(* The byte->time conversion at the heart of the bound: a packet of L bytes
+   under a grant of N bytes / T seconds extends the ttl by L*T/N. *)
+let time_value ~bytes ~n_bytes ~t_sec =
+  float_of_int bytes *. float_of_int t_sec /. float_of_int n_bytes
+
+let reclaimable entry ~now =
+  ttl_remaining entry ~now <= 0. || Capability.expired ~now ~ts:entry.cap_ts ~t_sec:entry.t_sec
+
+let sweep t ~now =
+  let victims =
+    Hashtbl.fold (fun k e acc -> if reclaimable e ~now then k :: acc else acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) victims;
+  List.length victims
+
+type insert_result = Inserted of entry | Cache_full | Over_limit
+
+let insert t ~now ~src ~dst ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
+  let n_bytes = n_kb * 1024 in
+  if packet_bytes > n_bytes then Over_limit
+  else begin
+    let make_room () = if size t >= t.max_entries then ignore (sweep t ~now) in
+    make_room ();
+    if size t >= t.max_entries then Cache_full
+    else begin
+      let entry =
+        {
+          e_src = src;
+          e_dst = dst;
+          nonce;
+          n_bytes;
+          t_sec;
+          cap_ts;
+          bytes_used = packet_bytes;
+          ttl_expiry = now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec;
+        }
+      in
+      Hashtbl.replace t.table (key ~src ~dst) entry;
+      Inserted entry
+    end
+  end
+
+type charge_result = Charged | Byte_limit
+
+let charge entry ~now:_ ~bytes =
+  if entry.bytes_used + bytes > entry.n_bytes then Byte_limit
+  else begin
+    entry.bytes_used <- entry.bytes_used + bytes;
+    (* ttl grows by the packet's time value; deliberately no clamping to
+       [now] — the 2N bound's proof needs total ttl = bytes * T/N. *)
+    entry.ttl_expiry <-
+      entry.ttl_expiry +. time_value ~bytes ~n_bytes:entry.n_bytes ~t_sec:entry.t_sec;
+    Charged
+  end
+
+let renew entry ~now ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
+  let n_bytes = n_kb * 1024 in
+  if packet_bytes > n_bytes then Byte_limit
+  else begin
+    entry.nonce <- nonce;
+    entry.n_bytes <- n_bytes;
+    entry.t_sec <- t_sec;
+    entry.cap_ts <- cap_ts;
+    entry.bytes_used <- packet_bytes;
+    (* A fresh capability's clock starts now; stale credit from the old
+       grant must not carry over. *)
+    entry.ttl_expiry <-
+      Float.max entry.ttl_expiry now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec;
+    Charged
+  end
+
+let remove t entry = Hashtbl.remove t.table (key ~src:entry.e_src ~dst:entry.e_dst)
+
+let iter t f = Hashtbl.iter (fun _ e -> f e) t.table
+
+let clear t = Hashtbl.reset t.table

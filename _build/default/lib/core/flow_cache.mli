@@ -1,0 +1,81 @@
+(** Bounded router state for byte-limited capabilities (paper Sec. 3.6).
+
+    A router keeps a cache record only for flows that send faster than
+    [N/T].  Each record carries a time-to-live measured in "time-equivalent
+    bytes": it starts at [L*T/N] for the first packet and grows by the same
+    conversion for every charged packet.  A record whose ttl has run out may
+    be reclaimed at any moment, and the paper proves that no matter when
+    reclamation happens a capability can never ship more than [2N] bytes
+    (at most [N] across all cached intervals plus [N] in a final uncached
+    burst) — the property test in the test suite exercises exactly this
+    bound under adversarial eviction.
+
+    Capacity is fixed at creation ([C/(N/T)_min] records for a link of
+    capacity [C]); inserting into a full cache reclaims expired records and
+    otherwise fails, so attackers cannot exhaust router memory. *)
+
+type t
+
+type entry = {
+  e_src : Wire.Addr.t;
+  e_dst : Wire.Addr.t;
+  mutable nonce : int64;
+  mutable n_bytes : int; (* the grant's N, in bytes *)
+  mutable t_sec : int;
+  mutable cap_ts : int; (* router timestamp inside the validated capability *)
+  mutable bytes_used : int;
+  mutable ttl_expiry : float; (* absolute virtual time the ttl runs out *)
+}
+
+val create : max_entries:int -> unit -> t
+(** Raises [Invalid_argument] on a nonpositive bound. *)
+
+val size : t -> int
+val capacity : t -> int
+
+val lookup : t -> src:Wire.Addr.t -> dst:Wire.Addr.t -> entry option
+
+type insert_result =
+  | Inserted of entry
+  | Cache_full  (** no reclaimable record: the packet is demoted, state unchanged *)
+  | Over_limit  (** the first packet alone exceeds N *)
+
+val insert :
+  t ->
+  now:float ->
+  src:Wire.Addr.t ->
+  dst:Wire.Addr.t ->
+  nonce:int64 ->
+  n_kb:int ->
+  t_sec:int ->
+  cap_ts:int ->
+  packet_bytes:int ->
+  insert_result
+(** Creates state for a newly validated capability and charges the packet
+    that carried it. *)
+
+type charge_result =
+  | Charged
+  | Byte_limit  (** would exceed N: demote, no state change *)
+
+val charge : entry -> now:float -> bytes:int -> charge_result
+
+val renew :
+  entry -> now:float -> nonce:int64 -> n_kb:int -> t_sec:int -> cap_ts:int -> packet_bytes:int ->
+  charge_result
+(** Replace the entry's capability with a freshly validated one (first
+    packet of a renewed grant): byte accounting restarts for the new N. *)
+
+val remove : t -> entry -> unit
+
+val ttl_remaining : entry -> now:float -> float
+(** Negative values mean the record is reclaimable. *)
+
+val sweep : t -> now:float -> int
+(** Reclaim every record whose ttl has run out or whose capability has
+    expired on the modulo clock; returns how many were reclaimed. *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val clear : t -> unit
+(** Drop every record (router restart / route change, Sec. 3.8). *)

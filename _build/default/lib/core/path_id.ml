@@ -1,0 +1,18 @@
+let tag ~router_id ~interface_id =
+  (* A fixed-key SipHash keeps tags stable across runs while spreading
+     interfaces across the 16-bit space. *)
+  let msg = Printf.sprintf "%d/%d" router_id interface_id in
+  Int64.to_int (Crypto.Siphash.mac ~key:"TVA path-id tag." msg) land 0xffff
+
+let most_recent (shim : Wire.Cap_shim.t) =
+  match shim.Wire.Cap_shim.kind with
+  | Wire.Cap_shim.Request { path_ids; _ } -> begin
+      match List.rev path_ids with [] -> 0 | last :: _ -> last
+    end
+  | Wire.Cap_shim.Regular _ -> 0
+
+let push (shim : Wire.Cap_shim.t) tag =
+  match shim.Wire.Cap_shim.kind with
+  | Wire.Cap_shim.Request { path_ids; precaps } ->
+      shim.Wire.Cap_shim.kind <- Wire.Cap_shim.Request { path_ids = path_ids @ [ tag ]; precaps }
+  | Wire.Cap_shim.Regular _ -> ()

@@ -1,0 +1,18 @@
+(** Pi-style path identifiers (paper Sec. 3.2).
+
+    A router at the ingress of a trust boundary tags request packets with a
+    16-bit value derived from its incoming interface — a pseudo-random hash
+    that is constant per interface, so the tag sequence approximates the
+    upstream path.  Requests are then fair-queued on the most recent tag. *)
+
+val tag : router_id:int -> interface_id:int -> int
+(** The 16-bit tag this router assigns to requests arriving on this
+    interface.  Deterministic (same router+interface always yields the same
+    tag), pseudo-random across interfaces. *)
+
+val most_recent : Wire.Cap_shim.t -> int
+(** The queueing key for a request shim: the last tag pushed, or 0 for an
+    untagged request (one that has not yet crossed a trust boundary). *)
+
+val push : Wire.Cap_shim.t -> int -> unit
+(** Appends a tag to a request shim; no-op on regular shims. *)

@@ -1,0 +1,104 @@
+type decision = Granted of { n_kb : int; t_sec : int } | Refused
+
+type server_state = {
+  blacklisted : unit Wire.Addr.Tbl.t;
+  granted_once : unit Wire.Addr.Tbl.t;
+  rates : Stats.Rate.Ewma.t Wire.Addr.Tbl.t;
+}
+
+type t = {
+  decide_fn : now:float -> src:Wire.Addr.t -> renewal:bool -> decision;
+  note_traffic_fn : now:float -> src:Wire.Addr.t -> bytes:int -> demoted:bool -> unit;
+  note_outgoing_fn : now:float -> dst:Wire.Addr.t -> unit;
+  server_state : server_state option;
+}
+
+let decide t = t.decide_fn
+let note_traffic t = t.note_traffic_fn
+let note_outgoing_request t = t.note_outgoing_fn
+
+let default_n = Params.default.Params.default_n_kb
+let default_t = Params.default.Params.default_t_sec
+
+let no_traffic ~now:_ ~src:_ ~bytes:_ ~demoted:_ = ()
+let no_outgoing ~now:_ ~dst:_ = ()
+
+let make ?(note_traffic = no_traffic) ?(note_outgoing_request = no_outgoing) ~decide () =
+  {
+    decide_fn = decide;
+    note_traffic_fn = note_traffic;
+    note_outgoing_fn = note_outgoing_request;
+    server_state = None;
+  }
+
+let allow_all ?(n_kb = default_n) ?(t_sec = default_t) () =
+  make ~decide:(fun ~now:_ ~src:_ ~renewal:_ -> Granted { n_kb; t_sec }) ()
+
+let refuse_all () = make ~decide:(fun ~now:_ ~src:_ ~renewal:_ -> Refused) ()
+
+let client ?(n_kb = default_n) ?(t_sec = default_t) ?(window = 60.) () =
+  let contacted : float Wire.Addr.Tbl.t = Wire.Addr.Tbl.create 16 in
+  make
+    ~decide:(fun ~now ~src ~renewal:_ ->
+      match Wire.Addr.Tbl.find_opt contacted src with
+      | Some at when now -. at <= window -> Granted { n_kb; t_sec }
+      | Some _ | None -> Refused)
+    ~note_outgoing_request:(fun ~now ~dst -> Wire.Addr.Tbl.replace contacted dst now)
+    ()
+
+let server ?(n_kb = default_n) ?(t_sec = default_t) ?suspicious ?flood_threshold_bps () =
+  let st =
+    {
+      blacklisted = Wire.Addr.Tbl.create 64;
+      granted_once = Wire.Addr.Tbl.create 64;
+      rates = Wire.Addr.Tbl.create 64;
+    }
+  in
+  let decide ~now:_ ~src ~renewal:_ =
+    if Wire.Addr.Tbl.mem st.blacklisted src then Refused
+    else begin
+      let flagged = match suspicious with None -> false | Some f -> f src in
+      if flagged && Wire.Addr.Tbl.mem st.granted_once src then begin
+        (* Misbehaviour recognized after the first authorization: stop
+           renewing, per Sec. 5.4. *)
+        Wire.Addr.Tbl.replace st.blacklisted src ();
+        Refused
+      end
+      else begin
+        Wire.Addr.Tbl.replace st.granted_once src ();
+        Granted { n_kb; t_sec }
+      end
+    end
+  in
+  let note_traffic ~now ~src ~bytes ~demoted:_ =
+    match flood_threshold_bps with
+    | None -> ()
+    | Some threshold ->
+        let est =
+          match Wire.Addr.Tbl.find_opt st.rates src with
+          | Some e -> e
+          | None ->
+              let e = Stats.Rate.Ewma.create ~tau:1.0 in
+              Wire.Addr.Tbl.add st.rates src e;
+              e
+        in
+        Stats.Rate.Ewma.observe est ~now ~bytes;
+        if Stats.Rate.Ewma.rate est ~now *. 8. > threshold then
+          Wire.Addr.Tbl.replace st.blacklisted src ()
+  in
+  {
+    decide_fn = decide;
+    note_traffic_fn = note_traffic;
+    note_outgoing_fn = no_outgoing;
+    server_state = Some st;
+  }
+
+let blacklist t src =
+  match t.server_state with
+  | None -> ()
+  | Some st -> Wire.Addr.Tbl.replace st.blacklisted src ()
+
+let is_blacklisted t src =
+  match t.server_state with
+  | None -> false
+  | Some st -> Wire.Addr.Tbl.mem st.blacklisted src

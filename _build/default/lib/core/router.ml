@@ -1,0 +1,158 @@
+type counters = {
+  mutable requests : int;
+  mutable regular_cached : int;
+  mutable regular_validated : int;
+  mutable renewals : int;
+  mutable demotions : int;
+  mutable legacy : int;
+}
+
+type t = {
+  params : Params.t;
+  hash : Capability.keyed;
+  trust_boundary : bool;
+  mutable secret : Crypto.Secret.t;
+  router_id : int;
+  sim : Sim.t;
+  cache : Flow_cache.t;
+  counters : counters;
+}
+
+let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S))
+    ?(trust_boundary = true) ~secret_master ~router_id ~sim ~link_bps () =
+  {
+    params;
+    hash;
+    trust_boundary;
+    secret = Crypto.Secret.create ~master:secret_master;
+    router_id;
+    sim;
+    cache = Flow_cache.create ~max_entries:(Params.flow_cache_entries params ~link_bps) ();
+    counters =
+      { requests = 0; regular_cached = 0; regular_validated = 0; renewals = 0; demotions = 0; legacy = 0 };
+  }
+
+let counters t = t.counters
+let cache t = t.cache
+
+let flush_cache t = Flow_cache.clear t.cache
+
+let rotate_secret t =
+  t.secret <- Crypto.Secret.create ~master:(string_of_int t.router_id ^ "/rotated")
+
+let demote t (shim : Wire.Cap_shim.t) =
+  shim.Wire.Cap_shim.demoted <- true;
+  t.counters.demotions <- t.counters.demotions + 1
+
+(* The capability addressed to this router sits at [ptr] in the list. *)
+let my_cap (shim : Wire.Cap_shim.t) caps = List.nth_opt caps shim.Wire.Cap_shim.ptr
+
+let process_request t ~in_interface (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) =
+  t.counters.requests <- t.counters.requests + 1;
+  if t.trust_boundary then
+    Path_id.push shim (Path_id.tag ~router_id:t.router_id ~interface_id:in_interface);
+  let now = Sim.now t.sim in
+  let precap =
+    Capability.mint_precap ~hash:t.hash ~secret:t.secret ~now ~src:p.Wire.Packet.src
+      ~dst:p.Wire.Packet.dst
+  in
+  match shim.Wire.Cap_shim.kind with
+  | Wire.Cap_shim.Request { path_ids; precaps } ->
+      if List.length precaps >= 255 then demote t shim (* header space exhausted *)
+      else shim.Wire.Cap_shim.kind <- Wire.Cap_shim.Request { path_ids; precaps = precaps @ [ precap ] }
+  | Wire.Cap_shim.Regular _ -> assert false
+
+(* Validate the capability at [ptr] against this router's secret and the
+   packet's addresses / N / T.  Two hash computations, per the paper. *)
+let validate_listed t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~caps ~n_kb ~t_sec =
+  match my_cap shim caps with
+  | None -> None
+  | Some cap -> begin
+      let now = Sim.now t.sim in
+      match
+        Capability.validate ~hash:t.hash ~secret:t.secret ~now ~src:p.Wire.Packet.src
+          ~dst:p.Wire.Packet.dst ~n_kb ~t_sec cap
+      with
+      | Capability.Valid -> Some cap
+      | Capability.Expired | Capability.Bad_hash -> None
+    end
+
+let process_regular t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~nonce ~caps ~n_kb ~t_sec
+    ~renewal =
+  let now = Sim.now t.sim in
+  let size = Wire.Packet.size p in
+  let src = p.Wire.Packet.src and dst = p.Wire.Packet.dst in
+  let valid =
+    match Flow_cache.lookup t.cache ~src ~dst with
+    | Some entry when Int64.equal entry.Flow_cache.nonce nonce ->
+        (* Fast path: nonce match.  Still subject to expiry and the byte
+           limit. *)
+        if Capability.expired ~now ~ts:entry.Flow_cache.cap_ts ~t_sec:entry.Flow_cache.t_sec then
+          false
+        else begin
+          match Flow_cache.charge entry ~now ~bytes:size with
+          | Flow_cache.Charged ->
+              t.counters.regular_cached <- t.counters.regular_cached + 1;
+              true
+          | Flow_cache.Byte_limit -> false
+        end
+    | Some entry -> begin
+        (* Nonce mismatch: possibly the first packet of a renewed grant.
+           Validate the listed capability and replace the entry. *)
+        match validate_listed t p shim ~caps ~n_kb ~t_sec with
+        | None -> false
+        | Some cap -> begin
+            match
+              Flow_cache.renew entry ~now ~nonce ~n_kb ~t_sec ~cap_ts:cap.Wire.Cap_shim.ts
+                ~packet_bytes:size
+            with
+            | Flow_cache.Charged ->
+                t.counters.regular_validated <- t.counters.regular_validated + 1;
+                true
+            | Flow_cache.Byte_limit -> false
+          end
+      end
+    | None -> begin
+        match validate_listed t p shim ~caps ~n_kb ~t_sec with
+        | None -> false
+        | Some cap -> begin
+            match
+              Flow_cache.insert t.cache ~now ~src ~dst ~nonce ~n_kb ~t_sec
+                ~cap_ts:cap.Wire.Cap_shim.ts ~packet_bytes:size
+            with
+            | Flow_cache.Inserted _ ->
+                t.counters.regular_validated <- t.counters.regular_validated + 1;
+                true
+            | Flow_cache.Cache_full | Flow_cache.Over_limit -> false
+          end
+      end
+  in
+  if not valid then demote t shim
+  else begin
+    if caps <> [] then shim.Wire.Cap_shim.ptr <- shim.Wire.Cap_shim.ptr + 1;
+    if renewal then begin
+      t.counters.renewals <- t.counters.renewals + 1;
+      let precap = Capability.mint_precap ~hash:t.hash ~secret:t.secret ~now ~src ~dst in
+      match shim.Wire.Cap_shim.kind with
+      | Wire.Cap_shim.Regular r ->
+          shim.Wire.Cap_shim.kind <-
+            Wire.Cap_shim.Regular { r with fresh_precaps = r.fresh_precaps @ [ precap ] }
+      | Wire.Cap_shim.Request _ -> assert false
+    end
+  end
+
+let process t ~in_interface (p : Wire.Packet.t) =
+  match p.Wire.Packet.shim with
+  | None -> t.counters.legacy <- t.counters.legacy + 1
+  | Some shim when shim.Wire.Cap_shim.demoted -> t.counters.legacy <- t.counters.legacy + 1
+  | Some shim -> begin
+      match shim.Wire.Cap_shim.kind with
+      | Wire.Cap_shim.Request _ -> process_request t ~in_interface p shim
+      | Wire.Cap_shim.Regular { nonce; caps; n_kb; t_sec; renewal; fresh_precaps = _ } ->
+          process_regular t p shim ~nonce ~caps ~n_kb ~t_sec ~renewal
+    end
+
+let handler t node ~in_link p =
+  let in_interface = match in_link with None -> -1 | Some l -> Net.node_id (Net.link_src l) in
+  process t ~in_interface p;
+  Net.forward node p

@@ -1,0 +1,1 @@
+lib/crypto/aes_hash.ml: Aes128 Buffer Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/hmac_sha1.ml: Bytes Char Sha1 String

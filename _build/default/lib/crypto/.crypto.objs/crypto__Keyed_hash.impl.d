@@ -1,0 +1,1 @@
+lib/crypto/keyed_hash.ml: Aes_hash Char Hmac_sha1 Int64 Siphash String

@@ -1,0 +1,1 @@
+lib/crypto/keyed_hash.mli:

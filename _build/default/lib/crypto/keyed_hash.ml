@@ -1,0 +1,40 @@
+module type S = sig
+  val name : string
+  val mac56 : key:string -> string -> int64
+end
+
+let mask56 = 0x00ffffffffffffffL
+
+let int64_of_prefix s =
+  (* First 8 bytes of [s], big-endian; [s] must be at least 8 bytes. *)
+  let g i = Int64.of_int (Char.code s.[i]) in
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (g i)
+  done;
+  !acc
+
+module Fast = struct
+  let name = "siphash-2-4"
+
+  let mac56 ~key msg =
+    (* SipHash wants a 16-byte key; shorter/longer keys are normalized by
+       hashing them under a fixed key first. *)
+    let key =
+      if String.length key = 16 then key
+      else
+        Siphash.mac_string ~key:"TVA key normali." key
+        ^ Siphash.mac_string ~key:"zation constant." key
+    in
+    Int64.logand (Siphash.mac ~key msg) mask56
+end
+
+module Aes = struct
+  let name = "aes-hash-mmo"
+  let mac56 ~key msg = Int64.logand (int64_of_prefix (Aes_hash.mac ~key msg)) mask56
+end
+
+module Sha = struct
+  let name = "hmac-sha1"
+  let mac56 ~key msg = Int64.logand (int64_of_prefix (Hmac_sha1.mac ~key msg)) mask56
+end

@@ -1,0 +1,25 @@
+(** A common interface over the keyed hashes used to bind capabilities.
+
+    TVA routers need two keyed-hash roles (Fig. 3 of the paper): one that
+    mints pre-capabilities from (src, dst, timestamp, router secret), and
+    one that folds (pre-capability, N, T) into a full capability.  The
+    prototype used AES-hash and SHA-1 for these; the simulator defaults to
+    SipHash for speed.  Implementations are interchangeable through this
+    signature. *)
+
+module type S = sig
+  val name : string
+
+  val mac56 : key:string -> string -> int64
+  (** [mac56 ~key msg] is a 56-bit tag (top 8 bits clear), the width of the
+      hash field in a 64-bit capability. *)
+end
+
+module Fast : S
+(** SipHash-2-4 based; the simulation default. *)
+
+module Aes : S
+(** AES-hash (MMO) based, as the prototype uses for pre-capabilities. *)
+
+module Sha : S
+(** HMAC-SHA1 based, as the prototype uses for full capabilities. *)

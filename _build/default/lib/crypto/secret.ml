@@ -1,0 +1,34 @@
+type t = { master : string }
+
+let rollover_period = 256.
+let rotation_period = 128.
+
+let create ~master = { master }
+
+let epoch ~now = int_of_float (floor (now /. rotation_period))
+
+let timestamp ~now = int_of_float (floor now) land 0xff
+
+let secret_of_epoch t e =
+  (* Epoch secrets are a keyed hash of the epoch under the master key:
+     deterministic, and old secrets are recoverable only via the master. *)
+  Siphash.mac_string ~key:"TVA secret deriv" (t.master ^ string_of_int e)
+  ^ Siphash.mac_string ~key:"ation epoch key." (t.master ^ string_of_int e)
+
+let issuing_secret t ~now = secret_of_epoch t (epoch ~now)
+
+(* Epoch parity equals the high bit of the timestamps minted during it:
+   epochs cover [0,128), [128,256), [256,384), ... so timestamps 0..127
+   (high bit 0) come from even epochs and 128..255 from odd ones. *)
+let epoch_parity e = e land 1
+
+let validating_secret t ~now ~ts =
+  let e_now = epoch ~now in
+  let high_bit = (ts lsr 7) land 1 in
+  if epoch_parity e_now = high_bit then Some (secret_of_epoch t e_now)
+  else if e_now > 0 && epoch_parity (e_now - 1) = high_bit then Some (secret_of_epoch t (e_now - 1))
+  else if e_now = 0 then None
+  else
+    (* Parity alternates every epoch, so one of current/previous always
+       matches; this branch is unreachable but kept total. *)
+    None

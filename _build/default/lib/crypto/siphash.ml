@@ -1,0 +1,75 @@
+(* SipHash-2-4: 2 compression rounds per 8-byte word, 4 finalization
+   rounds.  All arithmetic is on Int64 with wraparound, which matches the
+   reference implementation exactly. *)
+
+let digest_size = 8
+
+let rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+let le64 s off =
+  let g i = Int64.of_int (Char.code s.[off + i]) in
+  let ( <| ) x n = Int64.shift_left x n in
+  List.fold_left Int64.logor 0L
+    [ g 0; g 1 <| 8; g 2 <| 16; g 3 <| 24; g 4 <| 32; g 5 <| 40; g 6 <| 48; g 7 <| 56 ]
+
+type state = { mutable v0 : int64; mutable v1 : int64; mutable v2 : int64; mutable v3 : int64 }
+
+let sipround s =
+  s.v0 <- Int64.add s.v0 s.v1;
+  s.v1 <- rotl s.v1 13;
+  s.v1 <- Int64.logxor s.v1 s.v0;
+  s.v0 <- rotl s.v0 32;
+  s.v2 <- Int64.add s.v2 s.v3;
+  s.v3 <- rotl s.v3 16;
+  s.v3 <- Int64.logxor s.v3 s.v2;
+  s.v0 <- Int64.add s.v0 s.v3;
+  s.v3 <- rotl s.v3 21;
+  s.v3 <- Int64.logxor s.v3 s.v0;
+  s.v2 <- Int64.add s.v2 s.v1;
+  s.v1 <- rotl s.v1 17;
+  s.v1 <- Int64.logxor s.v1 s.v2;
+  s.v2 <- rotl s.v2 32
+
+let mac ~key msg =
+  if String.length key <> 16 then invalid_arg "Siphash.mac: key must be 16 bytes";
+  let k0 = le64 key 0 and k1 = le64 key 8 in
+  let s =
+    {
+      v0 = Int64.logxor k0 0x736f6d6570736575L;
+      v1 = Int64.logxor k1 0x646f72616e646f6dL;
+      v2 = Int64.logxor k0 0x6c7967656e657261L;
+      v3 = Int64.logxor k1 0x7465646279746573L;
+    }
+  in
+  let len = String.length msg in
+  let full_words = len / 8 in
+  for i = 0 to full_words - 1 do
+    let m = le64 msg (8 * i) in
+    s.v3 <- Int64.logxor s.v3 m;
+    sipround s;
+    sipround s;
+    s.v0 <- Int64.logxor s.v0 m
+  done;
+  (* Last word: remaining bytes plus the message length in the top byte. *)
+  let b = ref (Int64.shift_left (Int64.of_int (len land 0xff)) 56) in
+  for i = 0 to (len mod 8) - 1 do
+    b := Int64.logor !b (Int64.shift_left (Int64.of_int (Char.code msg.[(8 * full_words) + i])) (8 * i))
+  done;
+  s.v3 <- Int64.logxor s.v3 !b;
+  sipround s;
+  sipround s;
+  s.v0 <- Int64.logxor s.v0 !b;
+  s.v2 <- Int64.logxor s.v2 0xffL;
+  sipround s;
+  sipround s;
+  sipround s;
+  sipround s;
+  Int64.logxor (Int64.logxor s.v0 s.v1) (Int64.logxor s.v2 s.v3)
+
+let mac_string ~key msg =
+  let v = mac ~key msg in
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done;
+  Bytes.unsafe_to_string b

@@ -1,0 +1,17 @@
+(** SipHash-2-4 (Aumasson–Bernstein), a fast keyed hash with a 128-bit key
+    and 64-bit output.
+
+    The simulator validates millions of capabilities per run, so by default
+    it binds capabilities with SipHash rather than the heavier AES-hash /
+    SHA-1 pair used for the Table 1 prototype benchmarks.  Both sit behind
+    the {!Keyed_hash} interface. *)
+
+val mac : key:string -> string -> int64
+(** [mac ~key msg] is the 64-bit SipHash-2-4 tag of [msg].  Raises
+    [Invalid_argument] if [key] is not 16 bytes. *)
+
+val mac_string : key:string -> string -> string
+(** Same tag rendered as 8 little-endian bytes. *)
+
+val digest_size : int
+(** 8 bytes. *)

@@ -1,0 +1,1 @@
+lib/engine/rng.ml: Bytes Char Int64

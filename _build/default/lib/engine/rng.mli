@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (xoshiro256starstar), seeded
+    explicitly so every simulation run is reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+(** Seeds the generator via SplitMix64 expansion of [seed]. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream; used to
+    give each traffic source its own stream so adding a source does not
+    perturb the arrival pattern of others. *)
+
+val bits64 : t -> int64
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; [bound] must be positive. *)
+
+val bool : t -> bool
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean (Poisson arrivals). *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is [n] random bytes (e.g. keys, nonces). *)

@@ -1,0 +1,155 @@
+(* Binary min-heap of events keyed by (time, seq).  The sequence number
+   breaks ties in scheduling order so that behaviour never depends on heap
+   internals.  Cancellation marks the event and lets the heap pop it lazily,
+   which keeps cancel O(1) — important for TCP timers, nearly all of which
+   are cancelled rather than fired. *)
+
+type event = {
+  time : float;
+  seq : int;
+  mutable action : (unit -> unit) option;
+  live : int ref; (* the owning simulator's count of pending events *)
+}
+
+type handle = event
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  live : int ref; (* scheduled and not cancelled *)
+  mutable stopping : bool;
+  root_rng : Rng.t;
+}
+
+let dummy = { time = neg_infinity; seq = -1; action = None; live = ref 0 }
+
+let create ?(seed = 1) () =
+  {
+    heap = Array.make 256 dummy;
+    size = 0;
+    clock = 0.;
+    next_seq = 0;
+    live = ref 0;
+    stopping = false;
+    root_rng = Rng.create ~seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let pending t = !(t.live)
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    earlier t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  (* Sift down. *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+let schedule_at t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.clock);
+  let ev = { time; seq = t.next_seq; action = Some action; live = t.live } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev;
+  incr t.live;
+  ev
+
+let schedule t ~delay action =
+  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel ev =
+  match ev.action with
+  | None -> ()
+  | Some _ ->
+      ev.action <- None;
+      decr ev.live
+
+let cancelled ev = ev.action = None
+
+let stop t = t.stopping <- true
+
+let step t =
+  let rec next () =
+    if t.size = 0 then false
+    else
+      let ev = pop t in
+      match ev.action with
+      | None -> next () (* cancelled: skip silently *)
+      | Some action ->
+          ev.action <- None;
+          decr t.live;
+          t.clock <- ev.time;
+          action ();
+          true
+  in
+  next ()
+
+let run ?until t =
+  t.stopping <- false;
+  let horizon = match until with Some h -> h | None -> infinity in
+  let rec loop () =
+    if t.stopping then ()
+    else if t.size = 0 then ()
+    else begin
+      (* Peek without popping to honour the horizon. *)
+      let top = t.heap.(0) in
+      match top.action with
+      | None ->
+          ignore (pop t);
+          loop ()
+      | Some _ ->
+          if top.time > horizon then t.clock <- horizon
+          else begin
+            ignore (step t);
+            loop ()
+          end
+    end
+  in
+  loop ()

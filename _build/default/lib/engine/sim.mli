@@ -1,0 +1,45 @@
+(** The discrete-event simulation core.
+
+    A simulator owns a virtual clock and a pending-event heap.  Events fire
+    in nondecreasing time order; ties break by scheduling order, which makes
+    runs deterministic.  All network components (links, hosts, routers) hang
+    their behaviour off this module. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation (e.g. retransmit timers). *)
+
+val create : ?seed:int -> unit -> t
+(** A fresh simulator at time 0.  [seed] (default 1) seeds {!rng}. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val rng : t -> Rng.t
+(** The simulator's root random stream. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Fire the callback at absolute virtual [time].  Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** Fire the callback [delay] seconds from {!now} ([delay >= 0]). *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val run : ?until:float -> t -> unit
+(** Process events until the heap is empty or virtual time would exceed
+    [until].  When stopped by [until], the clock is left at [until]. *)
+
+val step : t -> bool
+(** Process exactly one event; [false] when none remain. *)
+
+val stop : t -> unit
+(** Makes the current [run] return after the in-flight event completes. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) events. *)

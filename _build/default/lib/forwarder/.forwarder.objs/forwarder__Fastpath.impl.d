@@ -1,0 +1,1 @@
+lib/forwarder/fastpath.ml: Crypto Hashtbl Int64 Tva Unix Wire

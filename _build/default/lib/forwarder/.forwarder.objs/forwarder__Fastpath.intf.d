@@ -1,0 +1,1 @@
+lib/forwarder/fastpath.mli: Crypto

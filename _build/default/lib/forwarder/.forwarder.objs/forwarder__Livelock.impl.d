@@ -1,0 +1,1 @@
+lib/forwarder/livelock.ml: Float List

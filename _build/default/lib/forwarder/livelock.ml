@@ -1,0 +1,63 @@
+type discipline = Naive | Lrp
+
+let default_interrupt_s = 3.5e-6
+
+let peak_rate ~interrupt_s ~processing_s = 1. /. (interrupt_s +. processing_s)
+
+let output_rate discipline ~interrupt_s ~processing_s ~input_pps =
+  let peak = peak_rate ~interrupt_s ~processing_s in
+  if input_pps <= peak then input_pps
+  else begin
+    match discipline with
+    | Lrp ->
+        (* LRP demultiplexes early and defers protocol work, so excess
+           arrivals are shed for (almost) free and the peak holds. *)
+        peak
+    | Naive ->
+        (* Interrupt handling preempts everything: of each second,
+           input*interrupt goes to interrupts; only the remainder completes
+           packets.  Output hits zero at 1/interrupt (full livelock). *)
+        Float.max 0. ((1. -. (input_pps *. interrupt_s)) /. processing_s)
+  end
+
+let default_inputs =
+  List.init 41 (fun i -> float_of_int i *. 10_000.) (* 0 .. 400 Kpps *)
+
+let series ?(discipline = Naive) ?(interrupt_s = default_interrupt_s) ?(inputs_pps = default_inputs)
+    ~processing_s () =
+  List.map
+    (fun input_pps -> (input_pps, output_rate discipline ~interrupt_s ~processing_s ~input_pps))
+    inputs_pps
+
+let simulate ?(duration = 1.0) discipline ~interrupt_s ~processing_s ~input_pps =
+  (* 1 ms slices: arrivals are deterministic at the offered rate; interrupt
+     work is served first, remaining CPU does protocol processing from a
+     bounded backlog (128 packets, as a NIC ring would hold). *)
+  let slice = 1e-3 in
+  let slices = int_of_float (duration /. slice) in
+  let ring_capacity = 128. in
+  let backlog = ref 0. in
+  let completed = ref 0. in
+  let carry = ref 0. in
+  for _ = 1 to slices do
+    let arrivals = (input_pps *. slice) +. !carry in
+    let whole = floor arrivals in
+    carry := arrivals -. whole;
+    let admitted, interrupt_work =
+      match discipline with
+      | Naive ->
+          (* Every arrival costs an interrupt whether or not it fits. *)
+          (Float.min whole (ring_capacity -. !backlog), whole *. interrupt_s)
+      | Lrp ->
+          (* Early demux: excess beyond the ring is dropped at (nearly)
+             zero cost and protocol work is charged to the class. *)
+          let admitted = Float.min whole (ring_capacity -. !backlog) in
+          (admitted, admitted *. interrupt_s)
+    in
+    backlog := !backlog +. admitted;
+    let cpu_left = Float.max 0. (slice -. interrupt_work) in
+    let processed = Float.min !backlog (cpu_left /. processing_s) in
+    backlog := !backlog -. processed;
+    completed := !completed +. processed
+  done;
+  !completed /. duration

@@ -1,0 +1,45 @@
+(** The forwarding-rate model behind Fig. 12.
+
+    The paper's measured curves are dominated by per-packet interrupt
+    handling (~3.5 µs) plus the per-type processing cost of Table 1: the
+    output rate climbs with the input rate and saturates at
+    [1 / (t_interrupt + t_processing)] — 160–280 Kpps depending on packet
+    type.  Past saturation a naive kernel path suffers receive livelock
+    (interrupts steal cycles from processing that would have completed
+    packets), while Lazy Receiver Processing (LRP, the paper's suggested
+    remedy) holds the peak by charging each packet class its own
+    computation and shedding the expensive excess early. *)
+
+type discipline =
+  | Naive  (** interrupts preempt processing: livelock past saturation *)
+  | Lrp  (** lazy receiver processing: flat at the peak rate *)
+
+val output_rate :
+  discipline -> interrupt_s:float -> processing_s:float -> input_pps:float -> float
+(** Closed-form model: packets out per second for a given offered load. *)
+
+val peak_rate : interrupt_s:float -> processing_s:float -> float
+(** [1 / (interrupt_s + processing_s)]. *)
+
+val default_interrupt_s : float
+(** 3.5 µs, the interrupt penalty the paper measures. *)
+
+val series :
+  ?discipline:discipline ->
+  ?interrupt_s:float ->
+  ?inputs_pps:float list ->
+  processing_s:float ->
+  unit ->
+  (float * float) list
+(** (input, output) pairs over the paper's 0–400 Kpps x-range. *)
+
+val simulate :
+  ?duration:float ->
+  discipline ->
+  interrupt_s:float ->
+  processing_s:float ->
+  input_pps:float ->
+  float
+(** A small discrete-time CPU simulation (interrupt work has priority over
+    protocol work within each 1 ms slice) cross-checking the closed form;
+    returns the measured output rate. *)

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Float Fmt Hashtbl List Qdisc Queue Sim Wire

@@ -1,0 +1,246 @@
+type t = {
+  sim : Sim.t;
+  mutable node_list : node list; (* reverse creation order *)
+  mutable link_list : link list;
+  mutable next_node_id : int;
+  mutable next_link_id : int;
+  by_addr : node Wire.Addr.Tbl.t;
+  mutable trace : (event -> unit) option;
+}
+
+and node = {
+  id : int;
+  name : string;
+  net : t;
+  addr : Wire.Addr.t option;
+  mutable handler : handler;
+  mutable out_links : link list; (* reverse creation order *)
+  mutable in_links : link list;
+  routes : (int, link) Hashtbl.t; (* destination address -> next hop *)
+}
+
+and handler = node -> in_link:link option -> Wire.Packet.t -> unit
+
+and link = {
+  lid : int;
+  src : node;
+  dst : node;
+  bandwidth : float;
+  delay : float;
+  qdisc : Qdisc.t;
+  mutable busy : bool;
+  mutable poll : Sim.handle option;
+  mutable limiter : (Wire.Packet.t -> bool) option;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+}
+
+and event =
+  | Queue_drop of link * Wire.Packet.t
+  | Hops_exceeded of node * Wire.Packet.t
+  | No_route of node * Wire.Packet.t
+  | Transmit of link * Wire.Packet.t
+  | Deliver of node * Wire.Packet.t
+
+let create sim =
+  {
+    sim;
+    node_list = [];
+    link_list = [];
+    next_node_id = 0;
+    next_link_id = 0;
+    by_addr = Wire.Addr.Tbl.create 64;
+    trace = None;
+  }
+
+let sim t = t.sim
+let now t = Sim.now t.sim
+let set_trace t hook = t.trace <- hook
+
+let emit t ev = match t.trace with None -> () | Some hook -> hook ev
+
+let add_node ?addr ~name t handler =
+  (match addr with
+  | Some a when Wire.Addr.Tbl.mem t.by_addr a ->
+      invalid_arg (Fmt.str "Net.add_node: duplicate address %a" Wire.Addr.pp a)
+  | _ -> ());
+  let node =
+    {
+      id = t.next_node_id;
+      name;
+      net = t;
+      addr;
+      handler;
+      out_links = [];
+      in_links = [];
+      routes = Hashtbl.create 16;
+    }
+  in
+  t.next_node_id <- t.next_node_id + 1;
+  t.node_list <- node :: t.node_list;
+  (match addr with Some a -> Wire.Addr.Tbl.add t.by_addr a node | None -> ());
+  node
+
+let set_handler node h = node.handler <- h
+let node_sim node = node.net.sim
+let node_name node = node.name
+let node_addr node = node.addr
+let node_id node = node.id
+
+let link_oneway t ~src ~dst ~bandwidth_bps ~delay ~qdisc =
+  if bandwidth_bps <= 0. then invalid_arg "Net.link_oneway: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Net.link_oneway: delay must be nonnegative";
+  let link =
+    {
+      lid = t.next_link_id;
+      src;
+      dst;
+      bandwidth = bandwidth_bps;
+      delay;
+      qdisc;
+      busy = false;
+      poll = None;
+      limiter = None;
+      tx_packets = 0;
+      tx_bytes = 0;
+    }
+  in
+  t.next_link_id <- t.next_link_id + 1;
+  t.link_list <- link :: t.link_list;
+  src.out_links <- link :: src.out_links;
+  dst.in_links <- link :: dst.in_links;
+  link
+
+let duplex t a b ~bandwidth_bps ~delay ~qdisc =
+  let ab = link_oneway t ~src:a ~dst:b ~bandwidth_bps ~delay ~qdisc:(qdisc ()) in
+  let ba = link_oneway t ~src:b ~dst:a ~bandwidth_bps ~delay ~qdisc:(qdisc ()) in
+  (ab, ba)
+
+(* The transmitter: serialize the head packet, then propagate.  [kick]
+   starts service if the link is idle; when the qdisc is unready it arms a
+   single poll timer at [next_ready]. *)
+let rec kick link =
+  if not link.busy then begin
+    let net = link.src.net in
+    let time = Sim.now net.sim in
+    (match link.poll with
+    | Some h ->
+        Sim.cancel h;
+        link.poll <- None
+    | None -> ());
+    match link.qdisc.Qdisc.dequeue ~now:time with
+    | Some p ->
+        link.busy <- true;
+        link.tx_packets <- link.tx_packets + 1;
+        link.tx_bytes <- link.tx_bytes + Wire.Packet.size p;
+        emit net (Transmit (link, p));
+        let tx_time = float_of_int (Wire.Packet.size p) *. 8. /. link.bandwidth in
+        ignore
+          (Sim.schedule net.sim ~delay:tx_time (fun () ->
+               link.busy <- false;
+               ignore
+                 (Sim.schedule net.sim ~delay:link.delay (fun () ->
+                      emit net (Deliver (link.dst, p));
+                      link.dst.handler link.dst ~in_link:(Some link) p));
+               kick link))
+    | None -> begin
+        match link.qdisc.Qdisc.next_ready ~now:time with
+        | None -> ()
+        | Some at ->
+            let delay = Float.max 0. (at -. time) in
+            (* Never arm a zero-delay self-poll after an empty dequeue: the
+               qdisc is momentarily unservable, so wait a token tick. *)
+            let delay = if delay <= 0. then 1e-6 else delay in
+            link.poll <-
+              Some
+                (Sim.schedule net.sim ~delay (fun () ->
+                     link.poll <- None;
+                     kick link))
+      end
+  end
+
+let enqueue_on link p =
+  let net = link.src.net in
+  let admitted = match link.limiter with None -> true | Some f -> f p in
+  if not admitted then begin
+    link.qdisc.Qdisc.stats.Qdisc.dropped <- link.qdisc.Qdisc.stats.Qdisc.dropped + 1;
+    link.qdisc.Qdisc.stats.Qdisc.bytes_dropped <-
+      link.qdisc.Qdisc.stats.Qdisc.bytes_dropped + Wire.Packet.size p;
+    emit net (Queue_drop (link, p))
+  end
+  else if link.qdisc.Qdisc.enqueue ~now:(Sim.now net.sim) p then kick link
+  else emit net (Queue_drop (link, p))
+
+let charge_hop node p =
+  if p.Wire.Packet.hops <= 0 then begin
+    emit node.net (Hops_exceeded (node, p));
+    false
+  end
+  else begin
+    p.Wire.Packet.hops <- p.Wire.Packet.hops - 1;
+    true
+  end
+
+let forward_on node link p =
+  assert (link.src == node);
+  if charge_hop node p then enqueue_on link p
+
+let route_for node addr = Hashtbl.find_opt node.routes (Wire.Addr.to_int addr)
+
+let forward node p =
+  if charge_hop node p then begin
+    match route_for node p.Wire.Packet.dst with
+    | None -> emit node.net (No_route (node, p))
+    | Some link -> enqueue_on link p
+  end
+
+let originate node p = forward node p
+
+(* Shortest-path routing by BFS from every node over its out-links; ties
+   resolve to the earliest-created link, which makes routes deterministic. *)
+let compute_routes t =
+  let nodes = List.rev t.node_list in
+  let n = t.next_node_id in
+  List.iter (fun node -> Hashtbl.reset node.routes) nodes;
+  let run_bfs source =
+    let dist = Array.make n max_int in
+    let first_hop : link option array = Array.make n None in
+    dist.(source.id) <- 0;
+    let frontier = Queue.create () in
+    Queue.push source frontier;
+    while not (Queue.is_empty frontier) do
+      let u = Queue.pop frontier in
+      let hops_u = dist.(u.id) in
+      List.iter
+        (fun link ->
+          let v = link.dst in
+          if dist.(v.id) = max_int then begin
+            dist.(v.id) <- hops_u + 1;
+            first_hop.(v.id) <- (if u.id = source.id then Some link else first_hop.(u.id));
+            Queue.push v frontier
+          end)
+        (List.rev u.out_links)
+    done;
+    List.iter
+      (fun target ->
+        match (target.addr, first_hop.(target.id)) with
+        | Some addr, Some link -> Hashtbl.replace source.routes (Wire.Addr.to_int addr) link
+        | _, _ -> ())
+      nodes
+  in
+  List.iter run_bfs nodes
+
+let links_into node = List.rev node.in_links
+let links_out_of node = List.rev node.out_links
+let link_id link = link.lid
+let link_src link = link.src
+let link_dst link = link.dst
+let link_qdisc link = link.qdisc
+let link_bandwidth link = link.bandwidth
+let link_delay link = link.delay
+let link_tx_packets link = link.tx_packets
+let link_tx_bytes link = link.tx_bytes
+let link_set_limiter link f = link.limiter <- f
+
+let nodes t = List.rev t.node_list
+let find_node_by_addr t addr = Wire.Addr.Tbl.find_opt t.by_addr addr

@@ -1,0 +1,100 @@
+(** The packet-level network: nodes joined by unidirectional links, each
+    link owning a qdisc and a store-and-forward transmitter.
+
+    A link serializes one packet at a time at its bandwidth, then the
+    packet propagates for the link delay (so several packets ride the wire
+    concurrently).  When a link's qdisc is nonempty but unservable (a rate
+    limiter out of tokens), the transmitter re-polls at the qdisc's
+    [next_ready] time. *)
+
+type t
+
+type node
+
+type link
+
+type handler = node -> in_link:link option -> Wire.Packet.t -> unit
+(** Invoked when a packet arrives at a node ([in_link = None] only for
+    locally injected packets). *)
+
+type event =
+  | Queue_drop of link * Wire.Packet.t
+  | Hops_exceeded of node * Wire.Packet.t
+  | No_route of node * Wire.Packet.t
+  | Transmit of link * Wire.Packet.t
+  | Deliver of node * Wire.Packet.t
+
+val create : Sim.t -> t
+val sim : t -> Sim.t
+val now : t -> float
+
+val set_trace : t -> (event -> unit) option -> unit
+(** A global observation hook for tests and debugging; [None] disables. *)
+
+(** {1 Building the network} *)
+
+val add_node : ?addr:Wire.Addr.t -> name:string -> t -> handler -> node
+(** Addresses must be unique across the network; routers typically have
+    none.  Raises [Invalid_argument] on a duplicate address. *)
+
+val set_handler : node -> handler -> unit
+val node_sim : node -> Sim.t
+val node_name : node -> string
+val node_addr : node -> Wire.Addr.t option
+val node_id : node -> int
+
+val link_oneway :
+  t -> src:node -> dst:node -> bandwidth_bps:float -> delay:float -> qdisc:Qdisc.t -> link
+(** Raises [Invalid_argument] on nonpositive bandwidth or negative delay. *)
+
+val duplex :
+  t ->
+  node ->
+  node ->
+  bandwidth_bps:float ->
+  delay:float ->
+  qdisc:(unit -> Qdisc.t) ->
+  link * link
+(** Two symmetric one-way links; [qdisc] is called once per direction. *)
+
+val compute_routes : t -> unit
+(** Populates every node's next-hop table with shortest paths (hop count,
+    ties by link creation order) towards every addressed node.  Call after
+    the topology is complete; may be called again after changes. *)
+
+(** {1 Moving packets} *)
+
+val originate : node -> Wire.Packet.t -> unit
+(** Inject a packet at its source host: routes and transmits it. *)
+
+val forward : node -> Wire.Packet.t -> unit
+(** Route the packet from this node towards [packet.dst], charging one hop.
+    Drops (with a trace event) when hops run out or no route exists. *)
+
+val forward_on : node -> link -> Wire.Packet.t -> unit
+(** Forward on an explicit link, bypassing the route lookup. *)
+
+val route_for : node -> Wire.Addr.t -> link option
+
+(** {1 Introspection} *)
+
+val links_into : node -> link list
+(** All links whose destination is this node (for pushback's per-upstream
+    rate limiting). *)
+
+val links_out_of : node -> link list
+val link_id : link -> int
+val link_src : link -> node
+val link_dst : link -> node
+val link_qdisc : link -> Qdisc.t
+val link_bandwidth : link -> float
+val link_delay : link -> float
+val link_tx_packets : link -> int
+val link_tx_bytes : link -> int
+val link_set_limiter : link -> (Wire.Packet.t -> bool) option -> unit
+(** An admission predicate consulted before the qdisc on every enqueue
+    ([false] = drop).  Pushback installs its per-upstream-link rate limits
+    here. *)
+
+val nodes : t -> node list
+val find_node_by_addr : t -> Wire.Addr.t -> node option

@@ -1,0 +1,101 @@
+type t = {
+  net : Net.t;
+  left : Net.node;
+  right : Net.node;
+  users : Net.node array;
+  attackers : Net.node array;
+  destination : Net.node;
+  colluder : Net.node option;
+  bottleneck : Net.link;
+  bottleneck_reverse : Net.link;
+}
+
+let user_addr i = Wire.Addr.of_int (0x0a000000 + i)
+let attacker_addr i = Wire.Addr.of_int (0x0b000000 + i)
+let destination_addr = Wire.Addr.of_int 0xc0a80001
+let colluder_addr = Wire.Addr.of_int 0xc0a80002
+
+let sink_handler _node ~in_link:_ _p = ()
+
+let dumbbell ?(bottleneck_bps = 10e6) ?(bottleneck_delay = 0.010) ?(access_bps = 10e6)
+    ?(access_delay = 0.010) ?(n_users = 10) ?(with_colluder = false) ~n_attackers ~make_qdisc sim =
+  if n_users < 0 || n_attackers < 0 then invalid_arg "Topology.dumbbell: negative host count";
+  let net = Net.create sim in
+  let left = Net.add_node ~name:"left-router" net sink_handler in
+  let right = Net.add_node ~name:"right-router" net sink_handler in
+  let attach host bps delay =
+    ignore (Net.duplex net host left ~bandwidth_bps:bps ~delay ~qdisc:(fun () -> make_qdisc ~bandwidth_bps:bps))
+  in
+  let users =
+    Array.init n_users (fun i ->
+        let u = Net.add_node ~addr:(user_addr i) ~name:(Printf.sprintf "user%d" i) net sink_handler in
+        attach u access_bps access_delay;
+        u)
+  in
+  let attackers =
+    Array.init n_attackers (fun i ->
+        let a =
+          Net.add_node ~addr:(attacker_addr i) ~name:(Printf.sprintf "attacker%d" i) net sink_handler
+        in
+        attach a access_bps access_delay;
+        a)
+  in
+  let bottleneck, bottleneck_reverse =
+    Net.duplex net left right ~bandwidth_bps:bottleneck_bps ~delay:bottleneck_delay
+      ~qdisc:(fun () -> make_qdisc ~bandwidth_bps:bottleneck_bps)
+  in
+  let destination = Net.add_node ~addr:destination_addr ~name:"destination" net sink_handler in
+  ignore
+    (Net.duplex net right destination ~bandwidth_bps:access_bps ~delay:access_delay
+       ~qdisc:(fun () -> make_qdisc ~bandwidth_bps:access_bps));
+  let colluder =
+    if with_colluder then begin
+      let c = Net.add_node ~addr:colluder_addr ~name:"colluder" net sink_handler in
+      ignore
+        (Net.duplex net right c ~bandwidth_bps:access_bps ~delay:access_delay
+           ~qdisc:(fun () -> make_qdisc ~bandwidth_bps:access_bps));
+      Some c
+    end
+    else None
+  in
+  Net.compute_routes net;
+  { net; left; right; users; attackers; destination; colluder; bottleneck; bottleneck_reverse }
+
+type chain = {
+  chain_net : Net.t;
+  chain_routers : Net.node array;
+  chain_source : Net.node;
+  chain_attacker : Net.node;
+  chain_destination : Net.node;
+}
+
+let chain_source_addr = Wire.Addr.of_int 0x0a010001
+let chain_attacker_addr = Wire.Addr.of_int 0x0b010001
+let chain_destination_addr = Wire.Addr.of_int 0xc0a90001
+
+let chain ?(hops = 4) ?(bandwidth_bps = 10e6) ?(delay = 0.005) ?(attacker_entry = 0) ~make_qdisc sim
+    =
+  if hops < 1 then invalid_arg "Topology.chain: need at least one router";
+  if attacker_entry < 0 || attacker_entry >= hops then
+    invalid_arg "Topology.chain: attacker entry out of range";
+  let net = Net.create sim in
+  let routers =
+    Array.init hops (fun i -> Net.add_node ~name:(Printf.sprintf "router%d" i) net sink_handler)
+  in
+  let connect a b =
+    ignore
+      (Net.duplex net a b ~bandwidth_bps ~delay ~qdisc:(fun () -> make_qdisc ~bandwidth_bps))
+  in
+  for i = 0 to hops - 2 do
+    connect routers.(i) routers.(i + 1)
+  done;
+  let chain_source = Net.add_node ~addr:chain_source_addr ~name:"source" net sink_handler in
+  connect chain_source routers.(0);
+  let chain_attacker = Net.add_node ~addr:chain_attacker_addr ~name:"attacker" net sink_handler in
+  connect chain_attacker routers.(attacker_entry);
+  let chain_destination =
+    Net.add_node ~addr:chain_destination_addr ~name:"destination" net sink_handler
+  in
+  connect routers.(hops - 1) chain_destination;
+  Net.compute_routes net;
+  { chain_net = net; chain_routers = routers; chain_source; chain_attacker; chain_destination }

@@ -1,0 +1,65 @@
+(** Canned topologies for the paper's experiments.
+
+    {!dumbbell} is Fig. 7: 10 legitimate users and a variable number of
+    attackers on one side of a 10 Mb/s, 10 ms bottleneck; the destination
+    (and optionally a colluder) on the other side.  Every access link is
+    10 ms, giving the paper's 60 ms RTT.  Handlers are installed separately
+    by the protocol/agent layers; nodes start with a sink handler. *)
+
+type t = {
+  net : Net.t;
+  left : Net.node; (* bottleneck ingress router *)
+  right : Net.node; (* bottleneck egress router *)
+  users : Net.node array;
+  attackers : Net.node array;
+  destination : Net.node;
+  colluder : Net.node option;
+  bottleneck : Net.link; (* left -> right, the congested direction *)
+  bottleneck_reverse : Net.link;
+}
+
+val user_addr : int -> Wire.Addr.t
+val attacker_addr : int -> Wire.Addr.t
+val destination_addr : Wire.Addr.t
+val colluder_addr : Wire.Addr.t
+
+val dumbbell :
+  ?bottleneck_bps:float ->
+  ?bottleneck_delay:float ->
+  ?access_bps:float ->
+  ?access_delay:float ->
+  ?n_users:int ->
+  ?with_colluder:bool ->
+  n_attackers:int ->
+  make_qdisc:(bandwidth_bps:float -> Qdisc.t) ->
+  Sim.t ->
+  t
+(** Defaults: 10 Mb/s / 10 ms bottleneck, 10 Mb/s / 10 ms access links,
+    10 users, no colluder.  [make_qdisc] builds the queue for every
+    unidirectional link (rate limits inside schemes are fractions of the
+    given bandwidth).  Routes are computed before returning. *)
+
+type chain = {
+  chain_net : Net.t;
+  chain_routers : Net.node array;
+  chain_source : Net.node;
+  chain_attacker : Net.node;
+  chain_destination : Net.node;
+}
+
+val chain_source_addr : Wire.Addr.t
+val chain_attacker_addr : Wire.Addr.t
+val chain_destination_addr : Wire.Addr.t
+
+val chain :
+  ?hops:int ->
+  ?bandwidth_bps:float ->
+  ?delay:float ->
+  ?attacker_entry:int ->
+  make_qdisc:(bandwidth_bps:float -> Qdisc.t) ->
+  Sim.t ->
+  chain
+(** A linear chain of [hops] routers with the source on router 0, the
+    destination past the last router, and an attacker joining at router
+    [attacker_entry].  Used by the incremental-deployment example: upgrade
+    a prefix/suffix of the routers and observe attack localization. *)

@@ -1,0 +1,1 @@
+lib/queueing/droptail.ml: Qdisc Queue Wire

@@ -1,0 +1,1 @@
+lib/queueing/drr.ml: Hashtbl List Qdisc Queue Wire

@@ -1,0 +1,1 @@
+lib/queueing/drr.mli: Qdisc Wire

@@ -1,0 +1,1 @@
+lib/queueing/qdisc.ml: Format Wire

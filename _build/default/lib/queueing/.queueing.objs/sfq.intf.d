@@ -1,0 +1,1 @@
+lib/queueing/sfq.mli: Qdisc Wire

@@ -1,0 +1,1 @@
+lib/queueing/token_bucket.ml: Float Qdisc Wire

@@ -1,0 +1,1 @@
+lib/queueing/token_bucket.mli: Qdisc

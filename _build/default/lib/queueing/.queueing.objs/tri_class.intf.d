@@ -1,0 +1,1 @@
+lib/queueing/tri_class.mli: Qdisc Wire

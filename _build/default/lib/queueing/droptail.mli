@@ -1,0 +1,17 @@
+(** Plain FIFO with a byte-capacity bound; arrivals that would overflow are
+    dropped (drop-tail).  The legacy-Internet baseline uses this everywhere,
+    and it is the building block inside the fair queues. *)
+
+val create : ?name:string -> ?capacity_packets:int -> capacity_bytes:int -> unit -> Qdisc.t
+(** Raises [Invalid_argument] on nonpositive capacity.  When
+    [capacity_packets] is given the queue is additionally limited by packet
+    count — the ns-2 convention, which avoids giving small packets (SYNs)
+    an unrealistic admission advantage under overload. *)
+
+val default_capacity : bandwidth_bps:float -> delay:float -> int
+(** A conventional buffer sizing: one bandwidth–delay product, floored at
+    ~30 full-size packets. *)
+
+val default_capacity_packets : bandwidth_bps:float -> delay:float -> int
+(** The same sizing expressed in 1000-byte packets, floored at 50 (the
+    ns-2 default queue limit). *)

@@ -1,0 +1,14 @@
+(** Strict-priority scheduling over an ordered list of child qdiscs:
+    dequeue always serves the first nonempty child.  SIFF's two-class
+    forwarding (verified data packets above explorer/legacy traffic) is the
+    main user. *)
+
+val create :
+  ?name:string ->
+  classify:(Wire.Packet.t -> int) ->
+  classes:Qdisc.t list ->
+  unit ->
+  Qdisc.t
+(** [classify] returns the index of the child to enqueue into (out-of-range
+    indexes clamp to the last, lowest-priority, child).  Raises
+    [Invalid_argument] on an empty class list. *)

@@ -1,0 +1,50 @@
+type stats = {
+  mutable enqueued : int;
+  mutable dequeued : int;
+  mutable dropped : int;
+  mutable bytes_enqueued : int;
+  mutable bytes_dequeued : int;
+  mutable bytes_dropped : int;
+}
+
+type t = {
+  name : string;
+  enqueue : now:float -> Wire.Packet.t -> bool;
+  dequeue : now:float -> Wire.Packet.t option;
+  next_ready : now:float -> float option;
+  packet_count : unit -> int;
+  byte_count : unit -> int;
+  stats : stats;
+}
+
+let fresh_stats () =
+  { enqueued = 0; dequeued = 0; dropped = 0; bytes_enqueued = 0; bytes_dequeued = 0; bytes_dropped = 0 }
+
+let make ~name ~enqueue ~dequeue ~next_ready ~packet_count ~byte_count =
+  let stats = fresh_stats () in
+  let enqueue ~now p =
+    let size = Wire.Packet.size p in
+    let accepted = enqueue ~now p in
+    if accepted then begin
+      stats.enqueued <- stats.enqueued + 1;
+      stats.bytes_enqueued <- stats.bytes_enqueued + size
+    end
+    else begin
+      stats.dropped <- stats.dropped + 1;
+      stats.bytes_dropped <- stats.bytes_dropped + size
+    end;
+    accepted
+  in
+  let dequeue ~now =
+    match dequeue ~now with
+    | None -> None
+    | Some p ->
+        stats.dequeued <- stats.dequeued + 1;
+        stats.bytes_dequeued <- stats.bytes_dequeued + Wire.Packet.size p;
+        Some p
+  in
+  { name; enqueue; dequeue; next_ready; packet_count; byte_count; stats }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "enq=%d deq=%d drop=%d (%dB in, %dB out, %dB dropped)" s.enqueued s.dequeued
+    s.dropped s.bytes_enqueued s.bytes_dequeued s.bytes_dropped

@@ -1,0 +1,42 @@
+(** Queueing disciplines.
+
+    A qdisc sits between a node's forwarding decision and a link's
+    transmitter.  The transmitter calls [dequeue] each time it finishes a
+    packet; a qdisc that is nonempty but momentarily unservable (e.g. a
+    rate-limited request queue out of tokens) answers [None] and reports
+    via [next_ready] when it should be polled again. *)
+
+type stats = {
+  mutable enqueued : int;
+  mutable dequeued : int;
+  mutable dropped : int;
+  mutable bytes_enqueued : int;
+  mutable bytes_dequeued : int;
+  mutable bytes_dropped : int;
+}
+
+type t = {
+  name : string;
+  enqueue : now:float -> Wire.Packet.t -> bool;
+      (** [false] means the packet was dropped (queue full or policy). *)
+  dequeue : now:float -> Wire.Packet.t option;
+  next_ready : now:float -> float option;
+      (** [None] when empty; [Some at] when a packet will become servable at
+          virtual time [at] (which may be [now]). *)
+  packet_count : unit -> int;
+  byte_count : unit -> int;
+  stats : stats;
+}
+
+val make :
+  name:string ->
+  enqueue:(now:float -> Wire.Packet.t -> bool) ->
+  dequeue:(now:float -> Wire.Packet.t option) ->
+  next_ready:(now:float -> float option) ->
+  packet_count:(unit -> int) ->
+  byte_count:(unit -> int) ->
+  t
+(** Wraps the callbacks with automatic stats accounting. *)
+
+val fresh_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,12 @@
+let hash ~seed ~buckets key =
+  (* Knuth multiplicative hashing, perturbed by the seed; adequate for SFQ
+     and trivially invertible enough for the deliberate-collision attack
+     the paper warns about. *)
+  let h = (key lxor seed) * 2654435761 in
+  (h lsr 7) mod buckets |> abs
+
+let create ?(name = "sfq") ?quantum ?queue_capacity_bytes ?(seed = 0) ~buckets ~flow_key () =
+  if buckets <= 0 then invalid_arg "Sfq.create: buckets must be positive";
+  Drr.create ~name ?quantum ?queue_capacity_bytes ~max_queues:buckets
+    ~classify:(fun p -> hash ~seed ~buckets (flow_key p))
+    ()

@@ -1,0 +1,23 @@
+(** Stochastic fair queueing (McKenney): hash flows onto a fixed number of
+    buckets and fair-queue the buckets.
+
+    The paper (Sec. 3.9) considers SFQ as the alternative to its bounded
+    per-path-id / per-destination queues and rejects it because attackers
+    who learn the hash can manufacture collisions with a victim's bucket.
+    We implement it both as a baseline and to reproduce that ablation: the
+    hash is a public multiplicative hash of the flow key, so a test can
+    construct colliding flows deliberately. *)
+
+val hash : seed:int -> buckets:int -> int -> int
+(** The bucket index SFQ assigns to a flow key — exposed so the collision
+    ablation can search for colliding keys. *)
+
+val create :
+  ?name:string ->
+  ?quantum:int ->
+  ?queue_capacity_bytes:int ->
+  ?seed:int ->
+  buckets:int ->
+  flow_key:(Wire.Packet.t -> int) ->
+  unit ->
+  Qdisc.t

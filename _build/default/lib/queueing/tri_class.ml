@@ -1,0 +1,44 @@
+type cls = Request | Regular | Legacy
+
+let classify_by_shim p =
+  match p.Wire.Packet.shim with
+  | None -> Legacy
+  | Some shim ->
+      if shim.Wire.Cap_shim.demoted then Legacy
+      else begin
+        match shim.Wire.Cap_shim.kind with
+        | Wire.Cap_shim.Request _ -> Request
+        | Wire.Cap_shim.Regular _ -> Regular
+      end
+
+let create ?(name = "tri-class") ~classify ~request ~regular ~legacy () =
+  let children = [ request; regular; legacy ] in
+  let enqueue ~now p =
+    let child =
+      match classify p with Request -> request | Regular -> regular | Legacy -> legacy
+    in
+    child.Qdisc.enqueue ~now p
+  in
+  let dequeue ~now =
+    (* Requests first — their own rate limiter keeps them below their link
+       share — then regular, then legacy scavenges. *)
+    match request.Qdisc.dequeue ~now with
+    | Some p -> Some p
+    | None -> begin
+        match regular.Qdisc.dequeue ~now with
+        | Some p -> Some p
+        | None -> legacy.Qdisc.dequeue ~now
+      end
+  in
+  let next_ready ~now =
+    List.fold_left
+      (fun acc child ->
+        match (child.Qdisc.next_ready ~now, acc) with
+        | None, acc -> acc
+        | Some t, None -> Some t
+        | Some t, Some u -> Some (Float.min t u))
+      None children
+  in
+  Qdisc.make ~name ~enqueue ~dequeue ~next_ready
+    ~packet_count:(fun () -> List.fold_left (fun acc c -> acc + c.Qdisc.packet_count ()) 0 children)
+    ~byte_count:(fun () -> List.fold_left (fun acc c -> acc + c.Qdisc.byte_count ()) 0 children)

@@ -1,0 +1,27 @@
+(** The TVA link scheduler of the paper's Fig. 2.
+
+    Traffic is split into three classes: requests (served first but shaped
+    by a rate limiter built into the request child qdisc), regular packets
+    with capabilities (the remaining capacity), and legacy traffic (lowest
+    priority, FIFO over what is left).  The classifier runs at enqueue time;
+    routers have already demoted invalid packets by then, so demoted packets
+    simply classify as legacy. *)
+
+type cls =
+  | Request
+  | Regular
+  | Legacy
+
+val create :
+  ?name:string ->
+  classify:(Wire.Packet.t -> cls) ->
+  request:Qdisc.t ->
+  regular:Qdisc.t ->
+  legacy:Qdisc.t ->
+  unit ->
+  Qdisc.t
+
+val classify_by_shim : Wire.Packet.t -> cls
+(** The standard TVA classifier: request shims are [Request]; valid,
+    undemoted regular shims are [Regular]; demoted or shimless packets are
+    [Legacy]. *)

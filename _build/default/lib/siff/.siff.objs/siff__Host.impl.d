@@ -1,0 +1,1 @@
+lib/siff/host.ml: Net Router Sim Tva Wire

@@ -1,0 +1,1 @@
+lib/siff/host.mli: Net Tva Wire

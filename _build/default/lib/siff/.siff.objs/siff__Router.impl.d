@@ -1,0 +1,1 @@
+lib/siff/router.ml: Crypto Droptail Int64 Net Printf Priority Sim Wire

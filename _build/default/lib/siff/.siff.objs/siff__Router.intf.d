@@ -1,0 +1,1 @@
+lib/siff/router.mli: Net Qdisc Sim Wire

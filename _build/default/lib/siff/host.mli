@@ -1,0 +1,34 @@
+(** SIFF host behaviour: explorer/data packet selection on send, marking
+    hand-back on receive.  Mirrors {!Tva.Host} so the workload can drive
+    both through one interface.
+
+    A sender uses DTA packets while it holds markings younger than the
+    rotation period (it cannot know the routers' epoch phase, so it
+    refreshes conservatively by sending an explorer once the marking is a
+    full period old); otherwise it sends EXP packets, which SIFF forwards
+    at legacy priority.  Destinations apply a {!Tva.Policy} to decide
+    whether to echo collected markings back. *)
+
+type t
+
+val create :
+  ?rotation_period:float ->
+  ?auto_reply:bool ->
+  policy:Tva.Policy.t ->
+  node:Net.node ->
+  unit ->
+  t
+(** Installs itself as the node's handler; the node needs an address.
+    [auto_reply] (default false): immediately answer packets that leave
+    markings owed to the peer with a small standalone packet (colluders). *)
+
+val addr : t -> Wire.Addr.t
+val node : t -> Net.node
+val set_segment_handler : t -> (src:Wire.Addr.t -> Wire.Tcp_segment.t -> unit) -> unit
+val send_segment : t -> dst:Wire.Addr.t -> Wire.Tcp_segment.t -> unit
+val send_raw : t -> dst:Wire.Addr.t -> bytes:int -> unit
+val send_legacy : t -> dst:Wire.Addr.t -> bytes:int -> unit
+
+val markings_for : t -> dst:Wire.Addr.t -> (int * int) list option
+(** Current usable markings towards [dst] (flooders copy these and keep
+    hammering even after the destination stops granting). *)

@@ -1,0 +1,74 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = if i >= Array.length t.counts then Array.length t.counts - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+let bins t = Array.length t.counts
+
+let bin_count t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_count: index out of range";
+  t.counts.(i)
+
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_bounds t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_bounds: index out of range";
+  (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width))
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0,1]";
+  if t.total = 0 then nan
+  else begin
+    let target = q *. float_of_int t.total in
+    let acc = ref (float_of_int t.under) in
+    if !acc >= target then t.lo
+    else begin
+      let result = ref t.hi in
+      (try
+         for i = 0 to Array.length t.counts - 1 do
+           let c = float_of_int t.counts.(i) in
+           if !acc +. c >= target && c > 0. then begin
+             let lo, _ = bin_bounds t i in
+             result := lo +. (t.width *. ((target -. !acc) /. c));
+             raise Exit
+           end;
+           acc := !acc +. c
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  if t.under > 0 then Format.fprintf fmt "(<%g): %d@," t.lo t.under;
+  for i = 0 to Array.length t.counts - 1 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bin_bounds t i in
+      Format.fprintf fmt "[%g,%g): %d@," lo hi t.counts.(i)
+    end
+  done;
+  if t.over > 0 then Format.fprintf fmt "(>=%g): %d@," t.hi t.over;
+  Format.fprintf fmt "@]"

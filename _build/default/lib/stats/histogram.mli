@@ -1,0 +1,32 @@
+(** Fixed-width-bin histograms with overflow/underflow buckets, used for
+    transfer-time distributions. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [bins] equal-width buckets covering [\[lo, hi)]; values outside land in
+    dedicated under/overflow counters.  Raises [Invalid_argument] on
+    [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+(** Total samples including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Samples in bucket [i] (0-based).  Raises [Invalid_argument] when out of
+    range. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Inclusive-exclusive bounds of bucket [i]. *)
+
+val bins : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t q] approximates the [q]-quantile ([0 <= q <= 1]) by linear
+    interpolation within the bucket; under/overflow clamp to [lo]/[hi]. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact ASCII rendering, one line per non-empty bucket. *)

@@ -1,0 +1,49 @@
+module Ewma = struct
+  type t = { tau : float; mutable rate : float; mutable last : float }
+
+  let create ~tau = { tau; rate = 0.; last = 0. }
+
+  let observe t ~now ~bytes =
+    let dt = now -. t.last in
+    if dt <= 0. then
+      (* Same-instant arrivals fold straight into the estimate, amortized
+         over the time constant. *)
+      t.rate <- t.rate +. (float_of_int bytes /. t.tau)
+    else begin
+      let w = exp (-.dt /. t.tau) in
+      (* The burst contributes bytes/dt over the gap, blended by w. *)
+      t.rate <- ((1. -. w) *. (float_of_int bytes /. dt)) +. (w *. t.rate);
+      t.last <- now
+    end
+
+  let rate t ~now =
+    let dt = now -. t.last in
+    if dt <= 0. then t.rate else t.rate *. exp (-.dt /. t.tau)
+end
+
+module Window = struct
+  type t = {
+    width : float;
+    mutable epoch : int; (* index of the interval currently accumulating *)
+    mutable current : int; (* bytes in the accumulating interval *)
+    mutable previous : int; (* bytes in the last complete interval *)
+  }
+
+  let create ~width = { width; epoch = 0; current = 0; previous = 0 }
+
+  let rotate t ~now =
+    let e = int_of_float (now /. t.width) in
+    if e > t.epoch then begin
+      t.previous <- (if e = t.epoch + 1 then t.current else 0);
+      t.current <- 0;
+      t.epoch <- e
+    end
+
+  let observe t ~now ~bytes =
+    rotate t ~now;
+    t.current <- t.current + bytes
+
+  let rate t ~now =
+    rotate t ~now;
+    float_of_int t.previous /. t.width
+end

@@ -1,0 +1,34 @@
+type t = { columns : string list; mutable body : string list list }
+
+let create ~columns = { columns; body = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row width differs from header";
+  t.body <- row :: t.body
+
+let add_rowf t fmt = Printf.ksprintf (fun s -> add_row t (String.split_on_char '\t' s)) fmt
+
+let rows t = List.rev t.body
+
+let render t =
+  let all = t.columns :: rows t in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  List.iter measure all;
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ') row)
+  in
+  let rule = String.concat "--" (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" (render_row t.columns :: rule :: List.map render_row (rows t)) ^ "\n"
+
+let quote_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map quote_csv row) in
+  String.concat "\n" (line t.columns :: List.map line (rows t)) ^ "\n"

@@ -1,0 +1,17 @@
+(** Plain-text and CSV rendering of result tables, so every experiment can
+    print rows shaped like the paper's figures. *)
+
+type t
+
+val create : columns:string list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats one tab-separated row; split on ['\t']. *)
+
+val render : t -> string
+(** Column-aligned text with a header rule. *)
+
+val to_csv : t -> string
+val rows : t -> string list list

@@ -1,0 +1,1 @@
+lib/tcp/conn.ml: Array Float Hashtbl Rto Sim Wire

@@ -1,0 +1,31 @@
+type t = {
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable has_sample : bool;
+  mutable backoffs : int;
+}
+
+let min_rto = 0.2 (* ns-2's minrto_: the paper's evaluation platform *)
+let abort_threshold = 64.0
+
+let create () = { srtt = 0.; rttvar = 0.; has_sample = false; backoffs = 0 }
+
+let observe t rtt =
+  if not t.has_sample then begin
+    t.srtt <- rtt;
+    t.rttvar <- rtt /. 2.;
+    t.has_sample <- true
+  end
+  else begin
+    (* RFC 6298 with alpha = 1/8, beta = 1/4. *)
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
+  end
+
+let base t =
+  if not t.has_sample then min_rto else Float.max min_rto (t.srtt +. (4. *. t.rttvar))
+
+let current t = base t *. (2. ** float_of_int t.backoffs)
+
+let backoff t = t.backoffs <- t.backoffs + 1
+let reset_backoff t = t.backoffs <- 0

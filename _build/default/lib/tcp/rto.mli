@@ -1,0 +1,32 @@
+(** Retransmission-timeout estimation (RFC 6298 smoothing), with the
+    paper's evaluation parameters: the base RTO is clamped to ns-2's 0.2 s
+    floor and exponential backoff is capped at 64 s — a connection whose
+    backed-off RTO would exceed that aborts (paper Sec. 5). *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Feed one RTT sample (seconds).  Only call for unambiguous samples
+    (segments transmitted exactly once — Karn's rule is the caller's job). *)
+
+val base : t -> float
+(** Current RTO before backoff: [srtt + 4*rttvar], clamped to >= 0.2 s
+    (0.2 s before any sample). *)
+
+val current : t -> float
+(** [base * 2^backoffs], uncapped, so the caller can test the 64 s abort
+    threshold. *)
+
+val backoff : t -> unit
+(** Doubles the timeout (called on each expiry). *)
+
+val reset_backoff : t -> unit
+(** Called when new data is acknowledged. *)
+
+val min_rto : float
+(** 0.2 s. *)
+
+val abort_threshold : float
+(** 64 s: the paper aborts a transfer whose data RTO exceeds this. *)

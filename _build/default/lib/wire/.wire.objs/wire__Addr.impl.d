@@ -1,0 +1,1 @@
+lib/wire/addr.ml: Bytes Char Format Hashtbl Int Map

@@ -1,0 +1,1 @@
+lib/wire/addr.mli: Format Hashtbl Map

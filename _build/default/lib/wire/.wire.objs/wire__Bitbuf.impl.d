@@ -1,0 +1,1 @@
+lib/wire/bitbuf.ml: Buffer Char Int64 String

@@ -1,0 +1,1 @@
+lib/wire/cap_shim.ml: Bitbuf Format Int64 List Printf String

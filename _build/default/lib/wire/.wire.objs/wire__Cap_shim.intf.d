@@ -1,0 +1,1 @@
+lib/wire/cap_shim.mli: Format

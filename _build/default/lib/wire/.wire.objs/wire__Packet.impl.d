@@ -1,0 +1,1 @@
+lib/wire/packet.ml: Addr Cap_shim Format Siff_marking Tcp_segment

@@ -1,0 +1,1 @@
+lib/wire/packet.mli: Addr Cap_shim Format Siff_marking Tcp_segment

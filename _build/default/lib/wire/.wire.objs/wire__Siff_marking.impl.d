@@ -1,0 +1,1 @@
+lib/wire/siff_marking.ml: List

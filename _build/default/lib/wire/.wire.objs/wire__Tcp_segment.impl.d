@@ -1,0 +1,1 @@
+lib/wire/tcp_segment.ml: Format

@@ -1,0 +1,82 @@
+(** The TVA capability header (paper Fig. 5), carried as a shim between IP
+    and transport on every non-legacy packet.
+
+    Two representations live here: the structured form that the simulator
+    manipulates directly, and a bit-exact wire codec used to account for
+    header bytes and to demonstrate the format round-trips.  Field widths
+    follow Fig. 5: 4-bit version and type, 8-bit upper protocol, 16-bit path
+    identifiers, 64-bit capabilities (8-bit timestamp + 56-bit hash), 48-bit
+    flow nonce, 10-bit N in KB and 6-bit T in seconds. *)
+
+type cap = { ts : int; hash : int64 }
+(** One per-router capability (or pre-capability): [ts] is the router's
+    8-bit timestamp, [hash] the 56-bit keyed hash. *)
+
+val pp_cap : Format.formatter -> cap -> unit
+val cap_equal : cap -> cap -> bool
+
+type return_info =
+  | Demotion_notice
+      (** The destination echoes a demotion so the sender re-requests. *)
+  | Grant of { n_kb : int; t_sec : int; caps : cap list }
+      (** Capabilities granted by the destination for the reverse direction:
+          up to [n_kb] KB within [t_sec] seconds. *)
+
+type kind =
+  | Request of { path_ids : int list; precaps : cap list }
+      (** Filled in hop by hop: trust-boundary routers push a 16-bit path
+          identifier, every capability router appends a pre-capability. *)
+  | Regular of {
+      nonce : int64;
+      caps : cap list;
+      n_kb : int;
+      t_sec : int;
+      renewal : bool;
+      fresh_precaps : cap list;
+          (** Only on renewal packets: the fresh pre-capabilities routers
+              mint en route (paper Sec. 4.3: "a fresh pre-capability is
+              minted and placed in the packet").  The paper does not pin a
+              bit layout for these; we append them after the old
+              capability list with their own count byte. *)
+    }  (** [caps = \[\]] is the common nonce-only format. *)
+
+type t = {
+  mutable kind : kind;
+  mutable demoted : bool;
+  mutable return_info : return_info option;
+  mutable ptr : int;
+      (** Fig. 5's "capability ptr": index of the capability belonging to
+          the next router on the path.  Senders emit 0; each capability
+          router that validates from the list increments it. *)
+}
+
+val request : unit -> t
+(** A fresh, empty request shim as a sender emits it. *)
+
+val regular :
+  ?fresh_precaps:cap list ->
+  nonce:int64 ->
+  caps:cap list ->
+  n_kb:int ->
+  t_sec:int ->
+  renewal:bool ->
+  unit ->
+  t
+
+val fresh_precap : cap
+(** Placeholder for renewal: routers replace the pre-capability in place. *)
+
+val wire_size : t -> int
+(** The encoded size in bytes (what links charge for the shim). *)
+
+val encode : t -> string
+(** Bit-exact encoding.  Raises [Invalid_argument] if a field is out of its
+    Fig. 5 range (e.g. [n_kb >= 1024]). *)
+
+val decode : string -> (t, string) result
+(** Inverse of [encode]; [Error] describes a malformed header. *)
+
+val upper_protocol : int
+(** The demultiplexing value carried in the common header (6 = TCP). *)
+
+val pp : Format.formatter -> t -> unit

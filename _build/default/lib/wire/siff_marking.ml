@@ -1,0 +1,14 @@
+type flavor = Exp | Dta
+
+type t = { flavor : flavor; mutable markings : (int * int) list; mutable returned : (int * int) list option }
+
+let exp_packet () = { flavor = Exp; markings = []; returned = None }
+let dta ~markings = { flavor = Dta; markings; returned = None }
+
+let marking_of t ~router = List.assoc_opt router t.markings
+
+let add_marking t ~router ~bits = t.markings <- t.markings @ [ (router, bits) ]
+
+let bits_per_router = 2
+
+let wire_size _ = 4

@@ -1,0 +1,36 @@
+(** SIFF header state (Yaar et al., the paper's closest comparator).
+
+    SIFF embeds a few marking bits per router into the IP header.  EXP
+    (explorer) packets collect markings; the receiver returns the collected
+    marking to the sender, whose DTA (data) packets then carry it for
+    routers to re-verify.  We model the marking as an association from
+    router id to that router's marking bits, which preserves the semantics
+    (per-router verification, brute-forceable 2-bit space, expiry on secret
+    rotation) without fixing a bit-packing. *)
+
+type flavor =
+  | Exp (** explorer / request: forwarded as legacy priority in SIFF *)
+  | Dta (** data packet carrying a marking to verify *)
+
+type t = {
+  flavor : flavor;
+  mutable markings : (int * int) list; (* router id -> marking bits, path order *)
+  mutable returned : (int * int) list option;
+      (* markings the receiver echoes back to authorize the sender's
+         forward direction (SIFF's handshake piggyback) *)
+}
+
+val exp_packet : unit -> t
+val dta : markings:(int * int) list -> t
+
+val marking_of : t -> router:int -> int option
+
+val add_marking : t -> router:int -> bits:int -> unit
+(** Appends (used by routers on EXP packets). *)
+
+val bits_per_router : int
+(** 2, as the TVA paper notes when comparing against SIFF. *)
+
+val wire_size : t -> int
+(** SIFF steals bits from existing IP fields, so its shim adds no bytes;
+    we charge 4 bytes for the flags/nonce word SIFF repurposes. *)

@@ -1,0 +1,27 @@
+(** TCP segment headers as carried by simulator packets.  Only the fields
+    the simplified TCP state machine needs: one flag kind per segment,
+    byte-granularity sequence/ack numbers, and a connection id standing in
+    for the port pair. *)
+
+type flags =
+  | Syn
+  | Syn_ack
+  | Ack (* pure ack or data (payload > 0) in the established state *)
+  | Fin
+  | Rst
+
+type t = {
+  conn : int; (* connection identifier (the "port pair") *)
+  flags : flags;
+  seq : int; (* first payload byte's sequence number *)
+  ack : int; (* next byte expected from the peer *)
+  payload : int; (* payload length in bytes *)
+}
+
+val header_size : int
+(** 40 bytes of TCP/IP header, as the paper's packet-size arithmetic uses. *)
+
+val wire_size : t -> int
+(** [header_size + payload]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/ablation.ml: Agents Array Crypto Experiment Float Int64 List Metrics Net Printf Rng Scenario Scheme Sim Stats Topology Tva Wire

@@ -1,0 +1,1 @@
+lib/workload/agents.ml: Hashtbl Metrics Rng Scheme Sim Tcp Wire

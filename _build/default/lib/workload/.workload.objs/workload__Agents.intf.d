@@ -1,0 +1,1 @@
+lib/workload/agents.mli: Metrics Scheme Sim Wire

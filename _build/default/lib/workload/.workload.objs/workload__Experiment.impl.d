@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Agents Array List Metrics Net Scheme Sim Topology Tva Wire

@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Metrics Scheme Wire

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Experiment Float List Metrics Printf Scheme Stats Tva

@@ -1,0 +1,1 @@
+lib/workload/scheme.ml: Baseline Int64 Net Pushback Qdisc Rng Siff Sim Tva Wire

@@ -1,0 +1,1 @@
+lib/workload/scheme.mli: Net Qdisc Sim Tva Wire

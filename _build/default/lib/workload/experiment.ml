@@ -1,0 +1,173 @@
+type attack =
+  | No_attack
+  | Legacy_flood of { rate_bps : float }
+  | Request_flood of { rate_bps : float }
+  | Authorized_flood of { rate_bps : float }
+  | Imprecise_flood of { rate_bps : float; groups : int; group_interval : float; start_at : float }
+
+type config = {
+  scheme : Scheme.factory;
+  n_users : int;
+  n_attackers : int;
+  attack : attack;
+  transfers_per_user : int;
+  transfer_bytes : int;
+  max_time : float;
+  seed : int;
+  bottleneck_bps : float;
+  access_bps : float;
+}
+
+let default =
+  {
+    scheme = Scheme.tva ();
+    n_users = 10;
+    n_attackers = 0;
+    attack = No_attack;
+    transfers_per_user = 50;
+    transfer_bytes = 20 * 1024;
+    max_time = 120.;
+    seed = 1;
+    bottleneck_bps = 10e6;
+    access_bps = 10e6;
+  }
+
+type result = {
+  scheme_name : string;
+  fraction_completed : float;
+  avg_transfer_time : float;
+  metrics : Metrics.t;
+  sim_end : float;
+}
+
+let attacker_oracle a = Wire.Addr.to_int a lsr 24 = 0x0b
+
+let destination_policy cfg =
+  match cfg.attack with
+  | Request_flood _ ->
+      (* Sec. 5.2 assumes the destination can tell attacker requests from
+         legitimate ones: refuse attackers outright. *)
+      Tva.Policy.make
+        ~decide:(fun ~now:_ ~src ~renewal:_ ->
+          if attacker_oracle src then Tva.Policy.Refused
+          else
+            Tva.Policy.Granted
+              {
+                n_kb = Tva.Params.default.Tva.Params.default_n_kb;
+                t_sec = Tva.Params.default.Tva.Params.default_t_sec;
+              })
+        ()
+  | No_attack | Legacy_flood _ | Authorized_flood _ | Imprecise_flood _ ->
+      (* Sec. 5.4's public-server policy: grant everyone once, stop
+         renewing recognized misbehavers. *)
+      Tva.Policy.server ~suspicious:attacker_oracle ()
+
+let install_attack cfg sim (topo : Topology.t) attacker_endpoints =
+  let destination = Topology.destination_addr in
+  match cfg.attack with
+  | No_attack -> ()
+  | Legacy_flood { rate_bps } ->
+      List.iter
+        (fun ep ->
+          Agents.Flooder.start ~sim ~endpoint:ep ~dst:destination ~rate_bps
+            ~mode:Agents.Flooder.Legacy ())
+        attacker_endpoints
+  | Request_flood { rate_bps } ->
+      (* The paper keeps request packets small; 250 bytes is its example
+         request size. *)
+      List.iter
+        (fun ep ->
+          Agents.Flooder.start ~sim ~endpoint:ep ~dst:destination ~rate_bps ~pkt_bytes:250
+            ~mode:Agents.Flooder.Request ())
+        attacker_endpoints
+  | Authorized_flood { rate_bps } ->
+      let colluder =
+        match topo.Topology.colluder with
+        | Some c -> c
+        | None -> invalid_arg "Experiment: authorized flood needs a colluder"
+      in
+      let dst =
+        match Net.node_addr colluder with Some a -> a | None -> assert false
+      in
+      List.iter
+        (fun ep ->
+          Agents.Flooder.start ~sim ~endpoint:ep ~dst ~rate_bps ~mode:Agents.Flooder.Authorized
+            ())
+        attacker_endpoints
+  | Imprecise_flood { rate_bps; groups; group_interval; start_at } ->
+      let n = List.length attacker_endpoints in
+      let per_group = max 1 ((n + groups - 1) / groups) in
+      List.iteri
+        (fun i ep ->
+          let group = i / per_group in
+          Agents.Flooder.start ~sim ~endpoint:ep ~dst:destination ~rate_bps
+            ~start_at:(start_at +. (float_of_int group *. group_interval))
+            ~mode:Agents.Flooder.Misbehaving ())
+        attacker_endpoints
+
+let run cfg =
+  let sim = Sim.create ~seed:cfg.seed () in
+  let scheme = cfg.scheme sim in
+  let with_colluder = match cfg.attack with Authorized_flood _ -> true | _ -> false in
+  let topo =
+    Topology.dumbbell ~bottleneck_bps:cfg.bottleneck_bps ~access_bps:cfg.access_bps
+      ~n_users:cfg.n_users ~with_colluder ~n_attackers:cfg.n_attackers
+      ~make_qdisc:(fun ~bandwidth_bps -> scheme.Scheme.make_qdisc ~bandwidth_bps)
+      sim
+  in
+  scheme.Scheme.install_router topo.Topology.left ~link_bps:cfg.bottleneck_bps;
+  scheme.Scheme.install_router topo.Topology.right ~link_bps:cfg.bottleneck_bps;
+  let dest_endpoint =
+    scheme.Scheme.make_endpoint topo.Topology.destination ~role:Scheme.Destination
+      ~policy:(destination_policy cfg)
+  in
+  let _server = Agents.Transfer_server.create ~sim ~endpoint:dest_endpoint () in
+  (match topo.Topology.colluder with
+  | Some c ->
+      let colluder_endpoint =
+        scheme.Scheme.make_endpoint c ~role:Scheme.Colluder
+          ~policy:(Tva.Policy.allow_all ~n_kb:1023 ~t_sec:63 ())
+      in
+      ignore colluder_endpoint
+  | None -> ());
+  let metrics = Metrics.create () in
+  let users_left = ref cfg.n_users in
+  let per_user_metrics =
+    Array.to_list
+      (Array.mapi
+         (fun i user ->
+           let endpoint =
+             scheme.Scheme.make_endpoint user ~role:Scheme.User ~policy:(Tva.Policy.client ())
+           in
+           let m = Metrics.create () in
+           let _client =
+             Agents.Transfer_client.create ~sim ~endpoint ~server:Topology.destination_addr
+               ~transfer_bytes:cfg.transfer_bytes ~max_transfers:cfg.transfers_per_user
+               ~start_at:(0.01 +. (0.011 *. float_of_int i))
+               ~conn_base:((i + 1) * 1_000_000)
+               ~metrics:m
+               ~on_all_done:(fun () ->
+                 decr users_left;
+                 if !users_left = 0 then Sim.stop sim)
+               ()
+           in
+           m)
+         topo.Topology.users)
+  in
+  let attacker_endpoints =
+    Array.to_list
+      (Array.map
+         (fun a ->
+           scheme.Scheme.make_endpoint a ~role:Scheme.Attacker ~policy:(Tva.Policy.client ()))
+         topo.Topology.attackers)
+  in
+  install_attack cfg sim topo attacker_endpoints;
+  Sim.run ~until:cfg.max_time sim;
+  List.iter (Metrics.merge_into metrics) per_user_metrics;
+  {
+    scheme_name = scheme.Scheme.name;
+    fraction_completed = Metrics.fraction_completed metrics;
+    avg_transfer_time = Metrics.avg_transfer_time metrics;
+    metrics;
+    sim_end = Sim.now sim;
+  }

@@ -1,0 +1,59 @@
+(** The Sec. 5 experiment harness: a dumbbell with 10 legitimate users
+    repeatedly transferring 20 KB to a destination while a configurable
+    attack runs, measured by completion fraction and transfer time. *)
+
+type attack =
+  | No_attack
+  | Legacy_flood of { rate_bps : float }
+      (** Each attacker floods the destination with unauthorized packets
+          (Fig. 8). *)
+  | Request_flood of { rate_bps : float }
+      (** Each attacker floods the destination with request packets; the
+          destination can tell attacker requests apart and refuses them
+          (Fig. 9). *)
+  | Authorized_flood of { rate_bps : float }
+      (** A colluder behind the bottleneck authorizes the attackers, who
+          send fully authorized traffic at maximum rate (Fig. 10). *)
+  | Imprecise_flood of {
+      rate_bps : float;
+      groups : int;
+      group_interval : float;
+      start_at : float;
+    }
+      (** The Fig. 11 policy experiment: the destination grants everyone
+          once (32 KB / 10 s) but never renews attackers; attackers flood
+          past their budget.  [groups = 1] is the high-intensity attack;
+          [groups = 10] staggers group starts by [group_interval]. *)
+
+type config = {
+  scheme : Scheme.factory;
+  n_users : int;
+  n_attackers : int;
+  attack : attack;
+  transfers_per_user : int;
+  transfer_bytes : int;
+  max_time : float;  (** hard simulation cutoff *)
+  seed : int;
+  bottleneck_bps : float;
+  access_bps : float;
+}
+
+val default : config
+(** The paper's setup: 10 users, 10 Mb/s bottleneck, 60 ms RTT, 20 KB
+    transfers, TVA scheme, no attack; 50 transfers per user and a 120 s
+    cutoff to keep runs laptop-sized. *)
+
+type result = {
+  scheme_name : string;
+  fraction_completed : float;
+  avg_transfer_time : float;
+  metrics : Metrics.t;
+  sim_end : float;
+}
+
+val run : config -> result
+
+val attacker_oracle : Wire.Addr.t -> bool
+(** True for addresses in the attacker range — the "destination can
+    distinguish likely attackers, even imprecisely" oracle of Secs. 5.2
+    and 5.4. *)

@@ -1,0 +1,47 @@
+type t = {
+  mutable attempted : int;
+  mutable completed : int;
+  mutable aborted : int;
+  mutable times : Stats.Summary.t;
+  timeline : Stats.Timeseries.t;
+}
+
+let create () =
+  {
+    attempted = 0;
+    completed = 0;
+    aborted = 0;
+    times = Stats.Summary.create ();
+    timeline = Stats.Timeseries.create ~name:"transfer-time" ();
+  }
+
+let record_start t = t.attempted <- t.attempted + 1
+
+let record_outcome t ~now outcome =
+  match outcome with
+  | Tcp.Conn.Completed { duration } ->
+      t.completed <- t.completed + 1;
+      Stats.Summary.add t.times duration;
+      Stats.Timeseries.add t.timeline ~time:now duration
+  | Tcp.Conn.Aborted _ -> t.aborted <- t.aborted + 1
+
+let attempted t = t.attempted
+let completed t = t.completed
+let aborted t = t.aborted
+
+let fraction_completed t =
+  if t.attempted = 0 then 1.0 else float_of_int t.completed /. float_of_int t.attempted
+
+let avg_transfer_time t = if t.completed = 0 then nan else Stats.Summary.mean t.times
+
+let transfer_times t = t.times
+let timeline t = t.timeline
+
+let merge_into acc x =
+  acc.attempted <- acc.attempted + x.attempted;
+  acc.completed <- acc.completed + x.completed;
+  acc.aborted <- acc.aborted + x.aborted;
+  acc.times <- Stats.Summary.merge acc.times x.times;
+  Array.iter
+    (fun (time, v) -> Stats.Timeseries.add acc.timeline ~time v)
+    (Stats.Timeseries.points x.timeline)

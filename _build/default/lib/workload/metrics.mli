@@ -1,0 +1,30 @@
+(** Collection of the paper's two evaluation metrics (Sec. 5): the average
+    fraction of completed transfers and the average time of the transfers
+    that complete — plus the completion-time series that Fig. 11 plots. *)
+
+type t
+
+val create : unit -> t
+
+val record_start : t -> unit
+val record_outcome : t -> now:float -> Tcp.Conn.outcome -> unit
+
+val attempted : t -> int
+val completed : t -> int
+val aborted : t -> int
+
+val fraction_completed : t -> float
+(** [completed / attempted]; transfers still in flight at cutoff count as
+    not completed.  1.0 when nothing was attempted. *)
+
+val avg_transfer_time : t -> float
+(** Mean duration of completed transfers; [nan] if none completed. *)
+
+val transfer_times : t -> Stats.Summary.t
+
+val timeline : t -> Stats.Timeseries.t
+(** One point per completed transfer: (completion time, duration). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into acc x] folds [x]'s counts and samples into [acc]
+    (timeline points included). *)

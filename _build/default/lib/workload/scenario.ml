@@ -1,0 +1,140 @@
+type point = { n_attackers : int; fraction_completed : float; avg_transfer_time : float }
+
+type series = { scheme : string; points : point list }
+
+let default_attacker_counts = [ 1; 2; 5; 10; 20; 40; 60; 80; 100 ]
+
+let sim_params = { Tva.Params.default with Tva.Params.request_fraction = 0.01 }
+
+let schemes =
+  [
+    ("internet", Scheme.internet ());
+    ("siff", Scheme.siff ());
+    ("pushback", Scheme.pushback ());
+    ("tva", Scheme.tva ~params:sim_params ());
+  ]
+
+let attack_rate_bps = 1e6 (* each attacker floods at one legitimate-user rate *)
+
+let flood_sweep ?(schemes = schemes) ?(attacker_counts = default_attacker_counts)
+    ?(base = Experiment.default) ~attack () =
+  List.map
+    (fun (name, factory) ->
+      let points =
+        List.map
+          (fun n ->
+            let cfg =
+              {
+                base with
+                Experiment.scheme = factory;
+                n_attackers = n;
+                attack = attack ~rate_bps:attack_rate_bps;
+              }
+            in
+            let r = Experiment.run cfg in
+            {
+              n_attackers = n;
+              fraction_completed = r.Experiment.fraction_completed;
+              avg_transfer_time = r.Experiment.avg_transfer_time;
+            })
+          attacker_counts
+      in
+      { scheme = name; points })
+    schemes
+
+let fig8 ?attacker_counts ?base () =
+  flood_sweep ?attacker_counts ?base
+    ~attack:(fun ~rate_bps -> Experiment.Legacy_flood { rate_bps })
+    ()
+
+let fig9 ?attacker_counts ?base () =
+  flood_sweep ?attacker_counts ?base
+    ~attack:(fun ~rate_bps -> Experiment.Request_flood { rate_bps })
+    ()
+
+let fig10 ?attacker_counts ?base () =
+  flood_sweep ?attacker_counts ?base
+    ~attack:(fun ~rate_bps -> Experiment.Authorized_flood { rate_bps })
+    ()
+
+type fig11_run = { label : string; timeline : Stats.Timeseries.t }
+
+let fig11 ?(base = Experiment.default) ?(duration = 60.) () =
+  let siff_rotation = 3.0 in
+  let runs =
+    [
+      ("tva/all-at-once", Scheme.tva ~params:sim_params (), 1);
+      ("tva/10-at-a-time", Scheme.tva ~params:sim_params (), 10);
+      ("siff/all-at-once", Scheme.siff ~rotation_period:siff_rotation (), 1);
+      ("siff/10-at-a-time", Scheme.siff ~rotation_period:siff_rotation (), 10);
+    ]
+  in
+  List.map
+    (fun (label, factory, groups) ->
+      let cfg =
+        {
+          base with
+          Experiment.scheme = factory;
+          n_attackers = 100;
+          max_time = duration;
+          transfers_per_user = max_int;
+          attack =
+            Experiment.Imprecise_flood
+              { rate_bps = attack_rate_bps; groups; group_interval = siff_rotation; start_at = 10. };
+        }
+      in
+      let r = Experiment.run cfg in
+      { label; timeline = Metrics.timeline r.Experiment.metrics })
+    runs
+
+let render series_list =
+  let table =
+    Stats.Table.create ~columns:[ "attackers"; "scheme"; "fraction_completed"; "avg_time_s" ]
+  in
+  let counts =
+    match series_list with [] -> [] | s :: _ -> List.map (fun p -> p.n_attackers) s.points
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun s ->
+          match List.find_opt (fun p -> p.n_attackers = n) s.points with
+          | None -> ()
+          | Some p ->
+              Stats.Table.add_row table
+                [
+                  string_of_int n;
+                  s.scheme;
+                  Printf.sprintf "%.3f" p.fraction_completed;
+                  (if Float.is_nan p.avg_transfer_time then "-"
+                   else Printf.sprintf "%.3f" p.avg_transfer_time);
+                ])
+        series_list)
+    counts;
+  table
+
+let render_fig11 runs ~bins =
+  let horizon =
+    List.fold_left
+      (fun acc r ->
+        Array.fold_left (fun acc (time, _) -> Float.max acc time) acc
+          (Stats.Timeseries.points r.timeline))
+      0. runs
+  in
+  let nbins = int_of_float (ceil (horizon /. bins)) in
+  let table =
+    Stats.Table.create ~columns:("time_s" :: List.map (fun r -> r.label) runs)
+  in
+  for i = 0 to nbins - 1 do
+    let lo = float_of_int i *. bins and hi = float_of_int (i + 1) *. bins in
+    let cells =
+      List.map
+        (fun r ->
+          match Stats.Timeseries.values_in r.timeline ~lo ~hi with
+          | [] -> "-"
+          | vs -> Printf.sprintf "%.2f" (List.fold_left Float.max neg_infinity vs))
+        runs
+    in
+    Stats.Table.add_row table (Printf.sprintf "%.0f" lo :: cells)
+  done;
+  table

@@ -1,0 +1,63 @@
+(** Canned reproductions of the paper's simulation figures.
+
+    Each function sweeps the attack intensity (number of 1 Mb/s attackers)
+    across the four schemes and reports the paper's two metrics; Fig. 11
+    instead produces transfer-time-vs-time series.  Simulation parameters
+    follow Sec. 5: the dumbbell of Fig. 7, requests limited to 1% of
+    capacity for TVA, 20 KB transfers, 60 ms RTT. *)
+
+type point = {
+  n_attackers : int;
+  fraction_completed : float;
+  avg_transfer_time : float;
+}
+
+type series = { scheme : string; points : point list }
+
+val default_attacker_counts : int list
+(** [1; 2; 5; 10; 20; 40; 60; 80; 100] — a log-spaced sweep of the paper's
+    1–100 range. *)
+
+val sim_params : Tva.Params.t
+(** {!Tva.Params.default} with the request limit tightened to 1% (Sec. 5). *)
+
+val schemes : (string * Scheme.factory) list
+(** internet, siff, pushback, tva — with simulation parameters applied. *)
+
+val flood_sweep :
+  ?schemes:(string * Scheme.factory) list ->
+  ?attacker_counts:int list ->
+  ?base:Experiment.config ->
+  attack:(rate_bps:float -> Experiment.attack) ->
+  unit ->
+  series list
+
+val fig8 :
+  ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
+(** Legacy traffic floods. *)
+
+val fig9 :
+  ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
+(** Request packet floods. *)
+
+val fig10 :
+  ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
+(** Authorized floods via a colluder. *)
+
+type fig11_run = {
+  label : string; (* e.g. "tva/all-at-once" *)
+  timeline : Stats.Timeseries.t; (* (completion time, duration) points *)
+}
+
+val fig11 : ?base:Experiment.config -> ?duration:float -> unit -> fig11_run list
+(** Imprecise authorization: TVA (32 KB / 10 s grants, no renewal for
+    attackers) vs SIFF (3 s secret rotation), each under an all-at-once
+    100-attacker flood and a 10-groups-of-10 staggered flood starting at
+    t = 10 s. *)
+
+val render : series list -> Stats.Table.t
+(** One row per (attackers, scheme): completion fraction and mean time. *)
+
+val render_fig11 : fig11_run list -> bins:float -> Stats.Table.t
+(** Max transfer time per [bins]-second interval for each run — the shape
+    Fig. 11 plots. *)

@@ -1,0 +1,47 @@
+(** A uniform interface over the four schemes the paper simulates — TVA,
+    SIFF, pushback, and the legacy Internet — so one experiment harness can
+    drive them all (paper Sec. 5). *)
+
+type role =
+  | User
+  | Attacker
+  | Destination
+  | Colluder
+
+type endpoint = {
+  ep_addr : Wire.Addr.t;
+  ep_send_segment : dst:Wire.Addr.t -> Wire.Tcp_segment.t -> unit;
+  ep_set_demux : (src:Wire.Addr.t -> Wire.Tcp_segment.t -> unit) -> unit;
+  ep_send_raw : dst:Wire.Addr.t -> bytes:int -> unit;
+      (** Well-behaved bulk send under the scheme (renews its
+          authorization; used for the Fig. 10 authorized flood). *)
+  ep_send_legacy : dst:Wire.Addr.t -> bytes:int -> unit;
+      (** Unauthorized/legacy packet (Fig. 8 flood). *)
+  ep_send_request : dst:Wire.Addr.t -> bytes:int -> unit;
+      (** A fresh request/explorer each call (Fig. 9 flood). *)
+  ep_flood_misbehaving : dst:Wire.Addr.t -> bytes:int -> unit;
+      (** The Fig. 11 attacker: obtain an authorization once, then hammer
+          with it regardless of budgets or revocation, falling to whatever
+          priority the network then assigns. *)
+}
+
+type t = {
+  name : string;
+  make_qdisc : bandwidth_bps:float -> Qdisc.t;
+  install_router : Net.node -> link_bps:float -> unit;
+      (** Set the router handler (and start any controller) on a router
+          node; call after links exist. *)
+  make_endpoint : Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
+}
+
+type factory = Sim.t -> t
+(** Schemes are instantiated per simulation run. *)
+
+val tva : ?params:Tva.Params.t -> unit -> factory
+val siff : ?rotation_period:float -> unit -> factory
+val pushback : ?interval:float -> unit -> factory
+val internet : unit -> factory
+
+val all : (string * factory) list
+(** The four schemes in the paper's plotting order:
+    internet, siff, pushback, tva. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baseline List Net Printf Pushback Qdisc Siff Sim Topology Tva Wire

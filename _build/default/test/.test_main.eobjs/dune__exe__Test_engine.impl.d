@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Float Gen Int64 List QCheck QCheck_alcotest Rng Sim String

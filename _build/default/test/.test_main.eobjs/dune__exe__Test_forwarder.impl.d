@@ -1,0 +1,1 @@
+test/test_forwarder.ml: Alcotest Crypto Float Forwarder List Printf QCheck QCheck_alcotest

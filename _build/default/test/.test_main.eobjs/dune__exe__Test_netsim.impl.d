@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Droptail List Net Printf Sim Topology Wire

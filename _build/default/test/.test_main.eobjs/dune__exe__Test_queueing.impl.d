@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Droptail Drr Gen Hashtbl List Option Printf Priority QCheck QCheck_alcotest Qdisc Sfq Token_bucket Tri_class Tva Wire

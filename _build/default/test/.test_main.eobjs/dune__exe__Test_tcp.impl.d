@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Float List Printf QCheck QCheck_alcotest Rng Sim Tcp Wire

@@ -1,0 +1,1 @@
+test/test_tva.ml: Alcotest Crypto Format Gen Int64 List Net Printf QCheck QCheck_alcotest Rng Sim Tcp Tva Wire

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Char Format Gen Int64 List QCheck QCheck_alcotest String Wire

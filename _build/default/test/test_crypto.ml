@@ -1,0 +1,238 @@
+(* Known-answer tests for every primitive (the capability scheme is only as
+   sound as these), plus properties of the rotating-secret machinery. *)
+
+let hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c)) (List.init (String.length s) (String.get s)))
+
+let check_hex msg expected got = Alcotest.(check string) msg expected (hex got)
+
+(* --- SHA-1 (RFC 3174 / FIPS 180 vectors) --------------------------- *)
+
+let sha1_empty () =
+  check_hex "sha1('')" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Crypto.Sha1.digest "")
+
+let sha1_abc () =
+  check_hex "sha1(abc)" "a9993e364706816aba3e25717850c26c9cd0d89d" (Crypto.Sha1.digest "abc")
+
+let sha1_448bits () =
+  check_hex "sha1(two-block)" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Crypto.Sha1.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let sha1_million_a () =
+  check_hex "sha1(a^1e6)" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Crypto.Sha1.digest (String.make 1_000_000 'a'))
+
+let sha1_streaming_equals_oneshot () =
+  let msg = String.init 1000 (fun i -> Char.chr (i land 0xff)) in
+  let ctx = Crypto.Sha1.init () in
+  (* Feed in awkward chunk sizes crossing block boundaries. *)
+  let rec feed off =
+    if off < String.length msg then begin
+      let len = min 17 (String.length msg - off) in
+      Crypto.Sha1.feed ctx (String.sub msg off len);
+      feed (off + len)
+    end
+  in
+  feed 0;
+  Alcotest.(check string) "streaming = one-shot" (hex (Crypto.Sha1.digest msg)) (hex (Crypto.Sha1.get ctx))
+
+let sha1_get_is_idempotent () =
+  let ctx = Crypto.Sha1.init () in
+  Crypto.Sha1.feed ctx "hello";
+  let d1 = Crypto.Sha1.get ctx in
+  let d2 = Crypto.Sha1.get ctx in
+  Alcotest.(check string) "get twice" (hex d1) (hex d2);
+  Crypto.Sha1.feed ctx " world";
+  Alcotest.(check string) "continue after get" (hex (Crypto.Sha1.digest "hello world"))
+    (hex (Crypto.Sha1.get ctx))
+
+(* --- AES-128 (FIPS-197 appendix vectors) ---------------------------- *)
+
+let aes_fips_c1 () =
+  let key = Crypto.Aes128.expand_key (String.init 16 Char.chr) in
+  let plain = String.init 16 (fun i -> Char.chr ((i * 0x11) land 0xff)) in
+  check_hex "FIPS-197 C.1" "69c4e0d86a7b0430d8cdb78070b4c55a" (Crypto.Aes128.encrypt key plain)
+
+let aes_gladman_vector () =
+  (* FIPS-197 appendix B example. *)
+  let key =
+    Crypto.Aes128.expand_key
+      "\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c"
+  in
+  let plain = "\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34" in
+  check_hex "FIPS-197 B" "3925841d02dc09fbdc118597196a0b32" (Crypto.Aes128.encrypt key plain)
+
+let aes_rejects_bad_key () =
+  Alcotest.check_raises "short key" (Invalid_argument "Aes128.expand_key: key must be 16 bytes")
+    (fun () -> ignore (Crypto.Aes128.expand_key "short"))
+
+let aes_in_place () =
+  let key = Crypto.Aes128.expand_key (String.make 16 'k') in
+  let buf = Bytes.of_string (String.make 16 'p') in
+  Crypto.Aes128.encrypt_block key buf ~src_off:0 buf ~dst_off:0;
+  Alcotest.(check string) "in-place = copy" (hex (Crypto.Aes128.encrypt key (String.make 16 'p')))
+    (hex (Bytes.to_string buf))
+
+(* --- SipHash-2-4 (reference vectors) -------------------------------- *)
+
+let siphash_reference_vectors () =
+  (* First eight rows of the reference implementation's vectors_sip64. *)
+  let expected =
+    [|
+      "310e0edd47db6f72"; "fd67dc93c539f874"; "5a4fa9d909806c0d"; "2d7efbd796666785";
+      "b7877127e09427cf"; "8da699cd64557618"; "cee3fe586e46c9cb"; "37d1018bf50002ab";
+    |]
+  in
+  let key = String.init 16 Char.chr in
+  Array.iteri
+    (fun i e ->
+      let msg = String.init i Char.chr in
+      check_hex (Printf.sprintf "siphash len=%d" i) e (Crypto.Siphash.mac_string ~key msg))
+    expected
+
+let siphash_15byte_vector () =
+  let key = String.init 16 Char.chr in
+  check_hex "siphash len=15" "e545be4961ca29a1"
+    (Crypto.Siphash.mac_string ~key (String.init 15 Char.chr))
+
+let siphash_rejects_bad_key () =
+  Alcotest.check_raises "bad key" (Invalid_argument "Siphash.mac: key must be 16 bytes") (fun () ->
+      ignore (Crypto.Siphash.mac ~key:"tiny" "msg"))
+
+(* --- HMAC-SHA1 (RFC 2202 vectors) ----------------------------------- *)
+
+let hmac_rfc2202_case1 () =
+  check_hex "rfc2202 #1" "b617318655057264e28bc0b6fb378c8ef146be00"
+    (Crypto.Hmac_sha1.mac ~key:(String.make 20 '\x0b') "Hi There")
+
+let hmac_rfc2202_case2 () =
+  check_hex "rfc2202 #2" "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+    (Crypto.Hmac_sha1.mac ~key:"Jefe" "what do ya want for nothing?")
+
+let hmac_rfc2202_case3 () =
+  check_hex "rfc2202 #3" "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+    (Crypto.Hmac_sha1.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let hmac_long_key () =
+  (* RFC 2202 case 6: keys longer than a block are hashed first. *)
+  check_hex "rfc2202 #6" "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+    (Crypto.Hmac_sha1.mac ~key:(String.make 80 '\xaa') "Test Using Larger Than Block-Size Key - Hash Key First")
+
+(* --- AES-hash (MMO construction) ------------------------------------ *)
+
+let aes_hash_deterministic () =
+  Alcotest.(check string) "deterministic" (hex (Crypto.Aes_hash.digest "hello"))
+    (hex (Crypto.Aes_hash.digest "hello"))
+
+let aes_hash_length_extension_guard () =
+  (* Padding includes the length, so "a" and "a\x80..." differ. *)
+  let a = Crypto.Aes_hash.digest "a" in
+  let b = Crypto.Aes_hash.digest ("a" ^ "\x80" ^ String.make 6 '\000') in
+  Alcotest.(check bool) "distinct" false (String.equal a b)
+
+let aes_hash_sizes () =
+  Alcotest.(check int) "digest size" 16 (String.length (Crypto.Aes_hash.digest ""));
+  Alcotest.(check int) "mac size" 16 (String.length (Crypto.Aes_hash.mac ~key:"k" "m"))
+
+let aes_hash_key_separates () =
+  let a = Crypto.Aes_hash.mac ~key:"key1" "msg" in
+  let b = Crypto.Aes_hash.mac ~key:"key2" "msg" in
+  Alcotest.(check bool) "keys matter" false (String.equal a b)
+
+(* --- Keyed_hash instances ------------------------------------------- *)
+
+let keyed_hash_width () =
+  List.iter
+    (fun (module H : Crypto.Keyed_hash.S) ->
+      let v = H.mac56 ~key:(String.make 16 'k') "some message" in
+      Alcotest.(check bool)
+        (H.name ^ " fits 56 bits")
+        true
+        (Int64.shift_right_logical v 56 = 0L))
+    [ (module Crypto.Keyed_hash.Fast); (module Crypto.Keyed_hash.Aes); (module Crypto.Keyed_hash.Sha) ]
+
+let keyed_hash_distinct_messages =
+  QCheck.Test.make ~name:"keyed_hash: distinct messages give distinct macs (w.h.p.)" ~count:100
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      QCheck.assume (a <> b);
+      let key = String.make 16 'k' in
+      not (Int64.equal (Crypto.Keyed_hash.Fast.mac56 ~key a) (Crypto.Keyed_hash.Fast.mac56 ~key b)))
+
+(* --- Rotating secrets (paper Sec. 3.4) ------------------------------- *)
+
+let secret_issuing_is_stable_within_epoch () =
+  let s = Crypto.Secret.create ~master:"m" in
+  Alcotest.(check string) "same epoch" (Crypto.Secret.issuing_secret s ~now:10.)
+    (Crypto.Secret.issuing_secret s ~now:127.9)
+
+let secret_rotates_every_128s () =
+  let s = Crypto.Secret.create ~master:"m" in
+  Alcotest.(check bool) "rotated" false
+    (String.equal (Crypto.Secret.issuing_secret s ~now:10.) (Crypto.Secret.issuing_secret s ~now:140.))
+
+let secret_high_bit_selects () =
+  let s = Crypto.Secret.create ~master:"m" in
+  (* A capability issued at t=100 (ts=100, high bit 0, epoch 0) validated at
+     t=150 (epoch 1): the validator must pick the previous secret. *)
+  let issue = Crypto.Secret.issuing_secret s ~now:100. in
+  let ts = Crypto.Secret.timestamp ~now:100. in
+  (match Crypto.Secret.validating_secret s ~now:150. ~ts with
+  | Some key -> Alcotest.(check string) "previous secret selected" issue key
+  | None -> Alcotest.fail "no validating secret");
+  (* And at t=120 (same epoch) it picks the current secret. *)
+  match Crypto.Secret.validating_secret s ~now:120. ~ts with
+  | Some key -> Alcotest.(check string) "current secret selected" issue key
+  | None -> Alcotest.fail "no validating secret"
+
+let secret_expires_after_two_epochs () =
+  let s = Crypto.Secret.create ~master:"m" in
+  let issue = Crypto.Secret.issuing_secret s ~now:100. in
+  let ts = Crypto.Secret.timestamp ~now:100. in
+  (* Two epochs later the same parity maps to a *newer* secret, so the old
+     one can never validate again. *)
+  match Crypto.Secret.validating_secret s ~now:(100. +. 256.) ~ts with
+  | Some key -> Alcotest.(check bool) "secret retired" false (String.equal issue key)
+  | None -> ()
+
+let secret_timestamp_is_modulo_256 () =
+  Alcotest.(check int) "ts at 300s" (300 mod 256) (Crypto.Secret.timestamp ~now:300.);
+  Alcotest.(check int) "ts at 255.9" 255 (Crypto.Secret.timestamp ~now:255.9)
+
+let secret_deterministic_from_master () =
+  let a = Crypto.Secret.create ~master:"same" and b = Crypto.Secret.create ~master:"same" in
+  Alcotest.(check string) "same master, same secrets" (Crypto.Secret.issuing_secret a ~now:42.)
+    (Crypto.Secret.issuing_secret b ~now:42.)
+
+let suite =
+  [
+    Alcotest.test_case "sha1 empty" `Quick sha1_empty;
+    Alcotest.test_case "sha1 abc" `Quick sha1_abc;
+    Alcotest.test_case "sha1 448-bit" `Quick sha1_448bits;
+    Alcotest.test_case "sha1 million a" `Slow sha1_million_a;
+    Alcotest.test_case "sha1 streaming" `Quick sha1_streaming_equals_oneshot;
+    Alcotest.test_case "sha1 get idempotent" `Quick sha1_get_is_idempotent;
+    Alcotest.test_case "aes FIPS C.1" `Quick aes_fips_c1;
+    Alcotest.test_case "aes FIPS B" `Quick aes_gladman_vector;
+    Alcotest.test_case "aes bad key" `Quick aes_rejects_bad_key;
+    Alcotest.test_case "aes in place" `Quick aes_in_place;
+    Alcotest.test_case "siphash vectors 0-7" `Quick siphash_reference_vectors;
+    Alcotest.test_case "siphash vector 15" `Quick siphash_15byte_vector;
+    Alcotest.test_case "siphash bad key" `Quick siphash_rejects_bad_key;
+    Alcotest.test_case "hmac rfc2202 #1" `Quick hmac_rfc2202_case1;
+    Alcotest.test_case "hmac rfc2202 #2" `Quick hmac_rfc2202_case2;
+    Alcotest.test_case "hmac rfc2202 #3" `Quick hmac_rfc2202_case3;
+    Alcotest.test_case "hmac long key" `Quick hmac_long_key;
+    Alcotest.test_case "aes-hash deterministic" `Quick aes_hash_deterministic;
+    Alcotest.test_case "aes-hash no trivial extension" `Quick aes_hash_length_extension_guard;
+    Alcotest.test_case "aes-hash sizes" `Quick aes_hash_sizes;
+    Alcotest.test_case "aes-hash keyed" `Quick aes_hash_key_separates;
+    Alcotest.test_case "keyed-hash 56-bit width" `Quick keyed_hash_width;
+    QCheck_alcotest.to_alcotest keyed_hash_distinct_messages;
+    Alcotest.test_case "secret stable in epoch" `Quick secret_issuing_is_stable_within_epoch;
+    Alcotest.test_case "secret rotates" `Quick secret_rotates_every_128s;
+    Alcotest.test_case "secret high-bit selection" `Quick secret_high_bit_selects;
+    Alcotest.test_case "secret retired after 2 epochs" `Quick secret_expires_after_two_epochs;
+    Alcotest.test_case "timestamp modulo 256" `Quick secret_timestamp_is_modulo_256;
+    Alcotest.test_case "secret deterministic" `Quick secret_deterministic_from_master;
+  ]

@@ -1,0 +1,201 @@
+(* The event loop: ordering, cancellation, horizons, and the deterministic
+   PRNG everything else builds on. *)
+
+let events_fire_in_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:3. (fun () -> log := 3 :: !log));
+  ignore (Sim.schedule_at sim ~time:1. (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule_at sim ~time:2. (fun () -> log := 2 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let ties_break_by_scheduling_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Sim.schedule_at sim ~time:1. (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let clock_advances_to_event_time () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:5. (fun () -> Alcotest.(check (float 1e-9)) "now" 5. (Sim.now sim)));
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "final clock" 5. (Sim.now sim)
+
+let cancelled_events_do_not_fire () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_at sim ~time:1. (fun () -> fired := true) in
+  Sim.cancel h;
+  Alcotest.(check bool) "cancelled" true (Sim.cancelled h);
+  Sim.run sim;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let cancel_is_idempotent () =
+  let sim = Sim.create () in
+  let h = Sim.schedule_at sim ~time:1. (fun () -> ()) in
+  Sim.cancel h;
+  Sim.cancel h;
+  Alcotest.(check int) "pending" 0 (Sim.pending sim)
+
+let pending_counts_live_events () =
+  let sim = Sim.create () in
+  let h1 = Sim.schedule_at sim ~time:1. (fun () -> ()) in
+  ignore (Sim.schedule_at sim ~time:2. (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Sim.pending sim);
+  Sim.cancel h1;
+  Alcotest.(check int) "one pending" 1 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "none pending" 0 (Sim.pending sim)
+
+let run_until_stops_at_horizon () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore (Sim.schedule_at sim ~time:1. (fun () -> fired := 1 :: !fired));
+  ignore (Sim.schedule_at sim ~time:10. (fun () -> fired := 10 :: !fired));
+  Sim.run ~until:5. sim;
+  Alcotest.(check (list int)) "only the early one" [ 1 ] !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 5. (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check (list int)) "late one after resume" [ 10; 1 ] !fired
+
+let events_scheduled_during_run_fire () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Sim.schedule sim ~delay:1. (fun () ->
+             incr count;
+             chain (n - 1)))
+  in
+  chain 5;
+  Sim.run sim;
+  Alcotest.(check int) "chained" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock" 5. (Sim.now sim)
+
+let stop_halts_processing () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Sim.schedule sim ~delay:1. (fun () ->
+           incr count;
+           if !count = 3 then Sim.stop sim))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "stopped at 3" 3 !count
+
+let scheduling_in_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:5. (fun () -> ()));
+  Sim.run sim;
+  (match Sim.schedule_at sim ~time:1. (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match Sim.schedule sim ~delay:(-1.) (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let step_processes_one_event () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  ignore (Sim.schedule_at sim ~time:1. (fun () -> incr count));
+  ignore (Sim.schedule_at sim ~time:2. (fun () -> incr count));
+  Alcotest.(check bool) "step 1" true (Sim.step sim);
+  Alcotest.(check int) "one fired" 1 !count;
+  Alcotest.(check bool) "step 2" true (Sim.step sim);
+  Alcotest.(check bool) "empty" false (Sim.step sim)
+
+let heap_survives_many_events =
+  QCheck.Test.make ~name:"sim: random schedules fire in sorted order" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range 0. 1000.))
+    (fun times ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iter (fun t -> ignore (Sim.schedule_at sim ~time:t (fun () -> fired := t :: !fired))) times;
+      Sim.run sim;
+      let fired = List.rev !fired in
+      List.sort compare times = fired)
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let rng_split_independent () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" false (xs = ys)
+
+let rng_float_in_range =
+  QCheck.Test.make ~name:"rng: float stays in [0, bound)" ~count:200
+    QCheck.(pair small_int (float_range 0.001 1000.))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let x = Rng.float rng bound in
+      x >= 0. && x < bound)
+
+let rng_int_in_range =
+  QCheck.Test.make ~name:"rng: int stays in [0, bound)" ~count:200
+    QCheck.(pair small_int (int_range 1 100000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let rng_exponential_positive () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    if Rng.exponential rng ~mean:0.5 < 0. then Alcotest.fail "negative exponential"
+  done
+
+let rng_exponential_mean_approx () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean within 5%" true (Float.abs (mean -. 2.0) < 0.1)
+
+let rng_bytes_length () =
+  let rng = Rng.create ~seed:3 in
+  Alcotest.(check int) "length" 33 (String.length (Rng.bytes rng 33))
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick events_fire_in_time_order;
+    Alcotest.test_case "tie order" `Quick ties_break_by_scheduling_order;
+    Alcotest.test_case "clock" `Quick clock_advances_to_event_time;
+    Alcotest.test_case "cancel" `Quick cancelled_events_do_not_fire;
+    Alcotest.test_case "cancel idempotent" `Quick cancel_is_idempotent;
+    Alcotest.test_case "pending count" `Quick pending_counts_live_events;
+    Alcotest.test_case "run until" `Quick run_until_stops_at_horizon;
+    Alcotest.test_case "schedule during run" `Quick events_scheduled_during_run_fire;
+    Alcotest.test_case "stop" `Quick stop_halts_processing;
+    Alcotest.test_case "past rejected" `Quick scheduling_in_past_rejected;
+    Alcotest.test_case "step" `Quick step_processes_one_event;
+    QCheck_alcotest.to_alcotest heap_survives_many_events;
+    Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick rng_seeds_differ;
+    Alcotest.test_case "rng split" `Quick rng_split_independent;
+    QCheck_alcotest.to_alcotest rng_float_in_range;
+    QCheck_alcotest.to_alcotest rng_int_in_range;
+    Alcotest.test_case "rng exponential positive" `Quick rng_exponential_positive;
+    Alcotest.test_case "rng exponential mean" `Quick rng_exponential_mean_approx;
+    Alcotest.test_case "rng bytes" `Quick rng_bytes_length;
+  ]

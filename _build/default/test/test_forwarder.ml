@@ -1,0 +1,152 @@
+(* The fast path and the forwarding-rate model behind Table 1 / Fig. 12. *)
+
+let all_ops_run () =
+  let fp = Forwarder.Fastpath.create () in
+  List.iter
+    (fun op ->
+      (* Each op must be callable millions of times without state decay;
+         run a few thousand as a smoke check. *)
+      for _ = 1 to 2000 do
+        Forwarder.Fastpath.run fp op
+      done)
+    Forwarder.Fastpath.all_ops
+
+let cost_ordering_matches_table1 () =
+  (* The paper's Table 1 ordering: cached << request ≈ renewal-hit <
+     regular-miss < renewal-miss.  Absolute values differ (pure-OCaml
+     crypto), the ordering must not. *)
+  let fp = Forwarder.Fastpath.create () in
+  let t op = Forwarder.Fastpath.calibrate ~iters:4000 fp op in
+  let legacy = t Forwarder.Fastpath.Legacy_forward in
+  let cached = t Forwarder.Fastpath.Regular_cached in
+  let request = t Forwarder.Fastpath.Request in
+  let renewal_hit = t Forwarder.Fastpath.Renewal_cached in
+  let uncached = t Forwarder.Fastpath.Regular_uncached in
+  let renewal_miss = t Forwarder.Fastpath.Renewal_uncached in
+  Alcotest.(check bool) "cached is cheap" true (cached < request /. 5.);
+  Alcotest.(check bool) "legacy is cheap" true (legacy < request /. 5.);
+  Alcotest.(check bool) "request ≈ renewal-hit (one hash each)" true
+    (Float.abs (request -. renewal_hit) < Float.max request renewal_hit *. 0.5);
+  Alcotest.(check bool) "two hashes cost more than one" true (uncached > request *. 1.3);
+  Alcotest.(check bool) "renewal-miss is the worst" true
+    (renewal_miss > uncached && renewal_miss > renewal_hit)
+
+let siphash_variant_is_faster () =
+  let heavy = Forwarder.Fastpath.create () in
+  let light =
+    Forwarder.Fastpath.create
+      ~hash_precap:(module Crypto.Keyed_hash.Fast)
+      ~hash_cap:(module Crypto.Keyed_hash.Fast)
+      ()
+  in
+  let th = Forwarder.Fastpath.calibrate ~iters:3000 heavy Forwarder.Fastpath.Regular_uncached in
+  let tl = Forwarder.Fastpath.calibrate ~iters:3000 light Forwarder.Fastpath.Regular_uncached in
+  Alcotest.(check bool) (Printf.sprintf "siphash (%.0fns) < aes+sha (%.0fns)" tl th) true (tl < th)
+
+(* --- Livelock model -------------------------------------------------------- *)
+
+let output_equals_input_below_peak () =
+  let out =
+    Forwarder.Livelock.output_rate Forwarder.Livelock.Naive ~interrupt_s:3.5e-6
+      ~processing_s:33e-9 ~input_pps:100_000.
+  in
+  Alcotest.(check (float 1e-6)) "lossless region" 100_000. out
+
+let peak_formula () =
+  Alcotest.(check (float 1.)) "1/(ti+tp)"
+    (1. /. (3.5e-6 +. 1486e-9))
+    (Forwarder.Livelock.peak_rate ~interrupt_s:3.5e-6 ~processing_s:1486e-9)
+
+let paper_peaks_in_range () =
+  (* With the paper's Table 1 costs and 3.5 us interrupts, peaks must land
+     in the 160-280 kpps band of Fig. 12. *)
+  List.iter
+    (fun processing_s ->
+      let peak = Forwarder.Livelock.peak_rate ~interrupt_s:3.5e-6 ~processing_s in
+      Alcotest.(check bool)
+        (Printf.sprintf "peak %.0f kpps" (peak /. 1e3))
+        true
+        (peak >= 160_000. && peak <= 290_000.))
+    [ 33e-9; 460e-9; 439e-9; 1486e-9; 1821e-9 ]
+
+let naive_livelocks_past_saturation () =
+  let at rate =
+    Forwarder.Livelock.output_rate Forwarder.Livelock.Naive ~interrupt_s:3.5e-6
+      ~processing_s:1486e-9 ~input_pps:rate
+  in
+  let peak = Forwarder.Livelock.peak_rate ~interrupt_s:3.5e-6 ~processing_s:1486e-9 in
+  Alcotest.(check bool) "declines past peak" true (at (peak *. 1.3) < peak);
+  Alcotest.(check (float 1e-6)) "full livelock" 0. (at (1.1 /. 3.5e-6))
+
+let lrp_holds_the_peak () =
+  let peak = Forwarder.Livelock.peak_rate ~interrupt_s:3.5e-6 ~processing_s:1486e-9 in
+  let out =
+    Forwarder.Livelock.output_rate Forwarder.Livelock.Lrp ~interrupt_s:3.5e-6
+      ~processing_s:1486e-9 ~input_pps:(3. *. peak)
+  in
+  Alcotest.(check (float 1e-6)) "flat at peak" peak out
+
+let lrp_dominates_naive =
+  QCheck.Test.make ~name:"livelock: LRP output >= naive output at any load" ~count:200
+    QCheck.(float_range 0. 1e6)
+    (fun input_pps ->
+      let f d =
+        Forwarder.Livelock.output_rate d ~interrupt_s:3.5e-6 ~processing_s:460e-9 ~input_pps
+      in
+      f Forwarder.Livelock.Lrp >= f Forwarder.Livelock.Naive -. 1e-9)
+
+let output_never_exceeds_input =
+  QCheck.Test.make ~name:"livelock: conservation (output <= input)" ~count:200
+    QCheck.(pair (float_range 0. 1e6) (float_range 1e-9 1e-5))
+    (fun (input_pps, processing_s) ->
+      List.for_all
+        (fun d ->
+          Forwarder.Livelock.output_rate d ~interrupt_s:3.5e-6 ~processing_s ~input_pps
+          <= input_pps +. 1e-9)
+        [ Forwarder.Livelock.Naive; Forwarder.Livelock.Lrp ])
+
+let simulation_matches_model_below_peak () =
+  let measured =
+    Forwarder.Livelock.simulate Forwarder.Livelock.Naive ~interrupt_s:3.5e-6 ~processing_s:460e-9
+      ~input_pps:100_000.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "simulated %.0f ≈ 100k" measured)
+    true
+    (Float.abs (measured -. 100_000.) < 5_000.)
+
+let simulation_shows_livelock () =
+  let peak = Forwarder.Livelock.peak_rate ~interrupt_s:3.5e-6 ~processing_s:460e-9 in
+  let over =
+    Forwarder.Livelock.simulate Forwarder.Livelock.Naive ~interrupt_s:3.5e-6 ~processing_s:460e-9
+      ~input_pps:(2. *. peak)
+  in
+  let lrp =
+    Forwarder.Livelock.simulate Forwarder.Livelock.Lrp ~interrupt_s:3.5e-6 ~processing_s:460e-9
+      ~input_pps:(2. *. peak)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive %.0f < lrp %.0f under overload" over lrp)
+    true (over < lrp)
+
+let series_shape () =
+  let s = Forwarder.Livelock.series ~processing_s:1486e-9 () in
+  Alcotest.(check int) "41 samples" 41 (List.length s);
+  List.iter (fun (i, o) -> if o > i +. 1e-9 then Alcotest.fail "output above input") s
+
+let suite =
+  [
+    Alcotest.test_case "all ops run" `Quick all_ops_run;
+    Alcotest.test_case "table1 ordering" `Slow cost_ordering_matches_table1;
+    Alcotest.test_case "siphash faster" `Slow siphash_variant_is_faster;
+    Alcotest.test_case "below peak lossless" `Quick output_equals_input_below_peak;
+    Alcotest.test_case "peak formula" `Quick peak_formula;
+    Alcotest.test_case "paper peaks 160-280k" `Quick paper_peaks_in_range;
+    Alcotest.test_case "naive livelock" `Quick naive_livelocks_past_saturation;
+    Alcotest.test_case "lrp holds peak" `Quick lrp_holds_the_peak;
+    QCheck_alcotest.to_alcotest lrp_dominates_naive;
+    QCheck_alcotest.to_alcotest output_never_exceeds_input;
+    Alcotest.test_case "simulation below peak" `Quick simulation_matches_model_below_peak;
+    Alcotest.test_case "simulation livelock" `Quick simulation_shows_livelock;
+    Alcotest.test_case "series shape" `Quick series_shape;
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "tva"
+    [
+      ("crypto", Test_crypto.suite);
+      ("engine", Test_engine.suite);
+      ("stats", Test_stats.suite);
+      ("wire", Test_wire.suite);
+      ("queueing", Test_queueing.suite);
+      ("netsim", Test_netsim.suite);
+      ("tcp", Test_tcp.suite);
+      ("tva", Test_tva.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+      ("forwarder", Test_forwarder.suite);
+    ]

@@ -1,0 +1,355 @@
+(* Queueing disciplines: FIFO semantics, DRR fairness, the token-bucket
+   request limiter, the Fig. 2 tri-class scheduler, strict priority and
+   SFQ collisions. *)
+
+let mk_packet ?(src = 1) ?(dst = 2) ?(bytes = 1000) () =
+  Wire.Packet.make ~src:(Wire.Addr.of_int src) ~dst:(Wire.Addr.of_int dst) ~created:0.
+    (Wire.Packet.Raw bytes)
+
+(* --- Droptail ----------------------------------------------------------- *)
+
+let droptail_fifo_order () =
+  let q = Droptail.create ~capacity_bytes:10_000 () in
+  let a = mk_packet () and b = mk_packet () in
+  Alcotest.(check bool) "enq a" true (q.Qdisc.enqueue ~now:0. a);
+  Alcotest.(check bool) "enq b" true (q.Qdisc.enqueue ~now:0. b);
+  (match q.Qdisc.dequeue ~now:0. with
+  | Some p -> Alcotest.(check int) "a first" a.Wire.Packet.id p.Wire.Packet.id
+  | None -> Alcotest.fail "empty");
+  match q.Qdisc.dequeue ~now:0. with
+  | Some p -> Alcotest.(check int) "b second" b.Wire.Packet.id p.Wire.Packet.id
+  | None -> Alcotest.fail "empty"
+
+let droptail_byte_capacity () =
+  let q = Droptail.create ~capacity_bytes:2500 () in
+  Alcotest.(check bool) "1" true (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  Alcotest.(check bool) "2" true (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  Alcotest.(check bool) "3 dropped" false (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  Alcotest.(check int) "drop counted" 1 q.Qdisc.stats.Qdisc.dropped;
+  ignore (q.Qdisc.dequeue ~now:0.);
+  Alcotest.(check bool) "space after dequeue" true (q.Qdisc.enqueue ~now:0. (mk_packet ()))
+
+let droptail_packet_capacity () =
+  let q = Droptail.create ~capacity_packets:2 ~capacity_bytes:1_000_000 () in
+  Alcotest.(check bool) "1" true (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:40 ()));
+  Alcotest.(check bool) "2" true (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:40 ()));
+  (* A tiny packet is still rejected once the packet count is reached —
+     no small-packet advantage. *)
+  Alcotest.(check bool) "3 dropped" false (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:40 ()))
+
+let droptail_counts () =
+  let q = Droptail.create ~capacity_bytes:10_000 () in
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:500 ()));
+  Alcotest.(check int) "packets" 2 (q.Qdisc.packet_count ());
+  Alcotest.(check int) "bytes" 1500 (q.Qdisc.byte_count ());
+  Alcotest.(check (option (float 0.)))
+    "ready now" (Some 0.)
+    (q.Qdisc.next_ready ~now:0.)
+
+let droptail_empty_next_ready () =
+  let q = Droptail.create ~capacity_bytes:1000 () in
+  Alcotest.(check (option (float 0.))) "idle" None (q.Qdisc.next_ready ~now:0.)
+
+(* --- DRR ----------------------------------------------------------------- *)
+
+let drr_round_robins_equally () =
+  let q = Drr.create ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
+  (* Backlog: 10 packets from A, 10 from B. *)
+  for _ = 1 to 10 do
+    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
+    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()))
+  done;
+  (* Twelve dequeues cover whole DRR rounds: the split must be 6/6 (within
+     a round the 1500-byte quantum staggers 1000-byte packets 1-then-2). *)
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 12 do
+    match q.Qdisc.dequeue ~now:0. with
+    | Some p ->
+        let k = Wire.Addr.to_int p.Wire.Packet.src in
+        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    | None -> Alcotest.fail "ran dry"
+  done;
+  Alcotest.(check int) "class A" 6 (Option.value ~default:0 (Hashtbl.find_opt counts 1));
+  Alcotest.(check int) "class B" 6 (Option.value ~default:0 (Hashtbl.find_opt counts 2))
+
+let drr_byte_fairness_with_unequal_sizes () =
+  (* Class A sends 1500-byte packets, class B 500-byte ones: per round B
+     should get ~3 packets for A's 1. *)
+  let q = Drr.create ~quantum:1500 ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
+  for _ = 1 to 30 do
+    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ~bytes:1500 ()));
+    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ~bytes:500 ()))
+  done;
+  let bytes = Hashtbl.create 2 in
+  for _ = 1 to 24 do
+    match q.Qdisc.dequeue ~now:0. with
+    | Some p ->
+        let k = Wire.Addr.to_int p.Wire.Packet.src in
+        Hashtbl.replace bytes k
+          (Wire.Packet.size p + Option.value ~default:0 (Hashtbl.find_opt bytes k))
+    | None -> Alcotest.fail "ran dry"
+  done;
+  let a = Option.value ~default:0 (Hashtbl.find_opt bytes 1) in
+  let b = Option.value ~default:0 (Hashtbl.find_opt bytes 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "byte shares close (a=%d b=%d)" a b)
+    true
+    (float_of_int (abs (a - b)) /. float_of_int (a + b) < 0.2)
+
+let drr_starvation_free =
+  QCheck.Test.make ~name:"drr: every backlogged class is eventually served" ~count:50
+    QCheck.(list_of_size Gen.(int_range 2 50) (int_range 0 7))
+    (fun classes ->
+      let q = Drr.create ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
+      List.iter (fun c -> ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:(c + 1) ()))) classes;
+      let served = Hashtbl.create 8 in
+      let rec drain () =
+        match q.Qdisc.dequeue ~now:0. with
+        | Some p ->
+            Hashtbl.replace served (Wire.Addr.to_int p.Wire.Packet.src) ();
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.for_all (fun c -> Hashtbl.mem served (c + 1)) classes
+      && q.Qdisc.packet_count () = 0)
+
+let drr_respects_per_class_capacity () =
+  let q =
+    Drr.create ~queue_capacity_bytes:2000 ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) ()
+  in
+  Alcotest.(check bool) "1" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "2" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "class full" false (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "other class fine" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()))
+
+let drr_overflow_class_shares () =
+  let q = Drr.create ~max_queues:2 ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
+  (* Three distinct classes with a 2-class bound: the third lands in the
+     shared overflow queue rather than being dropped. *)
+  Alcotest.(check bool) "a" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "b" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()));
+  Alcotest.(check bool) "c overflows but queues" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:3 ()));
+  Alcotest.(check int) "all queued" 3 (q.Qdisc.packet_count ())
+
+let drr_active_queue_count () =
+  let q = Drr.create ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()));
+  Alcotest.(check int) "two active" 2 (Drr.active_queues q);
+  let rec drain () = match q.Qdisc.dequeue ~now:0. with Some _ -> drain () | None -> () in
+  drain ();
+  Alcotest.(check int) "none active" 0 (Drr.active_queues q)
+
+(* --- Token bucket ---------------------------------------------------------- *)
+
+let token_bucket_limits_rate () =
+  let inner = Droptail.create ~capacity_bytes:1_000_000 () in
+  (* 80 kb/s = 10 KB/s, 2 KB burst. *)
+  let q = Token_bucket.create ~rate_bps:80_000. ~burst_bytes:2000 ~inner () in
+  for _ = 1 to 10 do
+    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()))
+  done;
+  (* At t=0 the bucket holds 2 KB: exactly two 1 KB packets. *)
+  Alcotest.(check bool) "1st" true (q.Qdisc.dequeue ~now:0. <> None);
+  Alcotest.(check bool) "2nd" true (q.Qdisc.dequeue ~now:0. <> None);
+  Alcotest.(check bool) "3rd blocked" true (q.Qdisc.dequeue ~now:0. = None);
+  (* next_ready points at when the tokens suffice... *)
+  (match q.Qdisc.next_ready ~now:0. with
+  | Some at -> Alcotest.(check bool) "ready within 0.1s" true (at > 0. && at <= 0.11)
+  | None -> Alcotest.fail "no readiness");
+  (* ...and the packet flows once they do. *)
+  Alcotest.(check bool) "after refill" true (q.Qdisc.dequeue ~now:0.11 <> None)
+
+let token_bucket_long_run_rate () =
+  let inner = Droptail.create ~capacity_bytes:10_000_000 () in
+  let q = Token_bucket.create ~rate_bps:800_000. ~burst_bytes:2000 ~inner () in
+  for _ = 1 to 1000 do
+    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()))
+  done;
+  (* Pull as fast as permitted for 1 simulated second: ~100 packets
+     (100 KB/s) plus the burst. *)
+  let served = ref 0 in
+  let t = ref 0. in
+  while !t < 1.0 do
+    (match q.Qdisc.dequeue ~now:!t with Some _ -> incr served | None -> ());
+    t := !t +. 0.001
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "served %d ≈ 102" !served)
+    true
+    (!served >= 95 && !served <= 110)
+
+let token_bucket_passes_stats_through () =
+  let inner = Droptail.create ~capacity_bytes:500 () in
+  let q = Token_bucket.create ~rate_bps:1e6 ~burst_bytes:10_000 ~inner () in
+  Alcotest.(check bool) "fits" true (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:400 ()));
+  Alcotest.(check bool) "inner full" false (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:400 ()))
+
+(* --- Priority --------------------------------------------------------------- *)
+
+let priority_serves_high_first () =
+  let high = Droptail.create ~capacity_bytes:10_000 () in
+  let low = Droptail.create ~capacity_bytes:10_000 () in
+  let q =
+    Priority.create
+      ~classify:(fun p -> if Wire.Addr.to_int p.Wire.Packet.src = 1 then 0 else 1)
+      ~classes:[ high; low ] ()
+  in
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
+  (match q.Qdisc.dequeue ~now:0. with
+  | Some p -> Alcotest.(check int) "high first" 1 (Wire.Addr.to_int p.Wire.Packet.src)
+  | None -> Alcotest.fail "empty");
+  match q.Qdisc.dequeue ~now:0. with
+  | Some p -> Alcotest.(check int) "then low" 2 (Wire.Addr.to_int p.Wire.Packet.src)
+  | None -> Alcotest.fail "empty"
+
+let priority_clamps_class_index () =
+  let a = Droptail.create ~capacity_bytes:10_000 () in
+  let b = Droptail.create ~capacity_bytes:10_000 () in
+  let q = Priority.create ~classify:(fun _ -> 99) ~classes:[ a; b ] () in
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  Alcotest.(check int) "landed in last class" 1 (b.Qdisc.packet_count ())
+
+(* --- Tri-class (Fig. 2) ------------------------------------------------------ *)
+
+let tva_shim kind =
+  match kind with
+  | `Request -> Wire.Cap_shim.request ()
+  | `Regular -> Wire.Cap_shim.regular ~nonce:1L ~caps:[] ~n_kb:32 ~t_sec:10 ~renewal:false ()
+
+let tri_class_classifier () =
+  let p_legacy = mk_packet () in
+  Alcotest.(check bool) "legacy" true (Tri_class.classify_by_shim p_legacy = Tri_class.Legacy);
+  let p_req = mk_packet () in
+  p_req.Wire.Packet.shim <- Some (tva_shim `Request);
+  Alcotest.(check bool) "request" true (Tri_class.classify_by_shim p_req = Tri_class.Request);
+  let p_reg = mk_packet () in
+  p_reg.Wire.Packet.shim <- Some (tva_shim `Regular);
+  Alcotest.(check bool) "regular" true (Tri_class.classify_by_shim p_reg = Tri_class.Regular);
+  let p_dem = mk_packet () in
+  let shim = tva_shim `Regular in
+  shim.Wire.Cap_shim.demoted <- true;
+  p_dem.Wire.Packet.shim <- Some shim;
+  Alcotest.(check bool) "demoted is legacy" true (Tri_class.classify_by_shim p_dem = Tri_class.Legacy)
+
+let tri_class_legacy_is_lowest_priority () =
+  let q = Tva.Qdiscs.make ~params:Tva.Params.default ~bandwidth_bps:10e6 () in
+  (* Backlog legacy then regular: regular must come out first. *)
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  let reg = mk_packet ~src:5 () in
+  reg.Wire.Packet.shim <- Some (tva_shim `Regular);
+  ignore (q.Qdisc.enqueue ~now:0. reg);
+  match q.Qdisc.dequeue ~now:0. with
+  | Some p -> Alcotest.(check bool) "regular first" true (p.Wire.Packet.shim <> None)
+  | None -> Alcotest.fail "empty"
+
+let tri_class_requests_rate_limited () =
+  let params = { Tva.Params.default with Tva.Params.request_fraction = 0.01; request_burst_bytes = 500 } in
+  let q = Tva.Qdiscs.make ~params ~bandwidth_bps:10e6 () in
+  (* 1% of 10 Mb/s = 100 kb/s = 12.5 KB/s.  Queue 100 requests of 250 B. *)
+  for _ = 1 to 100 do
+    let p = mk_packet ~bytes:250 () in
+    p.Wire.Packet.shim <- Some (tva_shim `Request);
+    (* account for shim size: Raw 250 + shim *)
+    ignore (q.Qdisc.enqueue ~now:0. p)
+  done;
+  (* Draining for one second should release roughly rate/size packets, not
+     all 100. *)
+  let served = ref 0 in
+  let t = ref 0. in
+  while !t < 1.0 do
+    (match q.Qdisc.dequeue ~now:!t with Some _ -> incr served | None -> ());
+    t := !t +. 0.001
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "served %d bounded by limiter" !served)
+    true
+    (!served > 10 && !served < 70)
+
+let tri_class_regular_unaffected_by_request_backlog () =
+  let q = Tva.Qdiscs.make ~params:Tva.Params.default ~bandwidth_bps:10e6 () in
+  for _ = 1 to 50 do
+    let p = mk_packet ~bytes:250 () in
+    p.Wire.Packet.shim <- Some (tva_shim `Request);
+    ignore (q.Qdisc.enqueue ~now:0. p)
+  done;
+  let reg = mk_packet () in
+  reg.Wire.Packet.shim <- Some (tva_shim `Regular);
+  ignore (q.Qdisc.enqueue ~now:0. reg);
+  (* Drain: the regular packet must appear as soon as the request
+     limiter's initial token burst (~16 small requests) is spent, long
+     before the 50-request backlog clears on rate. *)
+  let found_at = ref None in
+  for i = 1 to 25 do
+    match q.Qdisc.dequeue ~now:0. with
+    | Some p ->
+        if !found_at = None && Tri_class.classify_by_shim p = Tri_class.Regular then
+          found_at := Some i
+    | None -> ()
+  done;
+  match !found_at with
+  | Some i -> Alcotest.(check bool) (Printf.sprintf "served at %d" i) true (i <= 20)
+  | None -> Alcotest.fail "regular never served"
+
+(* --- SFQ ----------------------------------------------------------------------- *)
+
+let sfq_collisions_share_fate () =
+  let buckets = 8 and seed = 3 in
+  (* Find two distinct keys that collide. *)
+  let k1 = 1 in
+  let target = Sfq.hash ~seed ~buckets k1 in
+  let k2 =
+    let rec find k = if k <> k1 && Sfq.hash ~seed ~buckets k = target then k else find (k + 1) in
+    find 2
+  in
+  let q =
+    Sfq.create ~queue_capacity_bytes:2000 ~seed ~buckets
+      ~flow_key:(fun p -> Wire.Addr.to_int p.Wire.Packet.src)
+      ()
+  in
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:k1 ()));
+  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:k1 ()));
+  (* The colliding flow shares the same (full) bucket and is dropped — the
+     deliberate-collision crowding the paper warns about (Sec. 3.9). *)
+  Alcotest.(check bool) "collision crowded out" false (q.Qdisc.enqueue ~now:0. (mk_packet ~src:k2 ()))
+
+let sfq_hash_stable () =
+  Alcotest.(check int) "deterministic" (Sfq.hash ~seed:7 ~buckets:16 123)
+    (Sfq.hash ~seed:7 ~buckets:16 123)
+
+let sfq_hash_in_range =
+  QCheck.Test.make ~name:"sfq: hash lands in a bucket" ~count:500
+    QCheck.(pair int (int_range 1 64))
+    (fun (key, buckets) ->
+      let h = Sfq.hash ~seed:1 ~buckets key in
+      h >= 0 && h < buckets)
+
+let suite =
+  [
+    Alcotest.test_case "droptail fifo" `Quick droptail_fifo_order;
+    Alcotest.test_case "droptail bytes" `Quick droptail_byte_capacity;
+    Alcotest.test_case "droptail packets" `Quick droptail_packet_capacity;
+    Alcotest.test_case "droptail counts" `Quick droptail_counts;
+    Alcotest.test_case "droptail idle" `Quick droptail_empty_next_ready;
+    Alcotest.test_case "drr equal split" `Quick drr_round_robins_equally;
+    Alcotest.test_case "drr byte fairness" `Quick drr_byte_fairness_with_unequal_sizes;
+    QCheck_alcotest.to_alcotest drr_starvation_free;
+    Alcotest.test_case "drr class capacity" `Quick drr_respects_per_class_capacity;
+    Alcotest.test_case "drr overflow class" `Quick drr_overflow_class_shares;
+    Alcotest.test_case "drr active queues" `Quick drr_active_queue_count;
+    Alcotest.test_case "token bucket burst" `Quick token_bucket_limits_rate;
+    Alcotest.test_case "token bucket rate" `Quick token_bucket_long_run_rate;
+    Alcotest.test_case "token bucket inner stats" `Quick token_bucket_passes_stats_through;
+    Alcotest.test_case "priority order" `Quick priority_serves_high_first;
+    Alcotest.test_case "priority clamp" `Quick priority_clamps_class_index;
+    Alcotest.test_case "tri-class classifier" `Quick tri_class_classifier;
+    Alcotest.test_case "tri-class legacy lowest" `Quick tri_class_legacy_is_lowest_priority;
+    Alcotest.test_case "tri-class request limiter" `Quick tri_class_requests_rate_limited;
+    Alcotest.test_case "tri-class regular protected" `Quick tri_class_regular_unaffected_by_request_backlog;
+    Alcotest.test_case "sfq collisions" `Quick sfq_collisions_share_fate;
+    Alcotest.test_case "sfq stable" `Quick sfq_hash_stable;
+    QCheck_alcotest.to_alcotest sfq_hash_in_range;
+  ]

@@ -1,0 +1,181 @@
+(* Integration: small versions of the paper's experiments asserting the
+   qualitative claims — the shapes the figures show — rather than exact
+   numbers. *)
+
+let quick_cfg ?(transfers = 10) ?(max_time = 60.) scheme n attack =
+  {
+    Workload.Experiment.default with
+    Workload.Experiment.scheme;
+    n_attackers = n;
+    attack;
+    transfers_per_user = transfers;
+    max_time;
+  }
+
+let tva = Workload.Scheme.tva ~params:Workload.Scenario.sim_params ()
+let internet = Workload.Scheme.internet ()
+let siff = Workload.Scheme.siff ()
+
+let baseline_all_schemes_healthy () =
+  (* No attack: every scheme completes everything at ~0.32 s. *)
+  List.iter
+    (fun (name, factory) ->
+      let r = Workload.Experiment.run (quick_cfg factory 0 Workload.Experiment.No_attack) in
+      Alcotest.(check (float 1e-9))
+        (name ^ " fraction") 1.0 r.Workload.Experiment.fraction_completed;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s time %.3f" name r.Workload.Experiment.avg_transfer_time)
+        true
+        (r.Workload.Experiment.avg_transfer_time < 0.4))
+    Workload.Scenario.schemes
+
+let tva_unaffected_by_legacy_flood () =
+  let r =
+    Workload.Experiment.run
+      (quick_cfg tva 100 (Workload.Experiment.Legacy_flood { rate_bps = 1e6 }))
+  in
+  Alcotest.(check (float 1e-9)) "all complete" 1.0 r.Workload.Experiment.fraction_completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "time flat (%.3f)" r.Workload.Experiment.avg_transfer_time)
+    true
+    (r.Workload.Experiment.avg_transfer_time < 0.4)
+
+let internet_collapses_under_legacy_flood () =
+  let r =
+    Workload.Experiment.run
+      (quick_cfg internet 100 (Workload.Experiment.Legacy_flood { rate_bps = 1e6 }))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "collapse (%.2f)" r.Workload.Experiment.fraction_completed)
+    true
+    (r.Workload.Experiment.fraction_completed < 0.3)
+
+let siff_partially_degrades_under_legacy_flood () =
+  (* The paper's 1-p^9 model: at 10x overload SIFF completes ~60%, far
+     better than the Internet but far worse than TVA. *)
+  let r =
+    Workload.Experiment.run
+      (quick_cfg ~transfers:20 ~max_time:90. siff 100
+         (Workload.Experiment.Legacy_flood { rate_bps = 1e6 }))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "in between (%.2f)" r.Workload.Experiment.fraction_completed)
+    true
+    (r.Workload.Experiment.fraction_completed > 0.3
+    && r.Workload.Experiment.fraction_completed < 0.95)
+
+let tva_unaffected_by_request_flood () =
+  let r =
+    Workload.Experiment.run
+      (quick_cfg tva 100 (Workload.Experiment.Request_flood { rate_bps = 1e6 }))
+  in
+  Alcotest.(check (float 1e-9)) "all complete" 1.0 r.Workload.Experiment.fraction_completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "time flat (%.3f)" r.Workload.Experiment.avg_transfer_time)
+    true
+    (r.Workload.Experiment.avg_transfer_time < 0.6)
+
+let tva_survives_authorized_flood () =
+  (* Fig. 10: per-destination fairness halves the victim's bandwidth but
+     nothing worse. *)
+  let r =
+    Workload.Experiment.run
+      (quick_cfg tva 40 (Workload.Experiment.Authorized_flood { rate_bps = 1e6 }))
+  in
+  Alcotest.(check (float 1e-9)) "all complete" 1.0 r.Workload.Experiment.fraction_completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "mild slowdown (%.3f)" r.Workload.Experiment.avg_transfer_time)
+    true
+    (r.Workload.Experiment.avg_transfer_time < 0.8)
+
+let siff_starved_by_authorized_flood () =
+  let r =
+    Workload.Experiment.run
+      (quick_cfg siff 40 (Workload.Experiment.Authorized_flood { rate_bps = 1e6 }))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "starved (%.2f)" r.Workload.Experiment.fraction_completed)
+    true
+    (r.Workload.Experiment.fraction_completed < 0.3)
+
+let imprecise_policy_damage_is_bounded () =
+  (* Fig. 11 with TVA: 100 attackers granted 32 KB once at t=10; service
+     must be fully recovered well before t=40 and stay clean after. *)
+  let cfg =
+    {
+      (quick_cfg ~transfers:max_int ~max_time:50. tva 100
+         (Workload.Experiment.Imprecise_flood
+            { rate_bps = 1e6; groups = 1; group_interval = 3.; start_at = 10. }))
+      with
+      Workload.Experiment.seed = 3;
+    }
+  in
+  let r = Workload.Experiment.run cfg in
+  let late = Stats.Timeseries.values_in (Workload.Metrics.timeline r.Workload.Experiment.metrics) ~lo:40. ~hi:50. in
+  Alcotest.(check bool) "transfers flowing after recovery" true (List.length late > 20);
+  let worst_late = List.fold_left Float.max 0. late in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered (worst %.2f)" worst_late)
+    true (worst_late < 1.0)
+
+let metrics_accounting () =
+  let m = Workload.Metrics.create () in
+  Workload.Metrics.record_start m;
+  Workload.Metrics.record_start m;
+  Workload.Metrics.record_start m;
+  Workload.Metrics.record_outcome m ~now:1. (Tcp.Conn.Completed { duration = 0.5 });
+  Workload.Metrics.record_outcome m ~now:2. (Tcp.Conn.Aborted { reason = "x"; at = 2. });
+  Alcotest.(check int) "attempted" 3 (Workload.Metrics.attempted m);
+  Alcotest.(check int) "completed" 1 (Workload.Metrics.completed m);
+  Alcotest.(check int) "aborted" 1 (Workload.Metrics.aborted m);
+  Alcotest.(check (float 1e-9)) "fraction" (1. /. 3.) (Workload.Metrics.fraction_completed m);
+  Alcotest.(check (float 1e-9)) "avg" 0.5 (Workload.Metrics.avg_transfer_time m)
+
+let metrics_merge () =
+  let a = Workload.Metrics.create () and b = Workload.Metrics.create () in
+  Workload.Metrics.record_start a;
+  Workload.Metrics.record_outcome a ~now:1. (Tcp.Conn.Completed { duration = 1.0 });
+  Workload.Metrics.record_start b;
+  Workload.Metrics.record_outcome b ~now:2. (Tcp.Conn.Completed { duration = 3.0 });
+  Workload.Metrics.merge_into a b;
+  Alcotest.(check int) "attempted" 2 (Workload.Metrics.attempted a);
+  Alcotest.(check (float 1e-9)) "avg" 2.0 (Workload.Metrics.avg_transfer_time a);
+  Alcotest.(check int) "timeline merged" 2 (Stats.Timeseries.length (Workload.Metrics.timeline a))
+
+let experiment_deterministic () =
+  let cfg = quick_cfg ~transfers:5 tva 10 (Workload.Experiment.Legacy_flood { rate_bps = 1e6 }) in
+  let r1 = Workload.Experiment.run cfg in
+  let r2 = Workload.Experiment.run cfg in
+  Alcotest.(check (float 1e-12)) "same avg time" r1.Workload.Experiment.avg_transfer_time
+    r2.Workload.Experiment.avg_transfer_time;
+  Alcotest.(check (float 1e-12)) "same fraction" r1.Workload.Experiment.fraction_completed
+    r2.Workload.Experiment.fraction_completed
+
+let scenario_render_shapes () =
+  let series =
+    [
+      {
+        Workload.Scenario.scheme = "x";
+        points =
+          [ { Workload.Scenario.n_attackers = 1; fraction_completed = 1.; avg_transfer_time = 0.3 } ];
+      };
+    ]
+  in
+  let t = Workload.Scenario.render series in
+  Alcotest.(check int) "one row" 1 (List.length (Stats.Table.rows t))
+
+let suite =
+  [
+    Alcotest.test_case "all schemes healthy unattacked" `Slow baseline_all_schemes_healthy;
+    Alcotest.test_case "tva vs legacy flood" `Slow tva_unaffected_by_legacy_flood;
+    Alcotest.test_case "internet collapse" `Slow internet_collapses_under_legacy_flood;
+    Alcotest.test_case "siff partial degradation" `Slow siff_partially_degrades_under_legacy_flood;
+    Alcotest.test_case "tva vs request flood" `Slow tva_unaffected_by_request_flood;
+    Alcotest.test_case "tva vs authorized flood" `Slow tva_survives_authorized_flood;
+    Alcotest.test_case "siff vs authorized flood" `Slow siff_starved_by_authorized_flood;
+    Alcotest.test_case "fig11 bounded damage" `Slow imprecise_policy_damage_is_bounded;
+    Alcotest.test_case "metrics accounting" `Quick metrics_accounting;
+    Alcotest.test_case "metrics merge" `Quick metrics_merge;
+    Alcotest.test_case "experiment deterministic" `Slow experiment_deterministic;
+    Alcotest.test_case "scenario render" `Quick scenario_render_shapes;
+  ]
