@@ -1,0 +1,117 @@
+(* Times a reduced Fig. 8 flood sweep sequentially (-j 1) and on the
+   parallel run engine (-j N), checks the two rendered sweep tables are
+   byte-identical, and writes BENCH_sweep.json so the perf trajectory of
+   the event loop and the domain pool is tracked from PR to PR.
+
+   Run with:            dune exec bench/sweep_bench.exe
+   Smoke mode (CI):     dune exec bench/sweep_bench.exe -- --max-time 5 *)
+
+let jobs = ref (Pool.default_jobs ())
+let max_time = ref 60.
+let transfers = ref 10
+let attacker_counts = ref [ 1; 10; 40; 100 ]
+let out_path = ref "BENCH_sweep.json"
+
+let spec =
+  [
+    ("--jobs", Arg.Set_int jobs, "N  worker domains for the parallel leg (default: all cores)");
+    ( "--max-time",
+      Arg.Set_float max_time,
+      "S  simulated-time cutoff per run, seconds (default 60; use 5 for a smoke run)" );
+    ("--transfers", Arg.Set_int transfers, "K  transfers per legitimate user (default 10)");
+    ( "--attackers",
+      Arg.String
+        (fun s -> attacker_counts := List.map int_of_string (String.split_on_char ',' s)),
+      "LIST  comma-separated attacker counts (default 1,10,40,100)" );
+    ("--out", Arg.Set_string out_path, "PATH  where to write the JSON report");
+  ]
+
+let usage = "sweep_bench [--jobs N] [--max-time S] [--transfers K] [--attackers LIST] [--out PATH]"
+
+(* One sweep leg: run the reduced Fig. 8 grid at the given parallelism,
+   returning (wall seconds, per-cell results, rendered table). *)
+let run_leg ~jobs =
+  let base =
+    {
+      Workload.Experiment.default with
+      Workload.Experiment.transfers_per_user = !transfers;
+      max_time = !max_time;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let series =
+    Workload.Scenario.fig8 ~jobs ~attacker_counts:!attacker_counts ~base ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (wall, series, Stats.Table.render (Workload.Scenario.render series))
+
+(* Rendered tables carry fractions and times but not event counts; total
+   events come from one extra pass over the grid configs (sequential,
+   excluded from both timed legs). *)
+let count_events () =
+  let base =
+    {
+      Workload.Experiment.default with
+      Workload.Experiment.transfers_per_user = !transfers;
+      max_time = !max_time;
+    }
+  in
+  List.fold_left
+    (fun acc (_, factory) ->
+      List.fold_left
+        (fun acc n ->
+          let cfg =
+            {
+              base with
+              Workload.Experiment.scheme = factory;
+              n_attackers = n;
+              attack = Workload.Experiment.Legacy_flood { rate_bps = 1e6 };
+            }
+          in
+          acc + (Workload.Experiment.run cfg).Workload.Experiment.events)
+        acc !attacker_counts)
+    0 Workload.Scenario.schemes
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let jobs = max 1 !jobs in
+  let cells = List.length Workload.Scenario.schemes * List.length !attacker_counts in
+  Printf.printf "sweep_bench: %d cells (4 schemes x %d attacker counts), max_time=%gs\n%!" cells
+    (List.length !attacker_counts) !max_time;
+  let seq_wall, _, seq_table = run_leg ~jobs:1 in
+  Printf.printf "  -j 1:  %.2fs\n%!" seq_wall;
+  let par_wall, _, par_table = run_leg ~jobs in
+  Printf.printf "  -j %d:  %.2fs\n%!" jobs par_wall;
+  let identical = String.equal seq_table par_table in
+  let speedup = seq_wall /. par_wall in
+  let events = count_events () in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"benchmark\": \"reduced fig8 flood sweep\",";
+        Printf.sprintf "  \"cells\": %d," cells;
+        Printf.sprintf "  \"transfers_per_user\": %d," !transfers;
+        Printf.sprintf "  \"max_time_s\": %g," !max_time;
+        Printf.sprintf "  \"jobs\": %d," jobs;
+        Printf.sprintf "  \"recommended_domains\": %d," (Domain.recommended_domain_count ());
+        Printf.sprintf "  \"wall_seconds_j1\": %.3f," seq_wall;
+        Printf.sprintf "  \"wall_seconds_jN\": %.3f," par_wall;
+        Printf.sprintf "  \"speedup\": %.3f," speedup;
+        Printf.sprintf "  \"events_total\": %d," events;
+        Printf.sprintf "  \"events_per_sec_j1\": %.0f," (float_of_int events /. seq_wall);
+        Printf.sprintf "  \"events_per_sec_jN\": %.0f," (float_of_int events /. par_wall);
+        Printf.sprintf "  \"tables_identical\": %b" identical;
+        "}";
+      ]
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  speedup %.2fx, %d events, tables identical: %b -> %s\n%!" speedup events
+    identical !out_path;
+  if not identical then begin
+    prerr_endline "FATAL: parallel sweep table differs from sequential table";
+    exit 1
+  end

@@ -27,6 +27,13 @@ let csv_arg =
   let doc = "Emit CSV instead of an aligned table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for independent simulation runs (sweep cells, ablation variants).  \
+     Defaults to all cores; 1 runs sequentially.  Output is bit-identical for any value."
+  in
+  Arg.(value & opt int (Pool.default_jobs ()) & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
 let schemes_arg =
   let doc = "Comma-separated subset of schemes (internet,siff,pushback,tva)." in
   Arg.(value & opt (list string) [ "internet"; "siff"; "pushback"; "tva" ] & info [ "schemes" ] ~doc)
@@ -41,18 +48,19 @@ let print_table csv table =
   print_string (if csv then Stats.Table.to_csv table else Stats.Table.render table)
 
 let sweep_cmd name ~doc ~attack =
-  let run attackers transfers max_time seed csv schemes =
+  let run attackers transfers max_time seed csv schemes jobs =
     let base = base_config transfers max_time seed in
     let series =
-      Workload.Scenario.flood_sweep ~schemes:(select_schemes schemes) ~attacker_counts:attackers
-        ~base ~attack ()
+      Workload.Scenario.flood_sweep ~jobs ~schemes:(select_schemes schemes)
+        ~attacker_counts:attackers ~base ~attack ()
     in
     print_table csv (Workload.Scenario.render series)
   in
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const run $ attackers_arg $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ schemes_arg)
+      const run $ attackers_arg $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ schemes_arg
+      $ jobs_arg)
 
 let fig8_cmd =
   sweep_cmd "fig8" ~doc:"Legacy traffic floods (paper Fig. 8)."
@@ -68,15 +76,15 @@ let fig10_cmd =
 
 let fig11_cmd =
   let doc = "Imprecise authorization policies (paper Fig. 11)." in
-  let run duration seed csv =
+  let run duration seed csv jobs =
     let base = { Workload.Experiment.default with Workload.Experiment.seed = seed } in
-    let runs = Workload.Scenario.fig11 ~base ~duration () in
+    let runs = Workload.Scenario.fig11 ~jobs ~base ~duration () in
     print_table csv (Workload.Scenario.render_fig11 runs ~bins:5.)
   in
   let duration_arg =
     Arg.(value & opt float 60. & info [ "duration" ] ~doc:"Simulated seconds (attack at t=10).")
   in
-  Cmd.v (Cmd.info "fig11" ~doc) Term.(const run $ duration_arg $ seed_arg $ csv_arg)
+  Cmd.v (Cmd.info "fig11" ~doc) Term.(const run $ duration_arg $ seed_arg $ csv_arg $ jobs_arg)
 
 let table1_cmd =
   let doc = "Per-packet processing cost of each packet type (paper Table 1)." in
@@ -195,36 +203,36 @@ let run_cmd =
       $ seed_arg)
 
 let ablation_cmd name ~doc ~run_comparison =
-  let run transfers max_time seed csv =
+  let run transfers max_time seed csv jobs =
     print_table csv
-      (Workload.Ablation.render (run_comparison ~transfers ~max_time ~seed ()))
+      (Workload.Ablation.render (run_comparison ~jobs ~transfers ~max_time ~seed ()))
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg)
+    Term.(const run $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ jobs_arg)
 
 let ablation_queueing_cmd =
   ablation_cmd "ablation-queueing"
     ~doc:
       "Per-source vs per-destination fair queueing under spoofed authorized traffic (paper \
        Sec. 7).  Reported metrics are for the spoofed victim."
-    ~run_comparison:(fun ~transfers ~max_time ~seed () ->
-      Workload.Ablation.queueing_discipline ~transfers ~max_time ~seed ())
+    ~run_comparison:(fun ~jobs ~transfers ~max_time ~seed () ->
+      Workload.Ablation.queueing_discipline ~jobs ~transfers ~max_time ~seed ())
 
 let ablation_state_cmd =
   ablation_cmd "ablation-state"
     ~doc:
       "Flow-cache provisioning (paper Sec. 3.6): the C/(N/T)min sizing rule vs an \
        under-provisioned cache, under 100 cheap authorized flows plus a legacy flood."
-    ~run_comparison:(fun ~transfers ~max_time ~seed () ->
-      Workload.Ablation.state_provisioning ~transfers ~max_time ~seed ())
+    ~run_comparison:(fun ~jobs ~transfers ~max_time ~seed () ->
+      Workload.Ablation.state_provisioning ~jobs ~transfers ~max_time ~seed ())
 
 let ablation_sfq_cmd =
   ablation_cmd "ablation-sfq"
     ~doc:
       "Request queueing discipline (paper Sec. 3.9): bounded per-path-id queues vs stochastic \
        fair queueing under a request flood."
-    ~run_comparison:(fun ~transfers ~max_time ~seed () ->
-      Workload.Ablation.request_queueing ~transfers ~max_time ~seed ())
+    ~run_comparison:(fun ~jobs ~transfers ~max_time ~seed () ->
+      Workload.Ablation.request_queueing ~jobs ~transfers ~max_time ~seed ())
 
 let default_info =
   Cmd.info "tva_sim" ~version:"1.0.0"

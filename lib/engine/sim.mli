@@ -43,3 +43,8 @@ val stop : t -> unit
 
 val pending : t -> int
 (** Number of scheduled (uncancelled) events. *)
+
+val events_processed : t -> int
+(** Total number of event actions executed since creation (cancelled events
+    are not counted).  Used by benchmarks to report events/second and by
+    tests to bound event-loop work. *)

@@ -4,6 +4,7 @@ type t = {
   mutable link_list : link list;
   mutable next_node_id : int;
   mutable next_link_id : int;
+  mutable next_slot : int; (* dense index over addressed nodes *)
   by_addr : node Wire.Addr.Tbl.t;
   mutable trace : (event -> unit) option;
 }
@@ -13,10 +14,16 @@ and node = {
   name : string;
   net : t;
   addr : Wire.Addr.t option;
+  slot : int; (* dense destination index; -1 when unaddressed *)
   mutable handler : handler;
   mutable out_links : link list; (* reverse creation order *)
   mutable in_links : link list;
-  routes : (int, link) Hashtbl.t; (* destination address -> next hop *)
+  mutable routes : link option array;
+      (* next hop towards each addressed node, indexed by its [slot];
+         filled by [compute_routes].  A dense array replaces the seed's
+         per-node Hashtbl: route lookup is one shared address resolution
+         plus an array load, with no per-node hashing on the forwarding
+         path. *)
 }
 
 and handler = node -> in_link:link option -> Wire.Packet.t -> unit
@@ -49,6 +56,7 @@ let create sim =
     link_list = [];
     next_node_id = 0;
     next_link_id = 0;
+    next_slot = 0;
     by_addr = Wire.Addr.Tbl.create 64;
     trace = None;
   }
@@ -64,16 +72,25 @@ let add_node ?addr ~name t handler =
   | Some a when Wire.Addr.Tbl.mem t.by_addr a ->
       invalid_arg (Fmt.str "Net.add_node: duplicate address %a" Wire.Addr.pp a)
   | _ -> ());
+  let slot =
+    match addr with
+    | Some _ ->
+        let s = t.next_slot in
+        t.next_slot <- t.next_slot + 1;
+        s
+    | None -> -1
+  in
   let node =
     {
       id = t.next_node_id;
       name;
       net = t;
       addr;
+      slot;
       handler;
       out_links = [];
       in_links = [];
-      routes = Hashtbl.create 16;
+      routes = [||];
     }
   in
   t.next_node_id <- t.next_node_id + 1;
@@ -116,6 +133,14 @@ let duplex t a b ~bandwidth_bps ~delay ~qdisc =
   let ba = link_oneway t ~src:b ~dst:a ~bandwidth_bps ~delay ~qdisc:(qdisc ()) in
   (ab, ba)
 
+(* When a qdisc reports [next_ready] at (or before) the current instant but
+   still refuses to dequeue — a token bucket whose accumulated tokens round
+   to just under one packet, say — re-polling at the same virtual time would
+   spin the event loop forever.  Back off by this minimum delay (one virtual
+   microsecond: far below any packet serialization time, so it never delays
+   real service measurably). *)
+let min_poll_delay = 1e-6
+
 (* The transmitter: serialize the head packet, then propagate.  [kick]
    starts service if the link is idle; when the qdisc is unready it arms a
    single poll timer at [next_ready]. *)
@@ -150,7 +175,7 @@ let rec kick link =
             let delay = Float.max 0. (at -. time) in
             (* Never arm a zero-delay self-poll after an empty dequeue: the
                qdisc is momentarily unservable, so wait a token tick. *)
-            let delay = if delay <= 0. then 1e-6 else delay in
+            let delay = if delay <= 0. then min_poll_delay else delay in
             link.poll <-
               Some
                 (Sim.schedule net.sim ~delay (fun () ->
@@ -185,7 +210,11 @@ let forward_on node link p =
   assert (link.src == node);
   if charge_hop node p then enqueue_on link p
 
-let route_for node addr = Hashtbl.find_opt node.routes (Wire.Addr.to_int addr)
+let route_for node addr =
+  match Wire.Addr.Tbl.find_opt node.net.by_addr addr with
+  | Some dst when dst.slot < Array.length node.routes ->
+      Array.unsafe_get node.routes dst.slot (* slot >= 0: addressed node *)
+  | Some _ | None -> None
 
 let forward node p =
   if charge_hop node p then begin
@@ -197,36 +226,46 @@ let forward node p =
 let originate node p = forward node p
 
 (* Shortest-path routing by BFS from every node over its out-links; ties
-   resolve to the earliest-created link, which makes routes deterministic. *)
+   resolve to the earliest-created link, which makes routes deterministic.
+   Adjacency arrays (in link-creation order) are built once up front — the
+   seed reversed each node's [out_links] list inside every BFS, i.e. O(V·E)
+   list reversals per recompute. *)
 let compute_routes t =
   let nodes = List.rev t.node_list in
   let n = t.next_node_id in
-  List.iter (fun node -> Hashtbl.reset node.routes) nodes;
+  let n_slots = t.next_slot in
+  let adj = Array.make n [||] in
+  List.iter (fun node -> adj.(node.id) <- Array.of_list (List.rev node.out_links)) nodes;
+  (* Scratch reused across sources: [seen] is a generation stamp so it needs
+     no clearing between BFS runs, [frontier] a preallocated ring (each node
+     enters at most once). *)
+  let seen = Array.make n (-1) in
+  let first_hop : link option array = Array.make n None in
+  let frontier = Array.make (max n 1) (-1) in
   let run_bfs source =
-    let dist = Array.make n max_int in
-    let first_hop : link option array = Array.make n None in
-    dist.(source.id) <- 0;
-    let frontier = Queue.create () in
-    Queue.push source frontier;
-    while not (Queue.is_empty frontier) do
-      let u = Queue.pop frontier in
-      let hops_u = dist.(u.id) in
-      List.iter
-        (fun link ->
-          let v = link.dst in
-          if dist.(v.id) = max_int then begin
-            dist.(v.id) <- hops_u + 1;
-            first_hop.(v.id) <- (if u.id = source.id then Some link else first_hop.(u.id));
-            Queue.push v frontier
-          end)
-        (List.rev u.out_links)
-    done;
-    List.iter
-      (fun target ->
-        match (target.addr, first_hop.(target.id)) with
-        | Some addr, Some link -> Hashtbl.replace source.routes (Wire.Addr.to_int addr) link
-        | _, _ -> ())
-      nodes
+    source.routes <- Array.make n_slots None;
+    seen.(source.id) <- source.id;
+    first_hop.(source.id) <- None;
+    frontier.(0) <- source.id;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = frontier.(!head) in
+      incr head;
+      let links = adj.(u) in
+      for k = 0 to Array.length links - 1 do
+        let link = links.(k) in
+        let v = link.dst.id in
+        if seen.(v) <> source.id then begin
+          seen.(v) <- source.id;
+          first_hop.(v) <- (if u = source.id then Some link else first_hop.(u));
+          (match (link.dst.addr, first_hop.(v)) with
+          | Some _, Some hop -> source.routes.(link.dst.slot) <- Some hop
+          | _, _ -> ());
+          frontier.(!tail) <- v;
+          incr tail
+        end
+      done
+    done
   in
   List.iter run_bfs nodes
 

@@ -76,6 +76,13 @@ val forward_on : node -> link -> Wire.Packet.t -> unit
 
 val route_for : node -> Wire.Addr.t -> link option
 
+val min_poll_delay : float
+(** The minimum self-poll backoff (in virtual seconds) a link transmitter
+    waits when a qdisc claims readiness at the current instant but refuses
+    to dequeue — e.g. a token bucket momentarily short of one packet's
+    tokens.  Without this floor the transmitter would re-poll at the same
+    virtual time forever and the event loop would spin. *)
+
 (** {1 Introspection} *)
 
 val links_into : node -> link list

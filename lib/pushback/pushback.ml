@@ -138,7 +138,7 @@ let make_qdisc t ~bandwidth_bps =
       ~packet_count:(fun () -> inner.Qdisc.packet_count () + if ls.staged = None then 0 else 1)
       ~byte_count:(fun () ->
         inner.Qdisc.byte_count ()
-        + match ls.staged with None -> 0 | Some p -> Wire.Packet.size p)
+        + match ls.staged with None -> 0 | Some p -> Wire.Packet.size p) ()
   in
   t.registry <- (qdisc.Qdisc.stats, ls) :: t.registry;
   qdisc

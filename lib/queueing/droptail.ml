@@ -34,4 +34,4 @@ let create ?(name = "droptail") ?capacity_packets ~capacity_bytes () =
   let next_ready ~now = if Queue.is_empty q then None else Some now in
   Qdisc.make ~name ~enqueue ~dequeue ~next_ready
     ~packet_count:(fun () -> Queue.length q)
-    ~byte_count:(fun () -> !bytes)
+    ~byte_count:(fun () -> !bytes) ()

@@ -20,10 +20,11 @@ type state = {
 let overflow_key = min_int
 (* Shared queue for keys arriving once [max_queues] distinct classes exist. *)
 
-(* Maps a qdisc's (physically unique) stats record back to its DRR state so
-   [active_queues] can work on the boxed Qdisc.t.  Physical identity only:
-   the stats record mutates, so it cannot be a structural hash key. *)
-let registry : (Qdisc.stats * state) list ref = ref []
+(* [active_queues] recovers the DRR state from the boxed Qdisc.t through
+   its [meta] field.  (The seed kept a global registry list for this, which
+   was both a cross-run mutable global — off-limits now that sweeps run on
+   parallel domains — and an O(registry) lookup.) *)
+type Qdisc.meta += Drr_state of state
 
 let subqueue_of st key =
   match Hashtbl.find_opt st.table key with
@@ -129,25 +130,16 @@ let create ?(name = "drr") ?(quantum = 1500) ?(queue_capacity_bytes = 65536) ?(m
       bytes = 0;
     }
   in
-  let qdisc =
-    Qdisc.make ~name
-      ~enqueue:(fun ~now:_ p -> enqueue st p)
-      ~dequeue:(fun ~now:_ -> dequeue st)
-      ~next_ready:(fun ~now -> if st.packets > 0 then Some now else None)
-      ~packet_count:(fun () -> st.packets)
-      ~byte_count:(fun () -> st.bytes)
-  in
-  registry := (qdisc.Qdisc.stats, st) :: !registry;
-  (* Bound the registry so long-lived processes creating many transient
-     networks (sweeps, benchmarks) do not pin old queue state. *)
-  if List.length !registry > 512 then
-    registry := List.filteri (fun i _ -> i < 256) !registry;
-  qdisc
+  Qdisc.make ~meta:(Drr_state st) ~name
+    ~enqueue:(fun ~now:_ p -> enqueue st p)
+    ~dequeue:(fun ~now:_ -> dequeue st)
+    ~next_ready:(fun ~now -> if st.packets > 0 then Some now else None)
+    ~packet_count:(fun () -> st.packets)
+    ~byte_count:(fun () -> st.bytes)
+    ()
 
 let active_queues (qdisc : Qdisc.t) =
-  let rec find = function
-    | [] -> invalid_arg "Drr.active_queues: not a DRR qdisc"
-    | (stats, st) :: rest -> if stats == qdisc.Qdisc.stats then st else find rest
-  in
-  let st = find !registry in
-  Hashtbl.fold (fun _ sq acc -> if sq.active then acc + 1 else acc) st.table 0
+  match qdisc.Qdisc.meta with
+  | Some (Drr_state st) ->
+      Hashtbl.fold (fun _ sq acc -> if sq.active then acc + 1 else acc) st.table 0
+  | Some _ | None -> invalid_arg "Drr.active_queues: not a DRR qdisc"

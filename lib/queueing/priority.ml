@@ -28,3 +28,4 @@ let create ?(name = "priority") ~classify ~classes () =
   Qdisc.make ~name ~enqueue ~dequeue ~next_ready
     ~packet_count:(fun () -> Array.fold_left (fun acc c -> acc + c.Qdisc.packet_count ()) 0 arr)
     ~byte_count:(fun () -> Array.fold_left (fun acc c -> acc + c.Qdisc.byte_count ()) 0 arr)
+    ()

@@ -7,6 +7,8 @@ type stats = {
   mutable bytes_dropped : int;
 }
 
+type meta = ..
+
 type t = {
   name : string;
   enqueue : now:float -> Wire.Packet.t -> bool;
@@ -15,12 +17,13 @@ type t = {
   packet_count : unit -> int;
   byte_count : unit -> int;
   stats : stats;
+  meta : meta option;
 }
 
 let fresh_stats () =
   { enqueued = 0; dequeued = 0; dropped = 0; bytes_enqueued = 0; bytes_dequeued = 0; bytes_dropped = 0 }
 
-let make ~name ~enqueue ~dequeue ~next_ready ~packet_count ~byte_count =
+let make ?meta ~name ~enqueue ~dequeue ~next_ready ~packet_count ~byte_count () =
   let stats = fresh_stats () in
   let enqueue ~now p =
     let size = Wire.Packet.size p in
@@ -43,7 +46,7 @@ let make ~name ~enqueue ~dequeue ~next_ready ~packet_count ~byte_count =
         stats.bytes_dequeued <- stats.bytes_dequeued + Wire.Packet.size p;
         Some p
   in
-  { name; enqueue; dequeue; next_ready; packet_count; byte_count; stats }
+  { name; enqueue; dequeue; next_ready; packet_count; byte_count; stats; meta }
 
 let pp_stats fmt s =
   Format.fprintf fmt "enq=%d deq=%d drop=%d (%dB in, %dB out, %dB dropped)" s.enqueued s.dequeued

@@ -15,6 +15,12 @@ type stats = {
   mutable bytes_dropped : int;
 }
 
+type meta = ..
+(** Discipline-private state a qdisc can attach to itself so introspection
+    helpers (e.g. {!Drr.active_queues}) can recover it from the boxed [t]
+    without any global registry — registries are cross-run mutable globals,
+    which the parallel sweep engine forbids. *)
+
 type t = {
   name : string;
   enqueue : now:float -> Wire.Packet.t -> bool;
@@ -26,15 +32,18 @@ type t = {
   packet_count : unit -> int;
   byte_count : unit -> int;
   stats : stats;
+  meta : meta option;
 }
 
 val make :
+  ?meta:meta ->
   name:string ->
   enqueue:(now:float -> Wire.Packet.t -> bool) ->
   dequeue:(now:float -> Wire.Packet.t option) ->
   next_ready:(now:float -> float option) ->
   packet_count:(unit -> int) ->
   byte_count:(unit -> int) ->
+  unit ->
   t
 (** Wraps the callbacks with automatic stats accounting. *)
 

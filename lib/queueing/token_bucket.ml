@@ -80,3 +80,4 @@ let create ?(name = "token-bucket") ~rate_bps ~burst_bytes ~inner () =
     ~byte_count:(fun () ->
       inner.Qdisc.byte_count ()
       + match st.staged with None -> 0 | Some p -> Wire.Packet.size p)
+    ()

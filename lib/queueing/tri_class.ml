@@ -42,3 +42,4 @@ let create ?(name = "tri-class") ~classify ~request ~regular ~legacy () =
   Qdisc.make ~name ~enqueue ~dequeue ~next_ready
     ~packet_count:(fun () -> List.fold_left (fun acc c -> acc + c.Qdisc.packet_count ()) 0 children)
     ~byte_count:(fun () -> List.fold_left (fun acc c -> acc + c.Qdisc.byte_count ()) 0 children)
+    ()

@@ -13,11 +13,15 @@ type t = {
 
 let default_hops = 64
 
-let counter = ref 0
+(* Packet ids exist for debugging and physical-identity checks only — no
+   simulation decision reads them — so a process-wide atomic keeps them
+   unique (and race-free) across the parallel sweep engine's domains
+   without threatening run determinism. *)
+let counter = Atomic.make 0
 
 let make ?shim ?siff ~src ~dst ~created body =
-  incr counter;
-  { id = !counter; src; dst; created; body; shim; siff; hops = default_hops }
+  let id = Atomic.fetch_and_add counter 1 + 1 in
+  { id; src; dst; created; body; shim; siff; hops = default_hops }
 
 let body_size = function Raw n -> n | Tcp seg -> Tcp_segment.wire_size seg
 

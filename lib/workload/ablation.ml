@@ -55,13 +55,23 @@ let run_custom ?(n_users = 10) ?(with_colluder = false) ?(transfers = 20) ?(max_
       avg_transfer_time = Metrics.avg_transfer_time user_metrics;
       metrics = user_metrics;
       sim_end = Sim.now sim;
+      events = Sim.events_processed sim;
     }
   in
   (result metrics, List.map result per_user)
 
 (* --- Sec. 7: per-source vs per-destination queueing -------------------- *)
 
-let queueing_discipline ?(n_attackers = 20) ?(transfers = 20) ?(max_time = 60.) ?(seed = 1) () =
+(* Each ablation compares two self-contained variant runs; [Pool.map] over
+   the two-element variant list keeps A/B labelling (and output) identical
+   to the sequential order while letting [~jobs:2] overlap the runs. *)
+let ab_pair ~jobs run variant_a variant_b =
+  match Pool.map ~jobs run [ variant_a; variant_b ] with
+  | [ a; b ] -> (a, b)
+  | _ -> assert false
+
+let queueing_discipline ?(jobs = 1) ?(n_attackers = 20) ?(transfers = 20) ?(max_time = 60.)
+    ?(seed = 1) () =
   let run key =
     let scheme sim =
       let base = Scheme.tva ~params () sim in
@@ -155,17 +165,13 @@ let queueing_discipline ?(n_attackers = 20) ?(transfers = 20) ?(max_time = 60.) 
     (* The victim is user 0 — the one whose address is spoofed. *)
     List.hd per_user
   in
-  {
-    label_a = "per-destination (TVA default)";
-    result_a = run `Destination;
-    label_b = "per-source";
-    result_b = run `Source;
-  }
+  let result_a, result_b = ab_pair ~jobs run `Destination `Source in
+  { label_a = "per-destination (TVA default)"; result_a; label_b = "per-source"; result_b }
 
 (* --- Sec. 3.6: flow-cache provisioning ---------------------------------- *)
 
-let state_provisioning ?(n_attacker_flows = 100) ?(transfers = 20) ?(max_time = 60.) ?(seed = 1)
-    () =
+let state_provisioning ?(jobs = 1) ?(n_attacker_flows = 100) ?(transfers = 20) ?(max_time = 60.)
+    ?(seed = 1) () =
   let run router_params =
     let scheme sim =
       let base = Scheme.tva ~params () sim in
@@ -244,19 +250,22 @@ let state_provisioning ?(n_attacker_flows = 100) ?(transfers = 20) ?(max_time = 
     in
     all
   in
+  let result_a, result_b =
+    (* An absurd rate floor shrinks C/(N/T)min to the 64-record minimum. *)
+    ab_pair ~jobs run params { params with Tva.Params.min_rate_bytes_per_sec = 1e9 }
+  in
   {
     label_a = "provisioned: C/(N/T)min records";
-    result_a = run params;
+    result_a;
     label_b = "under-provisioned: 64 records";
-    (* An absurd rate floor shrinks C/(N/T)min to the 64-record minimum. *)
-    result_b = run { params with Tva.Params.min_rate_bytes_per_sec = 1e9 };
+    result_b;
   }
 
 (* --- Sec. 3.9: request queueing discipline -------------------------------- *)
 
-let request_queueing ?(n_attackers = 100) ?(buckets = 8) ?(transfers = 20) ?(max_time = 60.)
-    ?(seed = 1) () =
-  let run make_qdisc label =
+let request_queueing ?(jobs = 1) ?(n_attackers = 100) ?(buckets = 8) ?(transfers = 20)
+    ?(max_time = 60.) ?(seed = 1) () =
+  let run (make_qdisc, label) =
     ignore label;
     let scheme sim =
       let base = Scheme.tva ~params () sim in
@@ -273,14 +282,17 @@ let request_queueing ?(n_attackers = 100) ?(buckets = 8) ?(transfers = 20) ?(max
         seed;
       }
   in
+  let result_a, result_b =
+    ab_pair ~jobs run
+      ((fun ~bandwidth_bps -> Tva.Qdiscs.make ~params ~bandwidth_bps ()), "drr")
+      ( (fun ~bandwidth_bps -> Tva.Qdiscs.make_sfq_requests ~params ~bandwidth_bps ~buckets ~seed:1),
+        "sfq" )
+  in
   {
     label_a = "requests fair-queued per path-id";
-    result_a = run (fun ~bandwidth_bps -> Tva.Qdiscs.make ~params ~bandwidth_bps ()) "drr";
+    result_a;
     label_b = Printf.sprintf "requests SFQ over %d buckets" buckets;
-    result_b =
-      run
-        (fun ~bandwidth_bps -> Tva.Qdiscs.make_sfq_requests ~params ~bandwidth_bps ~buckets ~seed:1)
-        "sfq";
+    result_b;
   }
 
 let render c =

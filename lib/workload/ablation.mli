@@ -27,17 +27,37 @@ type comparison = {
 }
 
 val queueing_discipline :
-  ?n_attackers:int -> ?transfers:int -> ?max_time:float -> ?seed:int -> unit -> comparison
+  ?jobs:int ->
+  ?n_attackers:int ->
+  ?transfers:int ->
+  ?max_time:float ->
+  ?seed:int ->
+  unit ->
+  comparison
 (** [result_a]: per-destination (TVA default); [result_b]: per-source.
-    Metrics are for the spoofed victim S (user 0). *)
+    Metrics are for the spoofed victim S (user 0).  [jobs >= 2] runs the
+    two variants on parallel domains via {!Pool.map}; output is identical
+    either way. *)
 
 val state_provisioning :
-  ?n_attacker_flows:int -> ?transfers:int -> ?max_time:float -> ?seed:int -> unit -> comparison
+  ?jobs:int ->
+  ?n_attacker_flows:int ->
+  ?transfers:int ->
+  ?max_time:float ->
+  ?seed:int ->
+  unit ->
+  comparison
 (** [result_a]: cache provisioned per the paper's rule; [result_b]: a
     64-entry cache under the same attacker flow load. *)
 
 val request_queueing :
-  ?n_attackers:int -> ?buckets:int -> ?transfers:int -> ?max_time:float -> ?seed:int -> unit ->
+  ?jobs:int ->
+  ?n_attackers:int ->
+  ?buckets:int ->
+  ?transfers:int ->
+  ?max_time:float ->
+  ?seed:int ->
+  unit ->
   comparison
 (** [result_a]: per-path-id DRR; [result_b]: SFQ over [buckets] (default 8)
     buckets, both under a request flood. *)

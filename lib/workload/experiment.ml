@@ -38,6 +38,7 @@ type result = {
   avg_transfer_time : float;
   metrics : Metrics.t;
   sim_end : float;
+  events : int;
 }
 
 let attacker_oracle a = Wire.Addr.to_int a lsr 24 = 0x0b
@@ -170,4 +171,5 @@ let run cfg =
     avg_transfer_time = Metrics.avg_transfer_time metrics;
     metrics;
     sim_end = Sim.now sim;
+    events = Sim.events_processed sim;
   }

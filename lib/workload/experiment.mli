@@ -49,6 +49,7 @@ type result = {
   avg_transfer_time : float;
   metrics : Metrics.t;
   sim_end : float;
+  events : int;  (** simulator events fired during the run (for events/sec) *)
 }
 
 val run : config -> result

@@ -16,50 +16,70 @@ let schemes =
 
 let attack_rate_bps = 1e6 (* each attacker floods at one legitimate-user rate *)
 
-let flood_sweep ?(schemes = schemes) ?(attacker_counts = default_attacker_counts)
+(* Every (scheme × attacker-count) cell is an independent deterministic
+   simulation — its config carries its own seed and [Experiment.run] builds
+   a private [Sim.t]/[Rng.t] — so the grid fans out over [Pool.map].
+   Results come back in submission order, making the sweep's output
+   bit-identical whatever [jobs] is; [~jobs:1] (the library default) is
+   exactly the seed's sequential loop. *)
+let flood_sweep ?(jobs = 1) ?(schemes = schemes) ?(attacker_counts = default_attacker_counts)
     ?(base = Experiment.default) ~attack () =
-  List.map
-    (fun (name, factory) ->
-      let points =
+  let grid =
+    List.concat_map
+      (fun (_, factory) ->
         List.map
           (fun n ->
-            let cfg =
-              {
-                base with
-                Experiment.scheme = factory;
-                n_attackers = n;
-                attack = attack ~rate_bps:attack_rate_bps;
-              }
-            in
-            let r = Experiment.run cfg in
             {
+              base with
+              Experiment.scheme = factory;
               n_attackers = n;
-              fraction_completed = r.Experiment.fraction_completed;
-              avg_transfer_time = r.Experiment.avg_transfer_time;
+              attack = attack ~rate_bps:attack_rate_bps;
             })
-          attacker_counts
-      in
-      { scheme = name; points })
-    schemes
+          attacker_counts)
+      schemes
+  in
+  let points =
+    Pool.map ~jobs
+      (fun cfg ->
+        let r = Experiment.run cfg in
+        {
+          n_attackers = cfg.Experiment.n_attackers;
+          fraction_completed = r.Experiment.fraction_completed;
+          avg_transfer_time = r.Experiment.avg_transfer_time;
+        })
+      grid
+  in
+  (* Re-chunk the flat scheme-major results back into one series per
+     scheme. *)
+  let per_scheme = List.length attacker_counts in
+  let rec chunk schemes points =
+    match schemes with
+    | [] -> []
+    | (name, _) :: rest ->
+        let mine = List.filteri (fun i _ -> i < per_scheme) points in
+        let others = List.filteri (fun i _ -> i >= per_scheme) points in
+        { scheme = name; points = mine } :: chunk rest others
+  in
+  chunk schemes points
 
-let fig8 ?attacker_counts ?base () =
-  flood_sweep ?attacker_counts ?base
+let fig8 ?jobs ?attacker_counts ?base () =
+  flood_sweep ?jobs ?attacker_counts ?base
     ~attack:(fun ~rate_bps -> Experiment.Legacy_flood { rate_bps })
     ()
 
-let fig9 ?attacker_counts ?base () =
-  flood_sweep ?attacker_counts ?base
+let fig9 ?jobs ?attacker_counts ?base () =
+  flood_sweep ?jobs ?attacker_counts ?base
     ~attack:(fun ~rate_bps -> Experiment.Request_flood { rate_bps })
     ()
 
-let fig10 ?attacker_counts ?base () =
-  flood_sweep ?attacker_counts ?base
+let fig10 ?jobs ?attacker_counts ?base () =
+  flood_sweep ?jobs ?attacker_counts ?base
     ~attack:(fun ~rate_bps -> Experiment.Authorized_flood { rate_bps })
     ()
 
 type fig11_run = { label : string; timeline : Stats.Timeseries.t }
 
-let fig11 ?(base = Experiment.default) ?(duration = 60.) () =
+let fig11 ?(jobs = 1) ?(base = Experiment.default) ?(duration = 60.) () =
   let siff_rotation = 3.0 in
   let runs =
     [
@@ -69,7 +89,7 @@ let fig11 ?(base = Experiment.default) ?(duration = 60.) () =
       ("siff/10-at-a-time", Scheme.siff ~rotation_period:siff_rotation (), 10);
     ]
   in
-  List.map
+  Pool.map ~jobs
     (fun (label, factory, groups) ->
       let cfg =
         {
@@ -94,11 +114,26 @@ let render series_list =
   let counts =
     match series_list with [] -> [] | s :: _ -> List.map (fun p -> p.n_attackers) s.points
   in
+  (* Pre-index each series' points by attacker count — the seed re-scanned
+     every point list per row (O(n²) over the sweep).  First occurrence
+     wins, matching the old [List.find_opt]. *)
+  let indexed =
+    List.map
+      (fun s ->
+        let by_count = Hashtbl.create (2 * List.length s.points) in
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem by_count p.n_attackers) then
+              Hashtbl.add by_count p.n_attackers p)
+          s.points;
+        (s, by_count))
+      series_list
+  in
   List.iter
     (fun n ->
       List.iter
-        (fun s ->
-          match List.find_opt (fun p -> p.n_attackers = n) s.points with
+        (fun (s, by_count) ->
+          match Hashtbl.find_opt by_count n with
           | None -> ()
           | Some p ->
               Stats.Table.add_row table
@@ -109,7 +144,7 @@ let render series_list =
                   (if Float.is_nan p.avg_transfer_time then "-"
                    else Printf.sprintf "%.3f" p.avg_transfer_time);
                 ])
-        series_list)
+        indexed)
     counts;
   table
 
@@ -125,15 +160,39 @@ let render_fig11 runs ~bins =
   let table =
     Stats.Table.create ~columns:("time_s" :: List.map (fun r -> r.label) runs)
   in
+  (* One pass per run to bucket points into (count, max) cells — the seed
+     rescanned every timeline per bin, O(bins × points) per run.  A point
+     lands in bin [i] iff [i*bins <= t < (i+1)*bins], exactly the
+     [values_in] window the seed used; the truncated quotient is nudged
+     when rounding in the division disagrees with those comparisons. *)
+  let binned =
+    List.map
+      (fun r ->
+        let counts = Array.make (max nbins 0) 0 in
+        let maxima = Array.make (max nbins 0) neg_infinity in
+        Array.iter
+          (fun (time, v) ->
+            let i = int_of_float (time /. bins) in
+            let i =
+              if time < float_of_int i *. bins then i - 1
+              else if time >= float_of_int (i + 1) *. bins then i + 1
+              else i
+            in
+            if i >= 0 && i < nbins then begin
+              counts.(i) <- counts.(i) + 1;
+              maxima.(i) <- Float.max maxima.(i) v
+            end)
+          (Stats.Timeseries.points r.timeline);
+        (counts, maxima))
+      runs
+  in
   for i = 0 to nbins - 1 do
-    let lo = float_of_int i *. bins and hi = float_of_int (i + 1) *. bins in
+    let lo = float_of_int i *. bins in
     let cells =
       List.map
-        (fun r ->
-          match Stats.Timeseries.values_in r.timeline ~lo ~hi with
-          | [] -> "-"
-          | vs -> Printf.sprintf "%.2f" (List.fold_left Float.max neg_infinity vs))
-        runs
+        (fun (counts, maxima) ->
+          if counts.(i) = 0 then "-" else Printf.sprintf "%.2f" maxima.(i))
+        binned
     in
     Stats.Table.add_row table (Printf.sprintf "%.0f" lo :: cells)
   done;

@@ -25,23 +25,28 @@ val schemes : (string * Scheme.factory) list
 (** internet, siff, pushback, tva — with simulation parameters applied. *)
 
 val flood_sweep :
+  ?jobs:int ->
   ?schemes:(string * Scheme.factory) list ->
   ?attacker_counts:int list ->
   ?base:Experiment.config ->
   attack:(rate_bps:float -> Experiment.attack) ->
   unit ->
   series list
+(** Every (scheme × attacker-count) cell is an independent simulation, so
+    the grid runs on [jobs] worker domains via {!Pool.map} (default 1 =
+    sequential).  Output is bit-identical for every [jobs] value: results
+    return in submission order and each run owns its simulator and RNG. *)
 
 val fig8 :
-  ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
+  ?jobs:int -> ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
 (** Legacy traffic floods. *)
 
 val fig9 :
-  ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
+  ?jobs:int -> ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
 (** Request packet floods. *)
 
 val fig10 :
-  ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
+  ?jobs:int -> ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
 (** Authorized floods via a colluder. *)
 
 type fig11_run = {
@@ -49,7 +54,8 @@ type fig11_run = {
   timeline : Stats.Timeseries.t; (* (completion time, duration) points *)
 }
 
-val fig11 : ?base:Experiment.config -> ?duration:float -> unit -> fig11_run list
+val fig11 :
+  ?jobs:int -> ?base:Experiment.config -> ?duration:float -> unit -> fig11_run list
 (** Imprecise authorization: TVA (32 KB / 10 s grants, no renewal for
     attackers) vs SIFF (3 s secret rotation), each under an all-at-once
     100-attacker flood and a 10-groups-of-10 staggered flood starting at

@@ -121,6 +121,47 @@ let heap_survives_many_events =
       let fired = List.rev !fired in
       List.sort compare times = fired)
 
+(* Guards the 4-ary heap: 10k random schedule/cancel/step operations, then
+   a full drain, asserting every fired event is nondecreasing in (time,
+   creation order) — creation order equals the heap's tie-breaking [seq]. *)
+let heap_order_under_random_schedule_cancel =
+  QCheck.Test.make ~name:"sim: 10k random schedule/cancel pop in (time, seq) order" ~count:10
+    QCheck.small_int (fun seed ->
+      let sim = Sim.create ~seed:(seed + 1) () in
+      let rng = Rng.create ~seed:(seed + 1000) in
+      let fired = ref [] in
+      let stamp = ref 0 in
+      let live = ref [] in
+      for _ = 1 to 10_000 do
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 ->
+            (* Schedule at now + random delay; delay 0 and duplicate times
+               are common, exercising the seq tie-break. *)
+            let delay = float_of_int (Rng.int rng 50) /. 10. in
+            let k = !stamp in
+            incr stamp;
+            let h =
+              Sim.schedule sim ~delay (fun () -> fired := (Sim.now sim, k) :: !fired)
+            in
+            live := h :: !live
+        | 6 | 7 -> (
+            (* Cancel a random live handle (possibly already fired). *)
+            match !live with
+            | [] -> ()
+            | handles ->
+                let i = Rng.int rng (List.length handles) in
+                Sim.cancel (List.nth handles i))
+        | _ -> ignore (Sim.step sim)
+      done;
+      Sim.run sim;
+      let fired = List.rev !fired in
+      let rec nondecreasing = function
+        | (t1, k1) :: ((t2, k2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && k1 < k2)) && nondecreasing rest
+        | [ _ ] | [] -> true
+      in
+      nondecreasing fired)
+
 (* --- Rng ------------------------------------------------------------- *)
 
 let rng_deterministic () =
@@ -190,6 +231,7 @@ let suite =
     Alcotest.test_case "past rejected" `Quick scheduling_in_past_rejected;
     Alcotest.test_case "step" `Quick step_processes_one_event;
     QCheck_alcotest.to_alcotest heap_survives_many_events;
+    QCheck_alcotest.to_alcotest heap_order_under_random_schedule_cancel;
     Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
     Alcotest.test_case "rng seeds differ" `Quick rng_seeds_differ;
     Alcotest.test_case "rng split" `Quick rng_split_independent;

@@ -3,6 +3,7 @@ let () =
     [
       ("crypto", Test_crypto.suite);
       ("engine", Test_engine.suite);
+      ("pool", Test_pool.suite);
       ("stats", Test_stats.suite);
       ("wire", Test_wire.suite);
       ("queueing", Test_queueing.suite);

@@ -231,9 +231,46 @@ let chain_shape () =
   | Some _ -> ()
   | None -> Alcotest.fail "chain not routed"
 
+(* Regression for the [Net.min_poll_delay] floor: a token-bucket-style
+   qdisc that holds a packet and claims readiness *now* yet refuses every
+   dequeue (its tokens perpetually round to just under one packet) must
+   not spin the event loop at a fixed virtual instant.  With the floor,
+   the transmitter re-polls every [min_poll_delay]; without it this test
+   would hang at time 0. *)
+let unservable_qdisc_does_not_spin () =
+  let sim, net = mk_net () in
+  let held = ref None in
+  let stuck_bucket =
+    Qdisc.make ~name:"stuck-token-bucket"
+      ~enqueue:(fun ~now:_ p ->
+        held := Some p;
+        true)
+      ~dequeue:(fun ~now:_ -> None)
+      ~next_ready:(fun ~now -> if !held = None then None else Some now)
+      ~packet_count:(fun () -> if !held = None then 0 else 1)
+      ~byte_count:(fun () ->
+        match !held with None -> 0 | Some p -> Wire.Packet.size p)
+      ()
+  in
+  let a = Net.add_node ~addr:a_addr ~name:"a" net (fun _ ~in_link:_ _ -> ()) in
+  let b = Net.add_node ~addr:b_addr ~name:"b" net (fun _ ~in_link:_ _ -> ()) in
+  ignore (Net.link_oneway net ~src:a ~dst:b ~bandwidth_bps:1e6 ~delay:0.001 ~qdisc:stuck_bucket);
+  Net.compute_routes net;
+  Net.originate a (mk_packet ~src:a_addr ~dst:b_addr 0.);
+  let horizon = 1000. *. Net.min_poll_delay in
+  Sim.run ~until:horizon sim;
+  Alcotest.(check (float 1e-12)) "clock reached horizon" horizon (Sim.now sim);
+  (* One poll per min_poll_delay tick plus bookkeeping — not an unbounded
+     spin.  (A zero-delay re-poll would never let the clock advance.) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded polling (%d events)" (Sim.events_processed sim))
+    true
+    (Sim.events_processed sim <= 1100)
+
 let suite =
   [
     Alcotest.test_case "link latency" `Quick link_delivers_with_correct_latency;
+    Alcotest.test_case "unservable qdisc no spin" `Quick unservable_qdisc_does_not_spin;
     Alcotest.test_case "serialization" `Quick link_serializes_back_to_back;
     Alcotest.test_case "multi-hop" `Quick multi_hop_routing;
     Alcotest.test_case "shortest path" `Quick shortest_path_chosen;

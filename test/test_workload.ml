@@ -151,6 +151,23 @@ let experiment_deterministic () =
   Alcotest.(check (float 1e-12)) "same fraction" r1.Workload.Experiment.fraction_completed
     r2.Workload.Experiment.fraction_completed
 
+let parallel_sweep_matches_sequential () =
+  (* The Pool.map determinism contract on a real (small) Fig. 8 grid: the
+     parallel sweep must render byte-for-byte the same table as the
+     sequential one. *)
+  let base =
+    {
+      Workload.Experiment.default with
+      Workload.Experiment.transfers_per_user = 3;
+      max_time = 30.;
+    }
+  in
+  let sweep jobs =
+    Stats.Table.render
+      (Workload.Scenario.render (Workload.Scenario.fig8 ~jobs ~attacker_counts:[ 1; 10 ] ~base ()))
+  in
+  Alcotest.(check string) "jobs=4 table = jobs=1 table" (sweep 1) (sweep 4)
+
 let scenario_render_shapes () =
   let series =
     [
@@ -177,5 +194,6 @@ let suite =
     Alcotest.test_case "metrics accounting" `Quick metrics_accounting;
     Alcotest.test_case "metrics merge" `Quick metrics_merge;
     Alcotest.test_case "experiment deterministic" `Slow experiment_deterministic;
+    Alcotest.test_case "parallel sweep = sequential sweep" `Slow parallel_sweep_matches_sequential;
     Alcotest.test_case "scenario render" `Quick scenario_render_shapes;
   ]
