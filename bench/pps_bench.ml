@@ -1,0 +1,252 @@
+(* Packets/sec through the router's per-packet paths (paper Sec. 6.1).
+
+   Drives N synthetic flows through a single [Router.process] loop and
+   reports, for each of the four paths a packet can take —
+
+     cached-nonce  flow-cache hit on the 48-bit nonce (paper: ~33 ns)
+     validate      capability listed in the packet, two hash checks
+                   (paper: ~460 ns)
+     request       pre-capability minted and appended
+     legacy        no shim, counted straight through
+
+   — the throughput and the minor-heap words allocated per packet.  The
+   cached-nonce path is the line-rate path, so the benchmark FAILS (exit 1)
+   if it allocates more than [budget] minor words per packet; the same
+   budget is pinned by a regression test in the test suite.
+
+   Run with:            dune exec bench/pps_bench.exe
+   Smoke mode (CI):     dune exec bench/pps_bench.exe -- --flows 64 --passes 50 *)
+
+let flows = ref 1024
+let passes = ref 512
+let budget = ref 32.
+let out_path = ref "BENCH_pps.json"
+
+let spec =
+  [
+    ("--flows", Arg.Set_int flows, "N  distinct (src,dst) flows (default 1024)");
+    ("--passes", Arg.Set_int passes, "K  timed passes over all flows per path (default 512)");
+    ( "--budget",
+      Arg.Set_float budget,
+      "W  max minor words/packet on the cached-nonce path (default 32)" );
+    ("--out", Arg.Set_string out_path, "PATH  where to write the JSON report");
+  ]
+
+let usage = "pps_bench [--flows N] [--passes K] [--budget W] [--out PATH]"
+
+let n_kb = 1023
+let t_sec = 32
+
+type measurement = { pps : float; ns_per_packet : float; minor_words_per_packet : float }
+
+(* Time [passes] repetitions of [per_pass] (each processing [flows]
+   packets) and read the Gc's minor-words counter across the same loop so
+   timing and allocation come from one pass. *)
+let measure ~flows ~passes per_pass =
+  let packets = flows * passes in
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for pass = 0 to passes - 1 do
+    per_pass pass
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  {
+    pps = float_of_int packets /. wall;
+    ns_per_packet = wall *. 1e9 /. float_of_int packets;
+    minor_words_per_packet = words /. float_of_int packets;
+  }
+
+let check_counters ~label ~(before : Tva.Router.counters) ~(after : Tva.Router.counters)
+    ~expect_field ~expected =
+  let got = expect_field after - expect_field before in
+  if got <> expected then begin
+    Printf.eprintf "FATAL: %s path processed %d packets on the expected branch, wanted %d\n" label
+      got expected;
+    exit 1
+  end;
+  if after.Tva.Router.demotions <> before.Tva.Router.demotions then begin
+    Printf.eprintf "FATAL: %s path demoted %d packets\n" label
+      (after.Tva.Router.demotions - before.Tva.Router.demotions);
+    exit 1
+  end
+
+let snapshot (c : Tva.Router.counters) = { c with Tva.Router.requests = c.Tva.Router.requests }
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let flows = max 1 !flows and passes = max 1 !passes in
+  let sim = Sim.create () in
+  (* 1 Gbps provisions a flow cache far larger than [flows], so the cached
+     path is measured without evictions. *)
+  let router =
+    Tva.Router.create ~secret_master:"pps-bench" ~router_id:1 ~sim ~link_bps:1e9 ()
+  in
+  let src f = Wire.Addr.of_int (0x0A000000 + f) in
+  let dst = Wire.Addr.of_int 0x0B000001 in
+  Printf.printf "pps_bench: %d flows x %d passes per path\n%!" flows passes;
+
+  (* --- request path ---------------------------------------------------- *)
+  (* One reusable request packet per flow; the shim's hop-by-hop lists are
+     reset in place each pass so the loop allocates only what the router
+     path itself allocates. *)
+  let req_packets =
+    Array.init flows (fun f ->
+        Wire.Packet.make ~shim:(Wire.Cap_shim.request ()) ~src:(src f) ~dst ~created:0.
+          (Wire.Packet.Raw 64))
+  in
+  let reset_request (p : Wire.Packet.t) =
+    match p.Wire.Packet.shim with
+    | Some ({ Wire.Cap_shim.kind = Wire.Cap_shim.Request req; _ } as shim) ->
+        req.Wire.Cap_shim.rev_path_ids <- [];
+        req.Wire.Cap_shim.rev_precaps <- [];
+        shim.Wire.Cap_shim.demoted <- false
+    | _ -> assert false
+  in
+  let request_pass _pass =
+    for f = 0 to flows - 1 do
+      let p = req_packets.(f) in
+      reset_request p;
+      Tva.Router.process router ~in_interface:0 p
+    done
+  in
+  request_pass 0 (* warmup *);
+  let before = snapshot (Tva.Router.counters router) in
+  let request_m = measure ~flows ~passes request_pass in
+  check_counters ~label:"request" ~before ~after:(Tva.Router.counters router)
+    ~expect_field:(fun c -> c.Tva.Router.requests)
+    ~expected:(flows * passes);
+
+  (* Convert each flow's pre-capability into a capability, destination-side,
+     for the regular-packet paths. *)
+  let caps =
+    Array.init flows (fun f ->
+        let p = req_packets.(f) in
+        reset_request p;
+        Tva.Router.process router ~in_interface:0 p;
+        match p.Wire.Packet.shim with
+        | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request { rev_precaps = [ pc ]; _ }; _ } ->
+            Tva.Capability.cap_of_precap
+              ~hash:(module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S)
+              ~precap:pc ~n_kb ~t_sec
+        | _ -> failwith "request packet did not gain a pre-capability")
+  in
+
+  (* --- validate path --------------------------------------------------- *)
+  (* Two packet sets per flow with different nonces: every process sees a
+     nonce mismatch against the cache entry and must re-validate the listed
+     capability (two hashes) and renew the entry — the paper's "validate a
+     listed capability" cost.  The capability ptr is rewound after each
+     packet so the same shim revalidates forever. *)
+  let regular_packets ~nonce =
+    Array.init flows (fun f ->
+        let shim =
+          Wire.Cap_shim.regular ~nonce ~caps:[ caps.(f) ] ~n_kb ~t_sec ~renewal:false ()
+        in
+        Wire.Packet.make ~shim ~src:(src f) ~dst ~created:0. (Wire.Packet.Raw 64))
+  in
+  let val_a = regular_packets ~nonce:1L and val_b = regular_packets ~nonce:2L in
+  let validate_pass pass =
+    let arr = if pass land 1 = 0 then val_a else val_b in
+    for f = 0 to flows - 1 do
+      let p = arr.(f) in
+      Tva.Router.process router ~in_interface:0 p;
+      (match p.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.ptr <- 0 | None -> ())
+    done
+  in
+  validate_pass 1 (* warmup with the B nonces: pass 0's A nonces all mismatch *);
+  let before = snapshot (Tva.Router.counters router) in
+  let validate_m = measure ~flows ~passes validate_pass in
+  check_counters ~label:"validate" ~before ~after:(Tva.Router.counters router)
+    ~expect_field:(fun c -> c.Tva.Router.regular_validated)
+    ~expected:(flows * passes);
+
+  (* --- cached-nonce path ----------------------------------------------- *)
+  (* Leave every cache entry holding nonce A, then time nonce-only packets
+     carrying A: pure lookup + charge. *)
+  validate_pass (if passes land 1 = 0 then 0 else 1);
+  let cached_packets =
+    Array.init flows (fun f ->
+        let shim =
+          Wire.Cap_shim.regular
+            ~nonce:(if passes land 1 = 0 then 1L else 2L)
+            ~caps:[] ~n_kb ~t_sec ~renewal:false ()
+        in
+        Wire.Packet.make ~shim ~src:(src f) ~dst ~created:0. (Wire.Packet.Raw 64))
+  in
+  let cached_pass _pass =
+    for f = 0 to flows - 1 do
+      Tva.Router.process router ~in_interface:0 cached_packets.(f)
+    done
+  in
+  cached_pass 0 (* warmup *);
+  let before = snapshot (Tva.Router.counters router) in
+  let cached_m = measure ~flows ~passes cached_pass in
+  check_counters ~label:"cached-nonce" ~before ~after:(Tva.Router.counters router)
+    ~expect_field:(fun c -> c.Tva.Router.regular_cached)
+    ~expected:(flows * passes);
+
+  (* --- legacy path ----------------------------------------------------- *)
+  let legacy_packets =
+    Array.init flows (fun f -> Wire.Packet.make ~src:(src f) ~dst ~created:0. (Wire.Packet.Raw 64))
+  in
+  let legacy_pass _pass =
+    for f = 0 to flows - 1 do
+      Tva.Router.process router ~in_interface:0 legacy_packets.(f)
+    done
+  in
+  legacy_pass 0 (* warmup *);
+  let before = snapshot (Tva.Router.counters router) in
+  let legacy_m = measure ~flows ~passes legacy_pass in
+  check_counters ~label:"legacy" ~before ~after:(Tva.Router.counters router)
+    ~expect_field:(fun c -> c.Tva.Router.legacy)
+    ~expected:(flows * passes);
+
+  (* --- report ---------------------------------------------------------- *)
+  let pp_path name m =
+    Printf.printf "  %-13s %10.0f pps  %8.1f ns/pkt  %6.2f minor words/pkt\n%!" name m.pps
+      m.ns_per_packet m.minor_words_per_packet
+  in
+  pp_path "cached-nonce" cached_m;
+  pp_path "validate" validate_m;
+  pp_path "request" request_m;
+  pp_path "legacy" legacy_m;
+  let budget_ok = cached_m.minor_words_per_packet <= !budget in
+  let json_path name m =
+    String.concat "\n"
+      [
+        Printf.sprintf "  \"%s\": {" name;
+        Printf.sprintf "    \"pps\": %.0f," m.pps;
+        Printf.sprintf "    \"ns_per_packet\": %.2f," m.ns_per_packet;
+        Printf.sprintf "    \"minor_words_per_packet\": %.3f" m.minor_words_per_packet;
+        "  }";
+      ]
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"router per-packet paths\",";
+        Printf.sprintf "  \"flows\": %d," flows;
+        Printf.sprintf "  \"passes\": %d," passes;
+        Printf.sprintf "  \"packets_per_path\": %d," (flows * passes);
+        json_path "cached_nonce" cached_m ^ ",";
+        json_path "validate" validate_m ^ ",";
+        json_path "request" request_m ^ ",";
+        json_path "legacy" legacy_m ^ ",";
+        Printf.sprintf "  \"cached_nonce_budget_words\": %g," !budget;
+        Printf.sprintf "  \"cached_nonce_budget_ok\": %b" budget_ok;
+        "}";
+      ]
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  -> %s\n%!" !out_path;
+  if not budget_ok then begin
+    Printf.eprintf "FATAL: cached-nonce path allocates %.2f minor words/packet (budget %g)\n"
+      cached_m.minor_words_per_packet !budget;
+    exit 1
+  end

@@ -1,40 +1,29 @@
 type keyed = (module Crypto.Keyed_hash.S)
 
-let precap_input ~src ~dst ~ts =
-  (* The hash preimage: addresses, timestamp.  The secret arrives as the
-     MAC key, not as part of the message. *)
-  let b = Buffer.create 16 in
-  Buffer.add_string b (Wire.Addr.to_wire_string src);
-  Buffer.add_string b (Wire.Addr.to_wire_string dst);
-  Buffer.add_char b (Char.chr (ts land 0xff));
-  Buffer.contents b
+(* The preimage layouts live in [Crypto.Keyed_hash] ([precap_preimage] /
+   [cap_preimage]); here we call the fixed-preimage entry points so the
+   per-packet path builds no Buffer or string.  The secret arrives as the
+   MAC key, not as part of the message. *)
 
 let mint_precap ~hash:(module H : Crypto.Keyed_hash.S) ~secret ~now ~src ~dst =
   let ts = Crypto.Secret.timestamp ~now in
   let key = Crypto.Secret.issuing_secret secret ~now in
-  { Wire.Cap_shim.ts; hash = H.mac56 ~key (precap_input ~src ~dst ~ts) }
-
-let cap_input ~(precap : Wire.Cap_shim.cap) ~n_kb ~t_sec =
-  let b = Buffer.create 16 in
-  Buffer.add_char b (Char.chr precap.Wire.Cap_shim.ts);
-  for i = 6 downto 0 do
-    Buffer.add_char b
-      (Char.chr (Int64.to_int (Int64.shift_right_logical precap.Wire.Cap_shim.hash (8 * i)) land 0xff))
-  done;
-  Buffer.add_char b (Char.chr ((n_kb lsr 8) land 0x03));
-  Buffer.add_char b (Char.chr (n_kb land 0xff));
-  Buffer.add_char b (Char.chr (t_sec land 0x3f));
-  Buffer.contents b
+  {
+    Wire.Cap_shim.ts;
+    hash = H.mac56_precap ~key ~src:(Wire.Addr.to_int src) ~dst:(Wire.Addr.to_int dst) ~ts;
+  }
 
 (* The capability hash is unkeyed in spirit — any party holding the
    pre-capability can compute it — but our Keyed_hash interface wants a
    key, so we use a public constant. *)
 let public_key = "TVA public hash!"
 
-let cap_of_precap ~hash:(module H : Crypto.Keyed_hash.S) ~precap ~n_kb ~t_sec =
+let cap_of_precap ~hash:(module H : Crypto.Keyed_hash.S) ~(precap : Wire.Cap_shim.cap) ~n_kb ~t_sec =
   {
     Wire.Cap_shim.ts = precap.Wire.Cap_shim.ts;
-    hash = H.mac56 ~key:public_key (cap_input ~precap ~n_kb ~t_sec);
+    hash =
+      H.mac56_cap ~key:public_key ~precap_ts:precap.Wire.Cap_shim.ts
+        ~precap_hash:precap.Wire.Cap_shim.hash ~n_kb ~t_sec;
   }
 
 type verdict = Valid | Expired | Bad_hash
@@ -58,14 +47,18 @@ let expired ~now ~ts ~t_sec =
 let validate2 ~precap_hash:(module P : Crypto.Keyed_hash.S)
     ~cap_hash:(module C : Crypto.Keyed_hash.S) ~secret ~now ~src ~dst ~n_kb ~t_sec
     (cap : Wire.Cap_shim.cap) =
-  if expired ~now ~ts:cap.Wire.Cap_shim.ts ~t_sec then Expired
+  let ts = cap.Wire.Cap_shim.ts in
+  if expired ~now ~ts ~t_sec then Expired
   else begin
-    match Crypto.Secret.validating_secret secret ~now ~ts:cap.Wire.Cap_shim.ts with
+    match Crypto.Secret.validating_secret secret ~now ~ts with
     | None -> Bad_hash
     | Some key ->
-        let ph = P.mac56 ~key (precap_input ~src ~dst ~ts:cap.Wire.Cap_shim.ts) in
-        let precap = { Wire.Cap_shim.ts = cap.Wire.Cap_shim.ts; hash = ph } in
-        let expect = C.mac56 ~key:public_key (cap_input ~precap ~n_kb ~t_sec) in
+        let ph =
+          P.mac56_precap ~key ~src:(Wire.Addr.to_int src) ~dst:(Wire.Addr.to_int dst) ~ts
+        in
+        let expect =
+          C.mac56_cap ~key:public_key ~precap_ts:ts ~precap_hash:ph ~n_kb ~t_sec
+        in
         if Int64.equal expect cap.Wire.Cap_shim.hash then Valid else Bad_hash
   end
 

@@ -9,20 +9,52 @@ type entry = {
   mutable ttl_expiry : float;
 }
 
-type key = int * int
+(* Open addressing with linear probing instead of a Hashtbl keyed on a
+   boxed (src, dst) tuple: a lookup touches one flat array and allocates
+   nothing but the final [Some].  [Tomb] marks a deleted slot so probe
+   chains stay intact; tombs are recycled by [rehash].  The invariant
+   live + tombs <= length/2 guarantees every probe terminates at an
+   [Empty] slot. *)
+type slot = Empty | Tomb | Used of entry
 
-type t = { table : (key, entry) Hashtbl.t; max_entries : int }
+type t = {
+  mutable slots : slot array; (* length always a power of two *)
+  mutable live : int;
+  mutable tombs : int;
+  mutable cursor : int; (* incremental-sweep position, see [reclaim_one] *)
+  max_entries : int;
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
 
 let create ~max_entries () =
   if max_entries <= 0 then invalid_arg "Flow_cache.create: capacity must be positive";
-  { table = Hashtbl.create (min max_entries 1024); max_entries }
+  let len = next_pow2 (min (2 * max_entries) 1024) 16 in
+  { slots = Array.make len Empty; live = 0; tombs = 0; cursor = 0; max_entries }
 
-let key ~src ~dst = (Wire.Addr.to_int src, Wire.Addr.to_int dst)
-
-let size t = Hashtbl.length t.table
+let size t = t.live
 let capacity t = t.max_entries
 
-let lookup t ~src ~dst = Hashtbl.find_opt t.table (key ~src ~dst)
+(* Deterministic multiplicative mix of the two 32-bit addresses; OCaml int
+   multiplication wraps, which is exactly what we want here. *)
+let[@inline] slot_hash src dst =
+  let h = (src * 0x9E3779B1) + dst in
+  let h = h * 0x85EBCA6B in
+  (h lxor (h lsr 29)) land max_int
+
+let[@inline] home t ~src ~dst =
+  slot_hash (Wire.Addr.to_int src) (Wire.Addr.to_int dst) land (Array.length t.slots - 1)
+
+let lookup t ~src ~dst =
+  let slots = t.slots in
+  let mask = Array.length slots - 1 in
+  let rec go i =
+    match Array.unsafe_get slots i with
+    | Empty -> None
+    | Used e when Wire.Addr.equal e.e_src src && Wire.Addr.equal e.e_dst dst -> Some e
+    | Used _ | Tomb -> go ((i + 1) land mask)
+  in
+  go (home t ~src ~dst)
 
 let ttl_remaining entry ~now = entry.ttl_expiry -. now
 
@@ -34,38 +66,102 @@ let time_value ~bytes ~n_bytes ~t_sec =
 let reclaimable entry ~now =
   ttl_remaining entry ~now <= 0. || Capability.expired ~now ~ts:entry.cap_ts ~t_sec:entry.t_sec
 
+let[@inline] kill t i =
+  t.slots.(i) <- Tomb;
+  t.live <- t.live - 1;
+  t.tombs <- t.tombs + 1
+
 let sweep t ~now =
-  let victims =
-    Hashtbl.fold (fun k e acc -> if reclaimable e ~now then k :: acc else acc) t.table []
+  let slots = t.slots in
+  let reclaimed = ref 0 in
+  for i = 0 to Array.length slots - 1 do
+    match slots.(i) with
+    | Used e when reclaimable e ~now ->
+        kill t i;
+        incr reclaimed
+    | Used _ | Empty | Tomb -> ()
+  done;
+  !reclaimed
+
+(* Amortized eviction: instead of folding over the whole table on every
+   insert into a full cache, resume a scan from where the last one stopped
+   and free the first reclaimable record found.  A full cycle without a
+   find means the cache is genuinely full. *)
+let reclaim_one t ~now =
+  let slots = t.slots in
+  let len = Array.length slots in
+  let mask = len - 1 in
+  let rec go remaining i =
+    if remaining = 0 then false
+    else
+      match slots.(i) with
+      | Used e when reclaimable e ~now ->
+          kill t i;
+          t.cursor <- (i + 1) land mask;
+          true
+      | Used _ | Empty | Tomb -> go (remaining - 1) ((i + 1) land mask)
   in
-  List.iter (Hashtbl.remove t.table) victims;
-  List.length victims
+  go len (t.cursor land mask)
+
+let rehash t new_len =
+  let old = t.slots in
+  let slots = Array.make new_len Empty in
+  let mask = new_len - 1 in
+  t.slots <- slots;
+  t.tombs <- 0;
+  t.cursor <- 0;
+  Array.iter
+    (function
+      | Used e ->
+          let rec place i =
+            match slots.(i) with
+            | Empty -> slots.(i) <- Used e
+            | Used _ | Tomb -> place ((i + 1) land mask)
+          in
+          place (slot_hash (Wire.Addr.to_int e.e_src) (Wire.Addr.to_int e.e_dst) land mask)
+      | Empty | Tomb -> ())
+    old
 
 type insert_result = Inserted of entry | Cache_full | Over_limit
 
 let insert t ~now ~src ~dst ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
   let n_bytes = n_kb * 1024 in
   if packet_bytes > n_bytes then Over_limit
+  else if t.live >= t.max_entries && not (reclaim_one t ~now) then Cache_full
   else begin
-    let make_room () = if size t >= t.max_entries then ignore (sweep t ~now) in
-    make_room ();
-    if size t >= t.max_entries then Cache_full
-    else begin
-      let entry =
-        {
-          e_src = src;
-          e_dst = dst;
-          nonce;
-          n_bytes;
-          t_sec;
-          cap_ts;
-          bytes_used = packet_bytes;
-          ttl_expiry = now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec;
-        }
-      in
-      Hashtbl.replace t.table (key ~src ~dst) entry;
-      Inserted entry
-    end
+    let len = Array.length t.slots in
+    if (t.live + t.tombs + 1) * 2 > len then
+      rehash t (if (t.live + 1) * 2 > len then 2 * len else len);
+    let entry =
+      {
+        e_src = src;
+        e_dst = dst;
+        nonce;
+        n_bytes;
+        t_sec;
+        cap_ts;
+        bytes_used = packet_bytes;
+        ttl_expiry = now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec;
+      }
+    in
+    let slots = t.slots in
+    let mask = Array.length slots - 1 in
+    (* Replace an existing record for the flow if there is one; otherwise
+       reuse the first tombstone on the chain or claim the empty slot. *)
+    let rec place i tomb =
+      match slots.(i) with
+      | Empty ->
+          let dest = if tomb >= 0 then tomb else i in
+          if tomb >= 0 then t.tombs <- t.tombs - 1;
+          slots.(dest) <- Used entry;
+          t.live <- t.live + 1
+      | Used e when Wire.Addr.equal e.e_src src && Wire.Addr.equal e.e_dst dst ->
+          slots.(i) <- Used entry
+      | Tomb -> place ((i + 1) land mask) (if tomb >= 0 then tomb else i)
+      | Used _ -> place ((i + 1) land mask) tomb
+    in
+    place (home t ~src ~dst) (-1);
+    Inserted entry
   end
 
 type charge_result = Charged | Byte_limit
@@ -97,8 +193,22 @@ let renew entry ~now ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
     Charged
   end
 
-let remove t entry = Hashtbl.remove t.table (key ~src:entry.e_src ~dst:entry.e_dst)
+let remove t entry =
+  let slots = t.slots in
+  let mask = Array.length slots - 1 in
+  let rec go i =
+    match slots.(i) with
+    | Empty -> ()
+    | Used e when e == entry -> kill t i
+    | Used _ | Tomb -> go ((i + 1) land mask)
+  in
+  go (home t ~src:entry.e_src ~dst:entry.e_dst)
 
-let iter t f = Hashtbl.iter (fun _ e -> f e) t.table
+let iter t f =
+  Array.iter (function Used e -> f e | Empty | Tomb -> ()) t.slots
 
-let clear t = Hashtbl.reset t.table
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) Empty;
+  t.live <- 0;
+  t.tombs <- 0;
+  t.cursor <- 0

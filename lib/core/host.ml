@@ -193,9 +193,10 @@ let handle_packet t _node ~in_link:_ (p : Wire.Packet.t) =
           Wire.Addr.Tbl.replace t.pending_demotion_echo src ()
         end;
         (match shim.Wire.Cap_shim.kind with
-        | Wire.Cap_shim.Request { precaps; _ } -> handle_request t ~src ~renewal:false precaps
-        | Wire.Cap_shim.Regular { renewal = true; fresh_precaps; _ } when fresh_precaps <> [] ->
-            handle_request t ~src ~renewal:true fresh_precaps
+        | Wire.Cap_shim.Request req ->
+            handle_request t ~src ~renewal:false (Wire.Cap_shim.precaps req)
+        | Wire.Cap_shim.Regular ({ renewal = true; _ } as r) when r.Wire.Cap_shim.rev_fresh_precaps <> [] ->
+            handle_request t ~src ~renewal:true (Wire.Cap_shim.fresh_precaps r)
         | Wire.Cap_shim.Regular _ -> ());
         (match shim.Wire.Cap_shim.return_info with
         | Some info -> handle_return_info t ~src info

@@ -5,14 +5,12 @@ let tag ~router_id ~interface_id =
   Int64.to_int (Crypto.Siphash.mac ~key:"TVA path-id tag." msg) land 0xffff
 
 let most_recent (shim : Wire.Cap_shim.t) =
+  (* The newest tag is the head of the reverse-accumulated list. *)
   match shim.Wire.Cap_shim.kind with
-  | Wire.Cap_shim.Request { path_ids; _ } -> begin
-      match List.rev path_ids with [] -> 0 | last :: _ -> last
-    end
-  | Wire.Cap_shim.Regular _ -> 0
+  | Wire.Cap_shim.Request { rev_path_ids = last :: _; _ } -> last
+  | Wire.Cap_shim.Request { rev_path_ids = []; _ } | Wire.Cap_shim.Regular _ -> 0
 
 let push (shim : Wire.Cap_shim.t) tag =
   match shim.Wire.Cap_shim.kind with
-  | Wire.Cap_shim.Request { path_ids; precaps } ->
-      shim.Wire.Cap_shim.kind <- Wire.Cap_shim.Request { path_ids = path_ids @ [ tag ]; precaps }
+  | Wire.Cap_shim.Request req -> Wire.Cap_shim.push_path_id req tag
   | Wire.Cap_shim.Regular _ -> ()

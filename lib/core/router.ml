@@ -12,6 +12,8 @@ type t = {
   hash : Capability.keyed;
   trust_boundary : bool;
   mutable secret : Crypto.Secret.t;
+  secret_master : string;
+  mutable rotations : int;
   router_id : int;
   sim : Sim.t;
   cache : Flow_cache.t;
@@ -25,6 +27,8 @@ let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : 
     hash;
     trust_boundary;
     secret = Crypto.Secret.create ~master:secret_master;
+    secret_master;
+    rotations = 0;
     router_id;
     sim;
     cache = Flow_cache.create ~max_entries:(Params.flow_cache_entries params ~link_bps) ();
@@ -38,14 +42,22 @@ let cache t = t.cache
 let flush_cache t = Flow_cache.clear t.cache
 
 let rotate_secret t =
-  t.secret <- Crypto.Secret.create ~master:(string_of_int t.router_id ^ "/rotated")
+  (* Each rotation must yield a fresh secret, so derive the new master from
+     a counter — rotating twice used to land on the same "<id>/rotated"
+     master, silently re-validating capabilities from before the first
+     rotation. *)
+  t.rotations <- t.rotations + 1;
+  t.secret <-
+    Crypto.Secret.create ~master:(t.secret_master ^ "/rotated/" ^ string_of_int t.rotations)
 
 let demote t (shim : Wire.Cap_shim.t) =
   shim.Wire.Cap_shim.demoted <- true;
   t.counters.demotions <- t.counters.demotions + 1
 
-(* The capability addressed to this router sits at [ptr] in the list. *)
-let my_cap (shim : Wire.Cap_shim.t) caps = List.nth_opt caps shim.Wire.Cap_shim.ptr
+(* The capability addressed to this router sits at [ptr] in the array. *)
+let my_cap (shim : Wire.Cap_shim.t) (caps : Wire.Cap_shim.cap array) =
+  let ptr = shim.Wire.Cap_shim.ptr in
+  if ptr >= 0 && ptr < Array.length caps then Some caps.(ptr) else None
 
 let process_request t ~in_interface (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) =
   t.counters.requests <- t.counters.requests + 1;
@@ -57,9 +69,9 @@ let process_request t ~in_interface (p : Wire.Packet.t) (shim : Wire.Cap_shim.t)
       ~dst:p.Wire.Packet.dst
   in
   match shim.Wire.Cap_shim.kind with
-  | Wire.Cap_shim.Request { path_ids; precaps } ->
-      if List.length precaps >= 255 then demote t shim (* header space exhausted *)
-      else shim.Wire.Cap_shim.kind <- Wire.Cap_shim.Request { path_ids; precaps = precaps @ [ precap ] }
+  | Wire.Cap_shim.Request req ->
+      if Wire.Cap_shim.precap_count req >= 255 then demote t shim (* header space exhausted *)
+      else Wire.Cap_shim.push_precap req precap
   | Wire.Cap_shim.Regular _ -> assert false
 
 (* Validate the capability at [ptr] against this router's secret and the
@@ -129,14 +141,12 @@ let process_regular t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~nonce ~caps 
   in
   if not valid then demote t shim
   else begin
-    if caps <> [] then shim.Wire.Cap_shim.ptr <- shim.Wire.Cap_shim.ptr + 1;
+    if Array.length caps > 0 then shim.Wire.Cap_shim.ptr <- shim.Wire.Cap_shim.ptr + 1;
     if renewal then begin
       t.counters.renewals <- t.counters.renewals + 1;
       let precap = Capability.mint_precap ~hash:t.hash ~secret:t.secret ~now ~src ~dst in
       match shim.Wire.Cap_shim.kind with
-      | Wire.Cap_shim.Regular r ->
-          shim.Wire.Cap_shim.kind <-
-            Wire.Cap_shim.Regular { r with fresh_precaps = r.fresh_precaps @ [ precap ] }
+      | Wire.Cap_shim.Regular r -> Wire.Cap_shim.push_fresh_precap r precap
       | Wire.Cap_shim.Request _ -> assert false
     end
   end
@@ -148,7 +158,7 @@ let process t ~in_interface (p : Wire.Packet.t) =
   | Some shim -> begin
       match shim.Wire.Cap_shim.kind with
       | Wire.Cap_shim.Request _ -> process_request t ~in_interface p shim
-      | Wire.Cap_shim.Regular { nonce; caps; n_kb; t_sec; renewal; fresh_precaps = _ } ->
+      | Wire.Cap_shim.Regular { nonce; caps; n_kb; t_sec; renewal; rev_fresh_precaps = _ } ->
           process_regular t p shim ~nonce ~caps ~n_kb ~t_sec ~renewal
     end
 

@@ -1,6 +1,10 @@
 module type S = sig
   val name : string
   val mac56 : key:string -> string -> int64
+  val mac56_precap : key:string -> src:int -> dst:int -> ts:int -> int64
+
+  val mac56_cap :
+    key:string -> precap_ts:int -> precap_hash:int64 -> n_kb:int -> t_sec:int -> int64
 end
 
 let mask56 = 0x00ffffffffffffffL
@@ -14,27 +18,106 @@ let int64_of_prefix s =
   done;
   !acc
 
+(* The two capability preimages (paper Fig. 3), as strings.  These define
+   the canonical byte layouts; [mac56_precap]/[mac56_cap] must agree with
+   hashing these bit-for-bit, which the crypto property tests check. *)
+
+let precap_preimage ~src ~dst ~ts =
+  (* src (4 bytes BE) | dst (4 bytes BE) | ts (1 byte) — 9 bytes. *)
+  let b = Bytes.create 9 in
+  Bytes.set b 0 (Char.chr ((src lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((src lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((src lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (src land 0xff));
+  Bytes.set b 4 (Char.chr ((dst lsr 24) land 0xff));
+  Bytes.set b 5 (Char.chr ((dst lsr 16) land 0xff));
+  Bytes.set b 6 (Char.chr ((dst lsr 8) land 0xff));
+  Bytes.set b 7 (Char.chr (dst land 0xff));
+  Bytes.set b 8 (Char.chr (ts land 0xff));
+  Bytes.unsafe_to_string b
+
+let cap_preimage ~precap_ts ~precap_hash ~n_kb ~t_sec =
+  (* ts (1) | precap hash (7 bytes BE) | N (10 bits in 2 bytes) | T (1) —
+     11 bytes.  The hash is 56 bits wide so it fits an OCaml int. *)
+  let h = Int64.to_int precap_hash in
+  let b = Bytes.create 11 in
+  Bytes.set b 0 (Char.chr (precap_ts land 0xff));
+  for i = 0 to 6 do
+    Bytes.set b (i + 1) (Char.chr ((h lsr (8 * (6 - i))) land 0xff))
+  done;
+  Bytes.set b 8 (Char.chr ((n_kb lsr 8) land 0x03));
+  Bytes.set b 9 (Char.chr (n_kb land 0xff));
+  Bytes.set b 10 (Char.chr (t_sec land 0x3f));
+  Bytes.unsafe_to_string b
+
 module Fast = struct
   let name = "siphash-2-4"
 
-  let mac56 ~key msg =
-    (* SipHash wants a 16-byte key; shorter/longer keys are normalized by
-       hashing them under a fixed key first. *)
-    let key =
-      if String.length key = 16 then key
-      else
-        Siphash.mac_string ~key:"TVA key normali." key
-        ^ Siphash.mac_string ~key:"zation constant." key
+  (* SipHash wants a 16-byte key; shorter/longer keys are normalized by
+     hashing them under a fixed key first.  Keys from [Crypto.Secret] are
+     already 16 bytes, so the hot path takes the no-op branch. *)
+  let[@inline] normalize key =
+    if String.length key = 16 then key
+    else
+      Siphash.mac_string ~key:"TVA key normali." key
+      ^ Siphash.mac_string ~key:"zation constant." key
+
+  let mac56 ~key msg = Int64.logand (Siphash.mac ~key:(normalize key) msg) mask56
+
+  let[@inline] bswap32 x =
+    ((x lsr 24) land 0xff)
+    lor ((x lsr 8) land 0xff00)
+    lor ((x lsl 8) land 0xff0000)
+    lor ((x land 0xff) lsl 24)
+
+  (* Direct word-packed equivalents of hashing the preimage strings: byte i
+     of the message lands in bits [8i, 8i+8) of the little-endian word. *)
+
+  let mac56_precap ~key ~src ~dst ~ts =
+    let w0 =
+      Int64.logor
+        (Int64.of_int (bswap32 src))
+        (Int64.shift_left (Int64.of_int (bswap32 dst)) 32)
     in
-    Int64.logand (Siphash.mac ~key msg) mask56
+    let tail = Int64.of_int (ts land 0xff) in
+    Int64.logand (Siphash.mac_short ~key:(normalize key) ~len:9 ~w0 ~tail) mask56
+
+  let mac56_cap ~key ~precap_ts ~precap_hash ~n_kb ~t_sec =
+    let h = Int64.to_int precap_hash in
+    let lo =
+      (precap_ts land 0xff)
+      lor (((h lsr 48) land 0xff) lsl 8)
+      lor (((h lsr 40) land 0xff) lsl 16)
+      lor (((h lsr 32) land 0xff) lsl 24)
+      lor (((h lsr 24) land 0xff) lsl 32)
+      lor (((h lsr 16) land 0xff) lsl 40)
+      lor (((h lsr 8) land 0xff) lsl 48)
+    in
+    let w0 = Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int (h land 0xff)) 56) in
+    let tail =
+      Int64.of_int
+        (((n_kb lsr 8) land 0x03) lor ((n_kb land 0xff) lsl 8) lor ((t_sec land 0x3f) lsl 16))
+    in
+    Int64.logand (Siphash.mac_short ~key:(normalize key) ~len:11 ~w0 ~tail) mask56
 end
+
+(* Aes and Sha serve the prototype-fidelity benchmarks, not the hot path,
+   so their fixed-preimage entry points just build the string preimage. *)
 
 module Aes = struct
   let name = "aes-hash-mmo"
   let mac56 ~key msg = Int64.logand (int64_of_prefix (Aes_hash.mac ~key msg)) mask56
+  let mac56_precap ~key ~src ~dst ~ts = mac56 ~key (precap_preimage ~src ~dst ~ts)
+
+  let mac56_cap ~key ~precap_ts ~precap_hash ~n_kb ~t_sec =
+    mac56 ~key (cap_preimage ~precap_ts ~precap_hash ~n_kb ~t_sec)
 end
 
 module Sha = struct
   let name = "hmac-sha1"
   let mac56 ~key msg = Int64.logand (int64_of_prefix (Hmac_sha1.mac ~key msg)) mask56
+  let mac56_precap ~key ~src ~dst ~ts = mac56 ~key (precap_preimage ~src ~dst ~ts)
+
+  let mac56_cap ~key ~precap_ts ~precap_hash ~n_kb ~t_sec =
+    mac56 ~key (cap_preimage ~precap_ts ~precap_hash ~n_kb ~t_sec)
 end

@@ -13,10 +13,33 @@ module type S = sig
   val mac56 : key:string -> string -> int64
   (** [mac56 ~key msg] is a 56-bit tag (top 8 bits clear), the width of the
       hash field in a 64-bit capability. *)
+
+  val mac56_precap : key:string -> src:int -> dst:int -> ts:int -> int64
+  (** The pre-capability hash, equal to
+      [mac56 ~key (precap_preimage ~src ~dst ~ts)] but taking the fields
+      directly so implementations can skip building the preimage string.
+      This is the per-packet validation entry point. *)
+
+  val mac56_cap :
+    key:string -> precap_ts:int -> precap_hash:int64 -> n_kb:int -> t_sec:int -> int64
+  (** The capability hash over (pre-capability, N, T), equal to
+      [mac56 ~key (cap_preimage ~precap_ts ~precap_hash ~n_kb ~t_sec)]. *)
 end
 
+val precap_preimage : src:int -> dst:int -> ts:int -> string
+(** The canonical 9-byte pre-capability preimage:
+    src (4 bytes BE) | dst (4 bytes BE) | ts (1 byte).  The reference the
+    direct entry points must agree with. *)
+
+val cap_preimage : precap_ts:int -> precap_hash:int64 -> n_kb:int -> t_sec:int -> string
+(** The canonical 11-byte capability preimage:
+    ts (1) | pre-capability hash (7 bytes BE) | N (2 bytes, 10 used bits) |
+    T (1 byte, 6 used bits). *)
+
 module Fast : S
-(** SipHash-2-4 based; the simulation default. *)
+(** SipHash-2-4 based; the simulation default.  Its fixed-preimage entry
+    points pack the fields into SipHash words directly and do not
+    allocate. *)
 
 module Aes : S
 (** AES-hash (MMO) based, as the prototype uses for pre-capabilities. *)

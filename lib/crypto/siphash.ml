@@ -1,16 +1,26 @@
 (* SipHash-2-4: 2 compression rounds per 8-byte word, 4 finalization
    rounds.  All arithmetic is on Int64 with wraparound, which matches the
-   reference implementation exactly. *)
+   reference implementation exactly.
+
+   Two entry points share the core: [mac] consumes an arbitrary string
+   message, and [mac_short] consumes a short message already packed into
+   little-endian words.  The short path exists for the router's per-packet
+   hashes (9- and 11-byte preimages): it is written as one straight-line
+   chain of immutable [let]-bindings so the native compiler keeps every
+   intermediate int64 unboxed in registers — no state record, no per-round
+   stores, no per-word list as the original word loader had. *)
 
 let digest_size = 8
 
-let rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+let[@inline] rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
 
 let le64 s off =
-  let g i = Int64.of_int (Char.code s.[off + i]) in
-  let ( <| ) x n = Int64.shift_left x n in
-  List.fold_left Int64.logor 0L
-    [ g 0; g 1 <| 8; g 2 <| 16; g 3 <| 24; g 4 <| 32; g 5 <| 40; g 6 <| 48; g 7 <| 56 ]
+  (* Little-endian 64-bit load; a chain of ors rather than a fold over a
+     freshly built list, so loading a word allocates nothing. *)
+  let g i n = Int64.shift_left (Int64.of_int (Char.code s.[off + i])) n in
+  Int64.logor
+    (Int64.logor (Int64.logor (g 0 0) (g 1 8)) (Int64.logor (g 2 16) (g 3 24)))
+    (Int64.logor (Int64.logor (g 4 32) (g 5 40)) (Int64.logor (g 6 48) (g 7 56)))
 
 type state = { mutable v0 : int64; mutable v1 : int64; mutable v2 : int64; mutable v3 : int64 }
 
@@ -65,6 +75,143 @@ let mac ~key msg =
   sipround s;
   sipround s;
   Int64.logxor (Int64.logxor s.v0 s.v1) (Int64.logxor s.v2 s.v3)
+
+(* The hot-path variant: a message of 8..15 bytes is exactly one full word
+   [w0] plus a final word made of [tail] (the remaining [len - 8] bytes in
+   little-endian order, upper bytes zero) and the length byte.  The eight
+   SipRounds are unrolled as shadowing [let]s on purpose: a mutable state
+   record would box an int64 on every field store (~100 allocations per
+   call), while this form compiles to register arithmetic. *)
+let mac_short ~key ~len ~w0 ~tail =
+  if String.length key <> 16 then invalid_arg "Siphash.mac_short: key must be 16 bytes";
+  if len < 8 || len > 15 then invalid_arg "Siphash.mac_short: len must be in 8..15";
+  let k0 = le64 key 0 and k1 = le64 key 8 in
+  let v0 = Int64.logxor k0 0x736f6d6570736575L in
+  let v1 = Int64.logxor k1 0x646f72616e646f6dL in
+  let v2 = Int64.logxor k0 0x6c7967656e657261L in
+  let v3 = Int64.logxor k1 0x7465646279746573L in
+  (* Compress w0: SIPROUND x2. *)
+  let v3 = Int64.logxor v3 w0 in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  let v0 = Int64.logxor v0 w0 in
+  (* Compress the final word: tail bytes + length in the top byte. *)
+  let b = Int64.logor (Int64.shift_left (Int64.of_int len) 56) tail in
+  let v3 = Int64.logxor v3 b in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  let v0 = Int64.logxor v0 b in
+  (* Finalization: SIPROUND x4. *)
+  let v2 = Int64.logxor v2 0xffL in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  let v0 = Int64.add v0 v1 in
+  let v1 = rotl v1 13 in
+  let v1 = Int64.logxor v1 v0 in
+  let v0 = rotl v0 32 in
+  let v2 = Int64.add v2 v3 in
+  let v3 = rotl v3 16 in
+  let v3 = Int64.logxor v3 v2 in
+  let v0 = Int64.add v0 v3 in
+  let v3 = rotl v3 21 in
+  let v3 = Int64.logxor v3 v0 in
+  let v2 = Int64.add v2 v1 in
+  let v1 = rotl v1 17 in
+  let v1 = Int64.logxor v1 v2 in
+  let v2 = rotl v2 32 in
+  Int64.logxor (Int64.logxor v0 v1) (Int64.logxor v2 v3)
 
 let mac_string ~key msg =
   let v = mac ~key msg in

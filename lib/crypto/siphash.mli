@@ -13,5 +13,14 @@ val mac : key:string -> string -> int64
 val mac_string : key:string -> string -> string
 (** Same tag rendered as 8 little-endian bytes. *)
 
+val mac_short : key:string -> len:int -> w0:int64 -> tail:int64 -> int64
+(** [mac_short ~key ~len ~w0 ~tail] is [mac ~key msg] for a message of
+    [len] bytes (8 to 15) whose first 8 bytes, loaded little-endian, are
+    [w0] and whose remaining [len - 8] bytes, loaded little-endian with
+    upper bytes zero, are [tail].  This is the per-packet entry point: the
+    caller packs the preimage into words directly and no string or buffer
+    is built.  Raises [Invalid_argument] outside the 8..15 range or if
+    [key] is not 16 bytes. *)
+
 val digest_size : int
 (** 8 bytes. *)

@@ -7,16 +7,33 @@ type return_info =
   | Demotion_notice
   | Grant of { n_kb : int; t_sec : int; caps : cap list }
 
-type kind =
-  | Request of { path_ids : int list; precaps : cap list }
-  | Regular of {
-      nonce : int64;
-      caps : cap list;
-      n_kb : int;
-      t_sec : int;
-      renewal : bool;
-      fresh_precaps : cap list;
-    }
+(* Hop-by-hop fields are reverse-accumulated: routers cons onto the [rev_*]
+   lists in O(1) and readers get path order back via the accessors below.
+   The old representation appended with [l @ [x]], which copied the whole
+   list at every hop — quadratic over a path.  The regular-packet
+   capability list is an array so the router's "capability ptr" indexes it
+   in O(1) rather than [List.nth]. *)
+
+type request = { mutable rev_path_ids : int list; mutable rev_precaps : cap list }
+
+type regular = {
+  nonce : int64;
+  caps : cap array;
+  n_kb : int;
+  t_sec : int;
+  renewal : bool;
+  mutable rev_fresh_precaps : cap list;
+}
+
+type kind = Request of request | Regular of regular
+
+let path_ids req = List.rev req.rev_path_ids
+let precaps req = List.rev req.rev_precaps
+let precap_count req = List.length req.rev_precaps
+let push_path_id req pid = req.rev_path_ids <- pid :: req.rev_path_ids
+let push_precap req c = req.rev_precaps <- c :: req.rev_precaps
+let fresh_precaps r = List.rev r.rev_fresh_precaps
+let push_fresh_precap r c = r.rev_fresh_precaps <- c :: r.rev_fresh_precaps
 
 type t = {
   mutable kind : kind;
@@ -26,11 +43,18 @@ type t = {
 }
 
 let request () =
-  { kind = Request { path_ids = []; precaps = [] }; demoted = false; return_info = None; ptr = 0 }
+  {
+    kind = Request { rev_path_ids = []; rev_precaps = [] };
+    demoted = false;
+    return_info = None;
+    ptr = 0;
+  }
 
 let regular ?(fresh_precaps = []) ~nonce ~caps ~n_kb ~t_sec ~renewal () =
+  let caps = match caps with [] -> [||] | caps -> Array.of_list caps in
   {
-    kind = Regular { nonce; caps; n_kb; t_sec; renewal; fresh_precaps };
+    kind =
+      Regular { nonce; caps; n_kb; t_sec; renewal; rev_fresh_precaps = List.rev fresh_precaps };
     demoted = false;
     return_info = None;
     ptr = 0;
@@ -57,12 +81,14 @@ let return_info_bits = function
       return_type_bits + count_bits + n_bits + t_bits + (cap_bits * List.length caps)
 
 let kind_bits = function
-  | Request { path_ids; precaps } ->
-      (2 * count_bits) + (path_id_bits * List.length path_ids) + (cap_bits * List.length precaps)
-  | Regular { caps; renewal; fresh_precaps; _ } ->
+  | Request req ->
+      (2 * count_bits)
+      + (path_id_bits * List.length req.rev_path_ids)
+      + (cap_bits * List.length req.rev_precaps)
+  | Regular r ->
       nonce_bits + (2 * count_bits) + n_bits + t_bits
-      + (cap_bits * List.length caps)
-      + (if renewal then count_bits + (cap_bits * List.length fresh_precaps) else 0)
+      + (cap_bits * Array.length r.caps)
+      + (if r.renewal then count_bits + (cap_bits * List.length r.rev_fresh_precaps) else 0)
 
 let wire_size t = (common_bits + kind_bits t.kind + return_info_bits t.return_info + 7) / 8
 
@@ -74,7 +100,7 @@ let type_nibble t =
     match t.kind with
     | Request _ -> 0b00
     | Regular { renewal = true; _ } -> 0b11
-    | Regular { caps = []; _ } -> 0b10
+    | Regular { caps = [||]; _ } -> 0b10
     | Regular _ -> 0b01
   in
   (if t.demoted then 0b1000 else 0)
@@ -97,10 +123,11 @@ let encode t =
   Bitbuf.Writer.put w ~bits:4 (type_nibble t);
   Bitbuf.Writer.put w ~bits:8 upper_protocol;
   (match t.kind with
-  | Request { path_ids; precaps } ->
+  | Request req ->
       (* Fig. 5 shows a single n for path-ids and blank capabilities; in the
          protocol only trust-boundary routers tag, so the two lists can have
          different lengths and we carry both counts. *)
+      let path_ids = path_ids req and precaps = precaps req in
       check_range "path-id count" (List.length path_ids) 256;
       check_range "pre-capability count" (List.length precaps) 256;
       Bitbuf.Writer.put w ~bits:count_bits (List.length path_ids);
@@ -111,24 +138,25 @@ let encode t =
           Bitbuf.Writer.put w ~bits:path_id_bits pid)
         path_ids;
       List.iter (put_cap w) precaps
-  | Regular { nonce; caps; n_kb; t_sec; renewal; fresh_precaps } ->
-      if Int64.shift_right_logical nonce 48 <> 0L then invalid_arg "Cap_shim.encode: nonce wider than 48 bits";
-      check_range "capability count" (List.length caps) 256;
-      check_range "N" n_kb 1024;
-      check_range "T" t_sec 64;
-      Bitbuf.Writer.put64 w ~bits:nonce_bits nonce;
-      Bitbuf.Writer.put w ~bits:count_bits (List.length caps);
+  | Regular r ->
+      if Int64.shift_right_logical r.nonce 48 <> 0L then invalid_arg "Cap_shim.encode: nonce wider than 48 bits";
+      check_range "capability count" (Array.length r.caps) 256;
+      check_range "N" r.n_kb 1024;
+      check_range "T" r.t_sec 64;
+      Bitbuf.Writer.put64 w ~bits:nonce_bits r.nonce;
+      Bitbuf.Writer.put w ~bits:count_bits (Array.length r.caps);
       check_range "capability ptr" t.ptr 256;
       Bitbuf.Writer.put w ~bits:count_bits t.ptr;
-      Bitbuf.Writer.put w ~bits:n_bits n_kb;
-      Bitbuf.Writer.put w ~bits:t_bits t_sec;
-      List.iter (put_cap w) caps;
-      if renewal then begin
-        check_range "fresh pre-capability count" (List.length fresh_precaps) 256;
-        Bitbuf.Writer.put w ~bits:count_bits (List.length fresh_precaps);
-        List.iter (put_cap w) fresh_precaps
+      Bitbuf.Writer.put w ~bits:n_bits r.n_kb;
+      Bitbuf.Writer.put w ~bits:t_bits r.t_sec;
+      Array.iter (put_cap w) r.caps;
+      if r.renewal then begin
+        let fresh = fresh_precaps r in
+        check_range "fresh pre-capability count" (List.length fresh) 256;
+        Bitbuf.Writer.put w ~bits:count_bits (List.length fresh);
+        List.iter (put_cap w) fresh
       end
-      else if fresh_precaps <> [] then
+      else if r.rev_fresh_precaps <> [] then
         invalid_arg "Cap_shim.encode: fresh pre-capabilities on a non-renewal packet");
   (match t.return_info with
   | None -> ()
@@ -171,7 +199,8 @@ let decode s =
               let n_caps = Bitbuf.Reader.get r ~bits:count_bits in
               let path_ids = get_list r n_path (fun r -> Bitbuf.Reader.get r ~bits:path_id_bits) in
               let precaps = get_list r n_caps get_cap in
-              Request { path_ids; precaps }
+              (* Wire order is path order, so store it reversed. *)
+              Request { rev_path_ids = List.rev path_ids; rev_precaps = List.rev precaps }
           | low ->
               let renewal = low = 0b11 in
               let nonce = Bitbuf.Reader.get64 r ~bits:nonce_bits in
@@ -179,7 +208,7 @@ let decode s =
               ptr := Bitbuf.Reader.get r ~bits:count_bits;
               let n_kb = Bitbuf.Reader.get r ~bits:n_bits in
               let t_sec = Bitbuf.Reader.get r ~bits:t_bits in
-              let caps = get_list r n_caps get_cap in
+              let caps = Array.init n_caps (fun _ -> get_cap r) in
               let fresh_precaps =
                 if renewal then begin
                   let n_fresh = Bitbuf.Reader.get r ~bits:count_bits in
@@ -187,7 +216,8 @@ let decode s =
                 end
                 else []
               in
-              Regular { nonce; caps; n_kb; t_sec; renewal; fresh_precaps }
+              Regular
+                { nonce; caps; n_kb; t_sec; renewal; rev_fresh_precaps = List.rev fresh_precaps }
         in
         let return_info =
           if not has_return then None
@@ -212,14 +242,15 @@ let decode s =
 
 let pp fmt t =
   let pp_kind fmt = function
-    | Request { path_ids; precaps } ->
+    | Request req ->
         Format.fprintf fmt "request paths=[%s] precaps=%d"
-          (String.concat ";" (List.map string_of_int path_ids))
-          (List.length precaps)
-    | Regular { nonce; caps; n_kb; t_sec; renewal; fresh_precaps } ->
+          (String.concat ";" (List.map string_of_int (path_ids req)))
+          (precap_count req)
+    | Regular r ->
         Format.fprintf fmt "%s nonce=%012Lx caps=%d N=%dKB T=%ds fresh=%d"
-          (if renewal then "renewal" else if caps = [] then "regular/nonce" else "regular/caps")
-          nonce (List.length caps) n_kb t_sec (List.length fresh_precaps)
+          (if r.renewal then "renewal" else if r.caps = [||] then "regular/nonce" else "regular/caps")
+          r.nonce (Array.length r.caps) r.n_kb r.t_sec
+          (List.length r.rev_fresh_precaps)
   in
   Format.fprintf fmt "@[<h>%a%s%s@]" pp_kind t.kind
     (if t.demoted then " DEMOTED" else "")

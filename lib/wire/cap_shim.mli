@@ -22,23 +22,55 @@ type return_info =
       (** Capabilities granted by the destination for the reverse direction:
           up to [n_kb] KB within [t_sec] seconds. *)
 
-type kind =
-  | Request of { path_ids : int list; precaps : cap list }
-      (** Filled in hop by hop: trust-boundary routers push a 16-bit path
-          identifier, every capability router appends a pre-capability. *)
-  | Regular of {
-      nonce : int64;
-      caps : cap list;
-      n_kb : int;
-      t_sec : int;
-      renewal : bool;
-      fresh_precaps : cap list;
-          (** Only on renewal packets: the fresh pre-capabilities routers
-              mint en route (paper Sec. 4.3: "a fresh pre-capability is
-              minted and placed in the packet").  The paper does not pin a
-              bit layout for these; we append them after the old
-              capability list with their own count byte. *)
-    }  (** [caps = \[\]] is the common nonce-only format. *)
+type request = {
+  mutable rev_path_ids : int list;
+      (** Path identifiers, newest first.  Filled in hop by hop:
+          trust-boundary routers push a 16-bit identifier.  Use
+          {!path_ids} / {!push_path_id} rather than touching the reversed
+          list directly. *)
+  mutable rev_precaps : cap list;
+      (** Pre-capabilities, newest first — every capability router pushes
+          one.  Reverse accumulation makes the per-hop append O(1); use
+          {!precaps} / {!push_precap}. *)
+}
+
+type regular = {
+  nonce : int64;
+  caps : cap array;
+      (** An array so the router's capability ptr indexes in O(1);
+          [\[||\]] is the common nonce-only format. *)
+  n_kb : int;
+  t_sec : int;
+  renewal : bool;
+  mutable rev_fresh_precaps : cap list;
+      (** Only on renewal packets: the fresh pre-capabilities routers
+          mint en route (paper Sec. 4.3: "a fresh pre-capability is
+          minted and placed in the packet"), newest first.  The paper does
+          not pin a bit layout for these; we append them after the old
+          capability list with their own count byte.  Use
+          {!fresh_precaps} / {!push_fresh_precap}. *)
+}
+
+type kind = Request of request | Regular of regular
+
+val path_ids : request -> int list
+(** In path order (oldest hop first). *)
+
+val precaps : request -> cap list
+(** In path order, matching the order routers were traversed — the
+    destination converts these positionally into the capability list. *)
+
+val precap_count : request -> int
+
+val push_path_id : request -> int -> unit
+(** O(1) append at the path's tail. *)
+
+val push_precap : request -> cap -> unit
+
+val fresh_precaps : regular -> cap list
+(** In path order. *)
+
+val push_fresh_precap : regular -> cap -> unit
 
 type t = {
   mutable kind : kind;

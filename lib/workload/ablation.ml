@@ -108,11 +108,11 @@ let queueing_discipline ?(jobs = 1) ?(n_attackers = 20) ?(transfers = 20) ?(max_
          the capabilities to the attacker's real address. *)
       Net.set_handler colluder (fun _ ~in_link:_ p ->
           match p.Wire.Packet.shim with
-          | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request { precaps; _ }; _ } ->
+          | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request req; _ } ->
               let caps =
                 List.map
                   (fun precap -> Tva.Capability.cap_of_precap ~hash:fast ~precap ~n_kb ~t_sec)
-                  precaps
+                  (Wire.Cap_shim.precaps req)
               in
               let shim = Wire.Cap_shim.request () in
               shim.Wire.Cap_shim.return_info <- Some (Wire.Cap_shim.Grant { n_kb; t_sec; caps });

@@ -99,6 +99,29 @@ let siphash_rejects_bad_key () =
   Alcotest.check_raises "bad key" (Invalid_argument "Siphash.mac: key must be 16 bytes") (fun () ->
       ignore (Crypto.Siphash.mac ~key:"tiny" "msg"))
 
+(* The word-packed hot-path entry point must agree with the string path on
+   every message length it covers. *)
+let siphash_mac_short_matches_mac =
+  QCheck.Test.make ~name:"siphash: mac_short = mac on all 8..15-byte messages" ~count:500
+    QCheck.(
+      triple (int_range 8 15)
+        (list_of_size (QCheck.Gen.return 15) (int_range 0 255))
+        (string_of_size (QCheck.Gen.return 16)))
+    (fun (len, bytes, key) ->
+      let bytes = Array.of_list bytes in
+      let msg = String.init len (fun i -> Char.chr bytes.(i)) in
+      let w0 = ref 0L in
+      for i = 0 to 7 do
+        w0 := Int64.logor !w0 (Int64.shift_left (Int64.of_int bytes.(i)) (8 * i))
+      done;
+      let tail = ref 0L in
+      for i = 8 to len - 1 do
+        tail := Int64.logor !tail (Int64.shift_left (Int64.of_int bytes.(i)) (8 * (i - 8)))
+      done;
+      Int64.equal
+        (Crypto.Siphash.mac_short ~key ~len ~w0:!w0 ~tail:!tail)
+        (Crypto.Siphash.mac ~key msg))
+
 (* --- HMAC-SHA1 (RFC 2202 vectors) ----------------------------------- *)
 
 let hmac_rfc2202_case1 () =
@@ -159,6 +182,40 @@ let keyed_hash_distinct_messages =
       let key = String.make 16 'k' in
       not (Int64.equal (Crypto.Keyed_hash.Fast.mac56 ~key a) (Crypto.Keyed_hash.Fast.mac56 ~key b)))
 
+(* The fixed-preimage entry points must be bit-for-bit the same hash as the
+   legacy string-preimage path, for every implementation — the router's
+   fast path and the destination's slow path have to mint identical
+   capabilities. *)
+let direct_mac56_matches_string_preimage =
+  let modules =
+    [
+      (module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S);
+      (module Crypto.Keyed_hash.Aes);
+      (module Crypto.Keyed_hash.Sha);
+    ]
+  in
+  QCheck.Test.make
+    ~name:"keyed_hash: mac56_precap/mac56_cap = string-preimage path (Fast/Aes/Sha)" ~count:100
+    QCheck.(
+      pair
+        (string_of_size QCheck.Gen.(int_range 1 32))
+        (triple
+           (pair (map (fun i -> i land 0xFFFFFFFF) int) (map (fun i -> i land 0xFFFFFFFF) int))
+           (int_range 0 255)
+           (pair (int_range 0 1023) (int_range 0 63))))
+    (fun (key, ((src, dst), ts, (n_kb, t_sec))) ->
+      List.for_all
+        (fun (module H : Crypto.Keyed_hash.S) ->
+          let ph = H.mac56_precap ~key ~src ~dst ~ts in
+          let ph_str = H.mac56 ~key (Crypto.Keyed_hash.precap_preimage ~src ~dst ~ts) in
+          let ch = H.mac56_cap ~key ~precap_ts:ts ~precap_hash:ph ~n_kb ~t_sec in
+          let ch_str =
+            H.mac56 ~key
+              (Crypto.Keyed_hash.cap_preimage ~precap_ts:ts ~precap_hash:ph ~n_kb ~t_sec)
+          in
+          Int64.equal ph ph_str && Int64.equal ch ch_str)
+        modules)
+
 (* --- Rotating secrets (paper Sec. 3.4) ------------------------------- *)
 
 let secret_issuing_is_stable_within_epoch () =
@@ -204,6 +261,27 @@ let secret_deterministic_from_master () =
   Alcotest.(check string) "same master, same secrets" (Crypto.Secret.issuing_secret a ~now:42.)
     (Crypto.Secret.issuing_secret b ~now:42.)
 
+let secret_epoch_cache_is_transparent () =
+  (* The per-instance epoch-key cache (two slots, current + previous) must
+     be invisible: hammering one instance across epoch changes, in both
+     directions, returns exactly what a fresh instance computes. *)
+  let cached = Crypto.Secret.create ~master:"cache-check" in
+  let times = [ 10.; 140.; 10.; 300.; 140.; 10.; 1000.; 300. ] in
+  List.iter
+    (fun now ->
+      let fresh = Crypto.Secret.create ~master:"cache-check" in
+      Alcotest.(check string)
+        (Printf.sprintf "issuing at t=%g" now)
+        (Crypto.Secret.issuing_secret fresh ~now)
+        (Crypto.Secret.issuing_secret cached ~now);
+      let ts = Crypto.Secret.timestamp ~now in
+      let opt = function None -> "none" | Some s -> s in
+      Alcotest.(check string)
+        (Printf.sprintf "validating at t=%g" now)
+        (opt (Crypto.Secret.validating_secret fresh ~now ~ts))
+        (opt (Crypto.Secret.validating_secret cached ~now ~ts)))
+    times
+
 let suite =
   [
     Alcotest.test_case "sha1 empty" `Quick sha1_empty;
@@ -219,6 +297,8 @@ let suite =
     Alcotest.test_case "siphash vectors 0-7" `Quick siphash_reference_vectors;
     Alcotest.test_case "siphash vector 15" `Quick siphash_15byte_vector;
     Alcotest.test_case "siphash bad key" `Quick siphash_rejects_bad_key;
+    QCheck_alcotest.to_alcotest siphash_mac_short_matches_mac;
+    QCheck_alcotest.to_alcotest direct_mac56_matches_string_preimage;
     Alcotest.test_case "hmac rfc2202 #1" `Quick hmac_rfc2202_case1;
     Alcotest.test_case "hmac rfc2202 #2" `Quick hmac_rfc2202_case2;
     Alcotest.test_case "hmac rfc2202 #3" `Quick hmac_rfc2202_case3;
@@ -235,4 +315,5 @@ let suite =
     Alcotest.test_case "secret retired after 2 epochs" `Quick secret_expires_after_two_epochs;
     Alcotest.test_case "timestamp modulo 256" `Quick secret_timestamp_is_modulo_256;
     Alcotest.test_case "secret deterministic" `Quick secret_deterministic_from_master;
+    Alcotest.test_case "secret epoch cache transparent" `Quick secret_epoch_cache_is_transparent;
   ]

@@ -321,9 +321,10 @@ let router_stamps_requests () =
   let p = request_packet () in
   Tva.Router.process router ~in_interface:3 p;
   match p.Wire.Packet.shim with
-  | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request { path_ids; precaps }; _ } ->
+  | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request req; _ } ->
+      let path_ids = Wire.Cap_shim.path_ids req in
       Alcotest.(check int) "one tag" 1 (List.length path_ids);
-      Alcotest.(check int) "one precap" 1 (List.length precaps);
+      Alcotest.(check int) "one precap" 1 (Wire.Cap_shim.precap_count req);
       Alcotest.(check int) "tag is interface-determined"
         (Tva.Path_id.tag ~router_id:1 ~interface_id:3)
         (List.hd path_ids)
@@ -335,9 +336,9 @@ let non_boundary_router_does_not_tag () =
   let p = request_packet () in
   Tva.Router.process router ~in_interface:3 p;
   match p.Wire.Packet.shim with
-  | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request { path_ids; precaps }; _ } ->
-      Alcotest.(check int) "no tag" 0 (List.length path_ids);
-      Alcotest.(check int) "still a precap" 1 (List.length precaps)
+  | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request req; _ } ->
+      Alcotest.(check int) "no tag" 0 (List.length (Wire.Cap_shim.path_ids req));
+      Alcotest.(check int) "still a precap" 1 (Wire.Cap_shim.precap_count req)
   | _ -> Alcotest.fail "not a request anymore"
 
 (* Drive a full grant through one router: request -> precap -> destination
@@ -347,7 +348,7 @@ let granted_regular sim router ~n_kb ~t_sec ~nonce =
   Tva.Router.process router ~in_interface:0 req;
   let precap =
     match req.Wire.Packet.shim with
-    | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request { precaps = [ pc ]; _ }; _ } -> pc
+    | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Request { rev_precaps = [ pc ]; _ }; _ } -> pc
     | _ -> Alcotest.fail "no precap"
   in
   ignore sim;
@@ -435,7 +436,7 @@ let router_renewal_mints_fresh_precap () =
   let p2 = mk ~renewal:true ~with_caps:true ~bytes:100 () in
   Tva.Router.process router ~in_interface:0 p2;
   match p2.Wire.Packet.shim with
-  | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Regular { fresh_precaps = [ pc ]; _ }; demoted; _ } ->
+  | Some { Wire.Cap_shim.kind = Wire.Cap_shim.Regular { rev_fresh_precaps = [ pc ]; _ }; demoted; _ } ->
       Alcotest.(check bool) "not demoted" false demoted;
       (* The fresh pre-capability converts into a capability that validates
          against the same router. *)
@@ -473,6 +474,57 @@ let router_secret_rotation_invalidates () =
   Tva.Router.process router ~in_interface:0 p;
   Alcotest.(check bool) "old capability dead after restart" true
     (match p.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted | None -> false)
+
+(* Each rotation must yield a fresh secret.  An earlier implementation
+   derived the rotated master as [id ^ "/rotated"], so a second rotation was
+   a no-op and capabilities minted after the first rotation survived it. *)
+let router_two_rotations_distinct () =
+  let sim = Sim.create () in
+  let router = make_router sim in
+  Tva.Router.rotate_secret router;
+  (* Mint under the once-rotated secret; it must validate... *)
+  let mk = granted_regular sim router ~n_kb:32 ~t_sec:10 ~nonce:13L in
+  let p1 = mk ~bytes:100 () in
+  Tva.Router.process router ~in_interface:0 p1;
+  Alcotest.(check bool) "valid under first rotated secret" false
+    (match p1.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted | None -> true);
+  (* ...and die under the twice-rotated one. *)
+  Tva.Router.rotate_secret router;
+  Tva.Router.flush_cache router;
+  let p2 = mk ~bytes:100 () in
+  Tva.Router.process router ~in_interface:0 p2;
+  Alcotest.(check bool) "second rotation yields a distinct secret" true
+    (match p2.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted | None -> false)
+
+(* Regression guard for the zero-allocation hot path: a nonce-only packet
+   hitting the flow cache must stay within the same minor-words budget the
+   pps benchmark enforces (bench/pps_bench.ml). *)
+let router_cached_path_allocation_budget () =
+  let budget = 32. in
+  let sim = Sim.create () in
+  let router = make_router sim in
+  let mk = granted_regular sim router ~n_kb:1023 ~t_sec:32 ~nonce:14L in
+  let p0 = mk ~bytes:100 () in
+  Tva.Router.process router ~in_interface:0 p0;
+  Alcotest.(check bool) "entry established" false
+    (match p0.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted | None -> true);
+  (* Small body so the loop stays far below the 1023 KB byte budget. *)
+  let p = mk ~with_caps:false ~bytes:10 () in
+  for _ = 1 to 100 do
+    Tva.Router.process router ~in_interface:0 p
+  done;
+  let iters = 8000 in
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    Tva.Router.process router ~in_interface:0 p
+  done;
+  let per_packet = (Gc.minor_words () -. words0) /. float_of_int iters in
+  Alcotest.(check bool) "stayed on the cached path" false
+    (match p.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted | None -> true);
+  if per_packet > budget then
+    Alcotest.failf "cached-nonce path allocates %.2f minor words/packet (budget %g)" per_packet
+      budget
 
 let router_passes_legacy () =
   let sim = Sim.create () in
@@ -732,6 +784,8 @@ let suite =
     Alcotest.test_case "router renewal" `Quick router_renewal_mints_fresh_precap;
     Alcotest.test_case "router cache flush" `Quick router_cache_flush_demotes_nonce_only;
     Alcotest.test_case "router secret rotation" `Quick router_secret_rotation_invalidates;
+    Alcotest.test_case "router two rotations distinct" `Quick router_two_rotations_distinct;
+    Alcotest.test_case "router cached path allocation" `Quick router_cached_path_allocation_budget;
     Alcotest.test_case "router legacy" `Quick router_passes_legacy;
     Alcotest.test_case "router demoted passthrough" `Quick router_skips_demoted;
     Alcotest.test_case "policy allow_all" `Quick policy_allow_all;

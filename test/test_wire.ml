@@ -91,7 +91,10 @@ let request_roundtrip () =
   let shim = Wire.Cap_shim.request () in
   shim.Wire.Cap_shim.kind <-
     Wire.Cap_shim.Request
-      { path_ids = [ 0x1234; 0xFFFF ]; precaps = [ cap 12 0xAABBCCDDEEFFL; cap 255 1L ] };
+      {
+        rev_path_ids = List.rev [ 0x1234; 0xFFFF ];
+        rev_precaps = List.rev [ cap 12 0xAABBCCDDEEFFL; cap 255 1L ];
+      };
   Alcotest.(check bool) "request round-trips" true (shim_equal shim (roundtrip shim))
 
 let regular_nonce_only_roundtrip () =
@@ -199,10 +202,32 @@ let gen_shim =
     let* fresh = list_size (int_range 0 3) gen_cap in
     let kind =
       match kind_choice with
-      | 0 -> Wire.Cap_shim.Request { path_ids; precaps = caps }
-      | 1 -> Wire.Cap_shim.Regular { nonce; caps; n_kb; t_sec; renewal = false; fresh_precaps = [] }
-      | 2 -> Wire.Cap_shim.Regular { nonce; caps = []; n_kb; t_sec; renewal = false; fresh_precaps = [] }
-      | _ -> Wire.Cap_shim.Regular { nonce; caps; n_kb; t_sec; renewal = true; fresh_precaps = fresh }
+      | 0 ->
+          Wire.Cap_shim.Request
+            { rev_path_ids = List.rev path_ids; rev_precaps = List.rev caps }
+      | 1 ->
+          Wire.Cap_shim.Regular
+            {
+              nonce;
+              caps = Array.of_list caps;
+              n_kb;
+              t_sec;
+              renewal = false;
+              rev_fresh_precaps = [];
+            }
+      | 2 ->
+          Wire.Cap_shim.Regular
+            { nonce; caps = [||]; n_kb; t_sec; renewal = false; rev_fresh_precaps = [] }
+      | _ ->
+          Wire.Cap_shim.Regular
+            {
+              nonce;
+              caps = Array.of_list caps;
+              n_kb;
+              t_sec;
+              renewal = true;
+              rev_fresh_precaps = List.rev fresh;
+            }
     in
     let return_info =
       match return_choice with
@@ -261,7 +286,7 @@ let packet_size_grows_with_precaps () =
   (match p.Wire.Packet.shim with
   | Some shim ->
       shim.Wire.Cap_shim.kind <-
-        Wire.Cap_shim.Request { path_ids = [ 7 ]; precaps = [ cap 1 2L ] }
+        Wire.Cap_shim.Request { rev_path_ids = [ 7 ]; rev_precaps = [ cap 1 2L ] }
   | None -> assert false);
   Alcotest.(check int) "10 more bytes (16-bit tag + 64-bit precap)" (before + 10) (Wire.Packet.size p)
 
