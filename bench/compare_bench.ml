@@ -1,0 +1,148 @@
+(* Compare freshly measured benchmark JSONs against the committed
+   baselines and fail on a real throughput regression.
+
+     dune exec bench/compare_bench.exe -- \
+       --old-pps BENCH_pps.json --new-pps /tmp/fresh_pps.json \
+       [--old-sweep BENCH_sweep.json --new-sweep /tmp/fresh_sweep.json] \
+       [--threshold 0.25] [--relative-to-legacy] [--summary $GITHUB_STEP_SUMMARY]
+
+   The gate: each router path's pps in the new report must be within
+   [threshold] (default 25%) of the committed value, else exit 1.  With
+   [--relative-to-legacy], each path's pps is first divided by the same
+   report's legacy-path pps — the legacy path does no TVA work, so the
+   ratio cancels raw machine speed and isolates per-path cost, which keeps
+   the gate meaningful on CI runners slower than the machine that produced
+   the committed numbers.  The sweep comparison is reported but never
+   gates: its wall-clock depends on domain scheduling noise.
+
+   The report is a markdown table on stdout; [--summary FILE] appends the
+   same markdown there (pass $GITHUB_STEP_SUMMARY in CI). *)
+
+let old_pps = ref "BENCH_pps.json"
+let new_pps = ref ""
+let old_sweep = ref ""
+let new_sweep = ref ""
+let threshold = ref 0.25
+let relative = ref false
+let summary = ref ""
+
+let spec =
+  [
+    ("--old-pps", Arg.Set_string old_pps, "FILE  committed per-packet report (default BENCH_pps.json)");
+    ("--new-pps", Arg.Set_string new_pps, "FILE  freshly measured per-packet report (required)");
+    ("--old-sweep", Arg.Set_string old_sweep, "FILE  committed sweep report (optional)");
+    ("--new-sweep", Arg.Set_string new_sweep, "FILE  freshly measured sweep report (optional)");
+    ("--threshold", Arg.Set_float threshold, "F  max tolerated pps regression fraction (default 0.25)");
+    ( "--relative-to-legacy",
+      Arg.Set relative,
+      "  compare each path's pps normalized by the same report's legacy pps" );
+    ("--summary", Arg.Set_string summary, "FILE  also append the markdown report here");
+  ]
+
+let usage = "compare_bench --new-pps FILE [options]"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The reports are written by our own benches with one "key": value per
+   line, so a scan for the quoted key suffices — no JSON library in the
+   dependency set. *)
+let find_number ?(from = 0) text key =
+  let needle = "\"" ^ key ^ "\":" in
+  match
+    let rec search i =
+      if i + String.length needle > String.length text then None
+      else if String.sub text i (String.length needle) = needle then Some i
+      else search (i + 1)
+    in
+    search from
+  with
+  | None -> None
+  | Some i ->
+      let j = i + String.length needle in
+      let k = ref j in
+      while
+        !k < String.length text
+        && (match text.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' | ' ' -> true | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.trim (String.sub text j (!k - j)))
+
+let section_pps text name =
+  let needle = "\"" ^ name ^ "\":" in
+  let rec search i =
+    if i + String.length needle > String.length text then None
+    else if String.sub text i (String.length needle) = needle then Some i
+    else search (i + 1)
+  in
+  match search 0 with None -> None | Some i -> find_number ~from:i text "pps"
+
+let paths = [ "cached_nonce"; "validate"; "request"; "legacy" ]
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !new_pps = "" then begin
+    prerr_endline "compare_bench: --new-pps is required";
+    exit 2
+  end;
+  let old_text = read_file !old_pps and new_text = read_file !new_pps in
+  let get text name =
+    match section_pps text name with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "compare_bench: no \"%s\" pps in report\n" name;
+        exit 2
+  in
+  let normalize text v = if !relative then v /. get text "legacy" else v in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "### Router per-packet throughput vs committed baseline\n\n";
+  if !relative then
+    Buffer.add_string buf "_pps normalized by each report's legacy-path pps._\n\n";
+  Buffer.add_string buf "| path | committed pps | fresh pps | change | gate |\n";
+  Buffer.add_string buf "|---|---|---|---|---|\n";
+  let failed = ref false in
+  List.iter
+    (fun name ->
+      let o = get old_text name and n = get new_text name in
+      let delta = (normalize new_text n /. normalize old_text o) -. 1. in
+      (* Legacy is the normalization denominator; gating it against itself
+         would be vacuous under --relative-to-legacy, and raw machine speed
+         otherwise, so it is informational. *)
+      let gated = name <> "legacy" in
+      let regressed = gated && delta < -. !threshold in
+      if regressed then failed := true;
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %.0f | %.0f | %+.1f%% | %s |\n" name o n (100. *. delta)
+           (if not gated then "—" else if regressed then "FAIL" else "ok")))
+    paths;
+  (match (!old_sweep, !new_sweep) with
+  | "", _ | _, "" -> ()
+  | os, ns ->
+      let ot = read_file os and nt = read_file ns in
+      Buffer.add_string buf "\n### Sweep engine (informational)\n\n";
+      Buffer.add_string buf "| metric | committed | fresh | change |\n|---|---|---|---|\n";
+      List.iter
+        (fun key ->
+          match (find_number ot key, find_number nt key) with
+          | Some o, Some n ->
+              Buffer.add_string buf
+                (Printf.sprintf "| %s | %.0f | %.0f | %+.1f%% |\n" key o n
+                   (100. *. ((n /. o) -. 1.)))
+          | _ -> ())
+        [ "events_per_sec_j1"; "events_per_sec_jN" ]);
+  Buffer.add_string buf
+    (Printf.sprintf "\nGate: fail if any router path regresses more than %.0f%%.  Result: **%s**\n"
+       (100. *. !threshold)
+       (if !failed then "FAIL" else "pass"));
+  print_string (Buffer.contents buf);
+  if !summary <> "" then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 !summary in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+  end;
+  if !failed then exit 1

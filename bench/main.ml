@@ -114,8 +114,8 @@ let queueing_tests () =
         (Staged.stage (fun () ->
              let p = packets.(!i land 0xf) in
              incr i;
-             ignore (drr.Qdisc.enqueue ~now:0. p);
-             ignore (drr.Qdisc.dequeue ~now:0.)));
+             ignore (Qdisc.enqueue drr ~now:0. p);
+             ignore (Qdisc.dequeue drr ~now:0.)));
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -20,6 +20,8 @@
 let flows = ref 1024
 let passes = ref 512
 let budget = ref 32.
+let validate_budget = ref 56.
+let request_budget = ref 32.
 let out_path = ref "BENCH_pps.json"
 
 let spec =
@@ -29,10 +31,18 @@ let spec =
     ( "--budget",
       Arg.Set_float budget,
       "W  max minor words/packet on the cached-nonce path (default 32)" );
+    ( "--validate-budget",
+      Arg.Set_float validate_budget,
+      "W  max minor words/packet on the validate path (default 56)" );
+    ( "--request-budget",
+      Arg.Set_float request_budget,
+      "W  max minor words/packet on the request path (default 32)" );
     ("--out", Arg.Set_string out_path, "PATH  where to write the JSON report");
   ]
 
-let usage = "pps_bench [--flows N] [--passes K] [--budget W] [--out PATH]"
+let usage =
+  "pps_bench [--flows N] [--passes K] [--budget W] [--validate-budget W] [--request-budget W] \
+   [--out PATH]"
 
 let n_kb = 1023
 let t_sec = 32
@@ -213,6 +223,8 @@ let () =
   pp_path "request" request_m;
   pp_path "legacy" legacy_m;
   let budget_ok = cached_m.minor_words_per_packet <= !budget in
+  let validate_ok = validate_m.minor_words_per_packet <= !validate_budget in
+  let request_ok = request_m.minor_words_per_packet <= !request_budget in
   let json_path name m =
     String.concat "\n"
       [
@@ -236,7 +248,11 @@ let () =
         json_path "request" request_m ^ ",";
         json_path "legacy" legacy_m ^ ",";
         Printf.sprintf "  \"cached_nonce_budget_words\": %g," !budget;
-        Printf.sprintf "  \"cached_nonce_budget_ok\": %b" budget_ok;
+        Printf.sprintf "  \"cached_nonce_budget_ok\": %b," budget_ok;
+        Printf.sprintf "  \"validate_budget_words\": %g," !validate_budget;
+        Printf.sprintf "  \"validate_budget_ok\": %b," validate_ok;
+        Printf.sprintf "  \"request_budget_words\": %g," !request_budget;
+        Printf.sprintf "  \"request_budget_ok\": %b" request_ok;
         "}";
       ]
   in
@@ -245,8 +261,15 @@ let () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "  -> %s\n%!" !out_path;
-  if not budget_ok then begin
-    Printf.eprintf "FATAL: cached-nonce path allocates %.2f minor words/packet (budget %g)\n"
-      cached_m.minor_words_per_packet !budget;
-    exit 1
-  end
+  let failed = ref false in
+  let check_budget name actual limit =
+    if actual > limit then begin
+      Printf.eprintf "FATAL: %s path allocates %.2f minor words/packet (budget %g)\n" name actual
+        limit;
+      failed := true
+    end
+  in
+  check_budget "cached-nonce" cached_m.minor_words_per_packet !budget;
+  check_budget "validate" validate_m.minor_words_per_packet !validate_budget;
+  check_budget "request" request_m.minor_words_per_packet !request_budget;
+  if !failed then exit 1

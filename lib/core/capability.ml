@@ -65,6 +65,37 @@ let validate2 ~precap_hash:(module P : Crypto.Keyed_hash.S)
 let validate ~hash ~secret ~now ~src ~dst ~n_kb ~t_sec cap =
   validate2 ~precap_hash:hash ~cap_hash:hash ~secret ~now ~src ~dst ~n_kb ~t_sec cap
 
+(* The [_cached] pair is what routers call per packet: identical results
+   to {!mint_precap}/{!validate}, but the epoch secrets and the public
+   capability key are preprocessed once per epoch through [cache] instead
+   of per call. *)
+
+let mint_precap_cached ~hash:(module H : Crypto.Keyed_hash.S) ~cache ~secret ~now ~src ~dst =
+  let ts = Crypto.Secret.timestamp ~now in
+  let key = Crypto.Secret.issuing_secret secret ~now in
+  let prep = Crypto.Keyed_hash.prepared_of (module H) cache key in
+  {
+    Wire.Cap_shim.ts;
+    hash = H.mac56_precap_p ~prep ~src:(Wire.Addr.to_int src) ~dst:(Wire.Addr.to_int dst) ~ts;
+  }
+
+let validate_cached ~hash:(module H : Crypto.Keyed_hash.S) ~cache ~secret ~now ~src ~dst ~n_kb
+    ~t_sec (cap : Wire.Cap_shim.cap) =
+  let ts = cap.Wire.Cap_shim.ts in
+  if expired ~now ~ts ~t_sec then Expired
+  else begin
+    match Crypto.Secret.validating_secret secret ~now ~ts with
+    | None -> Bad_hash
+    | Some key ->
+        let prep = Crypto.Keyed_hash.prepared_of (module H) cache key in
+        let ph =
+          H.mac56_precap_p ~prep ~src:(Wire.Addr.to_int src) ~dst:(Wire.Addr.to_int dst) ~ts
+        in
+        let pub = Crypto.Keyed_hash.prepared_of (module H) cache public_key in
+        let expect = H.mac56_cap_p ~prep:pub ~precap_ts:ts ~precap_hash:ph ~n_kb ~t_sec in
+        if Int64.equal expect cap.Wire.Cap_shim.hash then Valid else Bad_hash
+  end
+
 let mint_precap2 ~precap_hash ~secret ~now ~src ~dst =
   mint_precap ~hash:precap_hash ~secret ~now ~src ~dst
 

@@ -72,6 +72,30 @@ val validate2 :
     prototype pairs AES-hash (pre-capabilities) with HMAC-SHA1 (full
     capabilities).  {!validate} is [validate2] with both hashes equal. *)
 
+val mint_precap_cached :
+  hash:keyed ->
+  cache:Crypto.Keyed_hash.prep_cache ->
+  secret:Crypto.Secret.t ->
+  now:float ->
+  src:Wire.Addr.t ->
+  dst:Wire.Addr.t ->
+  Wire.Cap_shim.cap
+(** {!mint_precap} with per-epoch key preparation memoized in [cache] —
+    the router's per-packet entry point.  Results are identical. *)
+
+val validate_cached :
+  hash:keyed ->
+  cache:Crypto.Keyed_hash.prep_cache ->
+  secret:Crypto.Secret.t ->
+  now:float ->
+  src:Wire.Addr.t ->
+  dst:Wire.Addr.t ->
+  n_kb:int ->
+  t_sec:int ->
+  Wire.Cap_shim.cap ->
+  verdict
+(** {!validate} with per-epoch key preparation memoized in [cache]. *)
+
 val expired : now:float -> ts:int -> t_sec:int -> bool
 (** The modulo-clock expiry test alone (used for cached entries, where the
     hash was checked at insertion). *)

@@ -6,7 +6,7 @@ let src_key (p : Wire.Packet.t) = Wire.Addr.to_int p.Wire.Packet.src
 
 let build ?(regular_key = `Destination) ~(params : Params.t) ~bandwidth_bps ~request_inner () =
   let request =
-    Token_bucket.create ~name:"request-limiter"
+    Token_bucket.create ~name:"request-limiter" ~mtu:params.Params.mtu
       ~rate_bps:(params.Params.request_fraction *. bandwidth_bps)
       ~burst_bytes:params.Params.request_burst_bytes ~inner:request_inner ()
   in

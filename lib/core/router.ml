@@ -18,6 +18,12 @@ type t = {
   sim : Sim.t;
   cache : Flow_cache.t;
   counters : counters;
+  (* Per-packet hot-path memos: prepared hash keys (per epoch secret) and
+     this router's path-id tag per incoming interface.  Both hold pure
+     functions of stable inputs, so they are caches in the strict sense —
+     hits and misses produce identical packets. *)
+  prep : Crypto.Keyed_hash.prep_cache;
+  tags : (int, int) Hashtbl.t;
 }
 
 let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S))
@@ -34,6 +40,8 @@ let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : 
     cache = Flow_cache.create ~max_entries:(Params.flow_cache_entries params ~link_bps) ();
     counters =
       { requests = 0; regular_cached = 0; regular_validated = 0; renewals = 0; demotions = 0; legacy = 0 };
+    prep = Crypto.Keyed_hash.prep_cache ();
+    tags = Hashtbl.create 16;
   }
 
 let counters t = t.counters
@@ -59,14 +67,24 @@ let my_cap (shim : Wire.Cap_shim.t) (caps : Wire.Cap_shim.cap array) =
   let ptr = shim.Wire.Cap_shim.ptr in
   if ptr >= 0 && ptr < Array.length caps then Some caps.(ptr) else None
 
+(* [Path_id.tag] is a SipHash over a formatted string; it is a pure
+   function of (router, interface), so each interface's tag is computed
+   once and then served from [t.tags]. *)
+let tag_of_interface t ~in_interface =
+  match Hashtbl.find t.tags in_interface with
+  | tag -> tag
+  | exception Not_found ->
+      let tag = Path_id.tag ~router_id:t.router_id ~interface_id:in_interface in
+      Hashtbl.add t.tags in_interface tag;
+      tag
+
 let process_request t ~in_interface (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) =
   t.counters.requests <- t.counters.requests + 1;
-  if t.trust_boundary then
-    Path_id.push shim (Path_id.tag ~router_id:t.router_id ~interface_id:in_interface);
+  if t.trust_boundary then Path_id.push shim (tag_of_interface t ~in_interface);
   let now = Sim.now t.sim in
   let precap =
-    Capability.mint_precap ~hash:t.hash ~secret:t.secret ~now ~src:p.Wire.Packet.src
-      ~dst:p.Wire.Packet.dst
+    Capability.mint_precap_cached ~hash:t.hash ~cache:t.prep ~secret:t.secret ~now
+      ~src:p.Wire.Packet.src ~dst:p.Wire.Packet.dst
   in
   match shim.Wire.Cap_shim.kind with
   | Wire.Cap_shim.Request req ->
@@ -82,8 +100,8 @@ let validate_listed t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~caps ~n_kb ~
   | Some cap -> begin
       let now = Sim.now t.sim in
       match
-        Capability.validate ~hash:t.hash ~secret:t.secret ~now ~src:p.Wire.Packet.src
-          ~dst:p.Wire.Packet.dst ~n_kb ~t_sec cap
+        Capability.validate_cached ~hash:t.hash ~cache:t.prep ~secret:t.secret ~now
+          ~src:p.Wire.Packet.src ~dst:p.Wire.Packet.dst ~n_kb ~t_sec cap
       with
       | Capability.Valid -> Some cap
       | Capability.Expired | Capability.Bad_hash -> None
@@ -144,7 +162,9 @@ let process_regular t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~nonce ~caps 
     if Array.length caps > 0 then shim.Wire.Cap_shim.ptr <- shim.Wire.Cap_shim.ptr + 1;
     if renewal then begin
       t.counters.renewals <- t.counters.renewals + 1;
-      let precap = Capability.mint_precap ~hash:t.hash ~secret:t.secret ~now ~src ~dst in
+      let precap =
+        Capability.mint_precap_cached ~hash:t.hash ~cache:t.prep ~secret:t.secret ~now ~src ~dst
+      in
       match shim.Wire.Cap_shim.kind with
       | Wire.Cap_shim.Regular r -> Wire.Cap_shim.push_fresh_precap r precap
       | Wire.Cap_shim.Request _ -> assert false

@@ -1,3 +1,10 @@
+(* A key preprocessed for per-packet use.  For SipHash this is the
+   normalized key already split into its two 64-bit words — loading those
+   words costs more than the hash rounds themselves, so the router prepares
+   each epoch secret once and hashes packets against the prepared form.
+   String-preimage implementations just carry the key through [pk]. *)
+type prepared = { pk : string; k0 : int64; k1 : int64 }
+
 module type S = sig
   val name : string
   val mac56 : key:string -> string -> int64
@@ -5,6 +12,17 @@ module type S = sig
 
   val mac56_cap :
     key:string -> precap_ts:int -> precap_hash:int64 -> n_kb:int -> t_sec:int -> int64
+
+  val prepare : string -> prepared
+  (** Preprocess a key for the [_p] entry points; call once per key, not
+      per packet. *)
+
+  val mac56_precap_p : prep:prepared -> src:int -> dst:int -> ts:int -> int64
+  (** [mac56_precap] against a prepared key: same tag, none of the per-call
+      key setup. *)
+
+  val mac56_cap_p :
+    prep:prepared -> precap_ts:int -> precap_hash:int64 -> n_kb:int -> t_sec:int -> int64
 end
 
 let mask56 = 0x00ffffffffffffffL
@@ -73,16 +91,16 @@ module Fast = struct
   (* Direct word-packed equivalents of hashing the preimage strings: byte i
      of the message lands in bits [8i, 8i+8) of the little-endian word. *)
 
-  let mac56_precap ~key ~src ~dst ~ts =
+  let mac56_precap_p ~prep ~src ~dst ~ts =
     let w0 =
       Int64.logor
         (Int64.of_int (bswap32 src))
         (Int64.shift_left (Int64.of_int (bswap32 dst)) 32)
     in
     let tail = Int64.of_int (ts land 0xff) in
-    Int64.logand (Siphash.mac_short ~key:(normalize key) ~len:9 ~w0 ~tail) mask56
+    Int64.logand (Siphash.mac_short_k ~k0:prep.k0 ~k1:prep.k1 ~len:9 ~w0 ~tail) mask56
 
-  let mac56_cap ~key ~precap_ts ~precap_hash ~n_kb ~t_sec =
+  let mac56_cap_p ~prep ~precap_ts ~precap_hash ~n_kb ~t_sec =
     let h = Int64.to_int precap_hash in
     let lo =
       (precap_ts land 0xff)
@@ -98,7 +116,17 @@ module Fast = struct
       Int64.of_int
         (((n_kb lsr 8) land 0x03) lor ((n_kb land 0xff) lsl 8) lor ((t_sec land 0x3f) lsl 16))
     in
-    Int64.logand (Siphash.mac_short ~key:(normalize key) ~len:11 ~w0 ~tail) mask56
+    Int64.logand (Siphash.mac_short_k ~k0:prep.k0 ~k1:prep.k1 ~len:11 ~w0 ~tail) mask56
+
+  let prepare key =
+    let key = normalize key in
+    let k0, k1 = Siphash.key_words key in
+    { pk = key; k0; k1 }
+
+  let mac56_precap ~key ~src ~dst ~ts = mac56_precap_p ~prep:(prepare key) ~src ~dst ~ts
+
+  let mac56_cap ~key ~precap_ts ~precap_hash ~n_kb ~t_sec =
+    mac56_cap_p ~prep:(prepare key) ~precap_ts ~precap_hash ~n_kb ~t_sec
 end
 
 (* Aes and Sha serve the prototype-fidelity benchmarks, not the hot path,
@@ -111,6 +139,11 @@ module Aes = struct
 
   let mac56_cap ~key ~precap_ts ~precap_hash ~n_kb ~t_sec =
     mac56 ~key (cap_preimage ~precap_ts ~precap_hash ~n_kb ~t_sec)
+
+  let prepare key = { pk = key; k0 = 0L; k1 = 0L }
+  let mac56_precap_p ~prep = mac56_precap ~key:prep.pk
+
+  let mac56_cap_p ~prep = mac56_cap ~key:prep.pk
 end
 
 module Sha = struct
@@ -120,4 +153,43 @@ module Sha = struct
 
   let mac56_cap ~key ~precap_ts ~precap_hash ~n_kb ~t_sec =
     mac56 ~key (cap_preimage ~precap_ts ~precap_hash ~n_kb ~t_sec)
+
+  let prepare key = { pk = key; k0 = 0L; k1 = 0L }
+  let mac56_precap_p ~prep = mac56_precap ~key:prep.pk
+
+  let mac56_cap_p ~prep = mac56_cap ~key:prep.pk
 end
+
+(* A three-slot memo from key strings to their prepared form, keyed by
+   physical identity.  [Secret] hands back the same memoized string for a
+   given epoch, and the live set is at most {current epoch, previous
+   epoch, public capability key}, so three slots make re-preparation a
+   cold event (epoch rotation only). *)
+type prep_cache = {
+  mutable s0 : string;
+  mutable p0 : prepared;
+  mutable s1 : string;
+  mutable p1 : prepared;
+  mutable s2 : string;
+  mutable p2 : prepared;
+}
+
+let empty_prepared = { pk = ""; k0 = 0L; k1 = 0L }
+
+let prep_cache () =
+  { s0 = ""; p0 = empty_prepared; s1 = ""; p1 = empty_prepared; s2 = ""; p2 = empty_prepared }
+
+let prepared_of (module H : S) cache key =
+  if cache.s0 == key then cache.p0
+  else if cache.s1 == key then cache.p1
+  else if cache.s2 == key then cache.p2
+  else begin
+    let p = H.prepare key in
+    cache.s2 <- cache.s1;
+    cache.p2 <- cache.p1;
+    cache.s1 <- cache.s0;
+    cache.p1 <- cache.p0;
+    cache.s0 <- key;
+    cache.p0 <- p;
+    p
+  end

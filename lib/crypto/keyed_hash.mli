@@ -7,6 +7,12 @@
     SipHash for speed.  Implementations are interchangeable through this
     signature. *)
 
+type prepared
+(** A key preprocessed for the per-packet [_p] entry points (for SipHash:
+    normalized and split into its two 64-bit words, which is most of the
+    per-call setup cost).  Prepare once per key via {!S.prepare} or a
+    {!prep_cache}. *)
+
 module type S = sig
   val name : string
 
@@ -17,14 +23,36 @@ module type S = sig
   val mac56_precap : key:string -> src:int -> dst:int -> ts:int -> int64
   (** The pre-capability hash, equal to
       [mac56 ~key (precap_preimage ~src ~dst ~ts)] but taking the fields
-      directly so implementations can skip building the preimage string.
-      This is the per-packet validation entry point. *)
+      directly so implementations can skip building the preimage string. *)
 
   val mac56_cap :
     key:string -> precap_ts:int -> precap_hash:int64 -> n_kb:int -> t_sec:int -> int64
   (** The capability hash over (pre-capability, N, T), equal to
       [mac56 ~key (cap_preimage ~precap_ts ~precap_hash ~n_kb ~t_sec)]. *)
+
+  val prepare : string -> prepared
+  (** Preprocess a key for the [_p] entry points; call once per key, not
+      per packet. *)
+
+  val mac56_precap_p : prep:prepared -> src:int -> dst:int -> ts:int -> int64
+  (** {!mac56_precap} against a prepared key — the per-packet validation
+      entry point: same tag, none of the per-call key setup. *)
+
+  val mac56_cap_p :
+    prep:prepared -> precap_ts:int -> precap_hash:int64 -> n_kb:int -> t_sec:int -> int64
+  (** {!mac56_cap} against a prepared key. *)
 end
+
+type prep_cache
+(** A three-slot memo from key strings (by physical identity) to their
+    prepared form — sized to the live set of a validating router: current
+    epoch secret, previous epoch secret, public capability key. *)
+
+val prep_cache : unit -> prep_cache
+
+val prepared_of : (module S) -> prep_cache -> string -> prepared
+(** The prepared form of a key, reusing a cache slot when the same string
+    was prepared recently. *)
 
 val precap_preimage : src:int -> dst:int -> ts:int -> string
 (** The canonical 9-byte pre-capability preimage:

@@ -82,10 +82,8 @@ let mac ~key msg =
    SipRounds are unrolled as shadowing [let]s on purpose: a mutable state
    record would box an int64 on every field store (~100 allocations per
    call), while this form compiles to register arithmetic. *)
-let mac_short ~key ~len ~w0 ~tail =
-  if String.length key <> 16 then invalid_arg "Siphash.mac_short: key must be 16 bytes";
-  if len < 8 || len > 15 then invalid_arg "Siphash.mac_short: len must be in 8..15";
-  let k0 = le64 key 0 and k1 = le64 key 8 in
+let mac_short_k ~k0 ~k1 ~len ~w0 ~tail =
+  if len < 8 || len > 15 then invalid_arg "Siphash.mac_short_k: len must be in 8..15";
   let v0 = Int64.logxor k0 0x736f6d6570736575L in
   let v1 = Int64.logxor k1 0x646f72616e646f6dL in
   let v2 = Int64.logxor k0 0x6c7967656e657261L in
@@ -212,6 +210,17 @@ let mac_short ~key ~len ~w0 ~tail =
   let v1 = Int64.logxor v1 v2 in
   let v2 = rotl v2 32 in
   Int64.logxor (Int64.logxor v0 v1) (Int64.logxor v2 v3)
+
+(* Loading the key costs more than the rounds on this path (the [le64]
+   closure work dominates), so per-epoch callers preload (k0, k1) once via
+   [key_words] and call [mac_short_k] directly. *)
+let mac_short ~key ~len ~w0 ~tail =
+  if String.length key <> 16 then invalid_arg "Siphash.mac_short: key must be 16 bytes";
+  mac_short_k ~k0:(le64 key 0) ~k1:(le64 key 8) ~len ~w0 ~tail
+
+let key_words key =
+  if String.length key <> 16 then invalid_arg "Siphash.key_words: key must be 16 bytes";
+  (le64 key 0, le64 key 8)
 
 let mac_string ~key msg =
   let v = mac ~key msg in

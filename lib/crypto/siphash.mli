@@ -22,5 +22,15 @@ val mac_short : key:string -> len:int -> w0:int64 -> tail:int64 -> int64
     is built.  Raises [Invalid_argument] outside the 8..15 range or if
     [key] is not 16 bytes. *)
 
+val mac_short_k : k0:int64 -> k1:int64 -> len:int -> w0:int64 -> tail:int64 -> int64
+(** {!mac_short} with the key already loaded into its two little-endian
+    words (see {!key_words}).  Loading the key is most of {!mac_short}'s
+    cost, so per-epoch callers hoist it and hit this entry point per
+    packet. *)
+
+val key_words : string -> int64 * int64
+(** The two little-endian 64-bit words of a 16-byte key, for
+    {!mac_short_k}.  Raises [Invalid_argument] on any other length. *)
+
 val digest_size : int
 (** 8 bytes. *)

@@ -153,8 +153,8 @@ let rec kick link =
         Sim.cancel h;
         link.poll <- None
     | None -> ());
-    match link.qdisc.Qdisc.dequeue ~now:time with
-    | Some p ->
+    let p = Qdisc.dequeue link.qdisc ~now:time in
+    if p != Qdisc.none then begin
         link.busy <- true;
         link.tx_packets <- link.tx_packets + 1;
         link.tx_bytes <- link.tx_bytes + Wire.Packet.size p;
@@ -168,20 +168,21 @@ let rec kick link =
                       emit net (Deliver (link.dst, p));
                       link.dst.handler link.dst ~in_link:(Some link) p));
                kick link))
-    | None -> begin
-        match link.qdisc.Qdisc.next_ready ~now:time with
-        | None -> ()
-        | Some at ->
-            let delay = Float.max 0. (at -. time) in
-            (* Never arm a zero-delay self-poll after an empty dequeue: the
-               qdisc is momentarily unservable, so wait a token tick. *)
-            let delay = if delay <= 0. then min_poll_delay else delay in
-            link.poll <-
-              Some
-                (Sim.schedule net.sim ~delay (fun () ->
-                     link.poll <- None;
-                     kick link))
+    end
+    else begin
+      let at = Qdisc.next_ready link.qdisc ~now:time in
+      if at < infinity then begin
+        let delay = Float.max 0. (at -. time) in
+        (* Never arm a zero-delay self-poll after an empty dequeue: the
+           qdisc is momentarily unservable, so wait a token tick. *)
+        let delay = if delay <= 0. then min_poll_delay else delay in
+        link.poll <-
+          Some
+            (Sim.schedule net.sim ~delay (fun () ->
+                 link.poll <- None;
+                 kick link))
       end
+    end
   end
 
 let enqueue_on link p =
@@ -193,7 +194,7 @@ let enqueue_on link p =
       link.qdisc.Qdisc.stats.Qdisc.bytes_dropped + Wire.Packet.size p;
     emit net (Queue_drop (link, p))
   end
-  else if link.qdisc.Qdisc.enqueue ~now:(Sim.now net.sim) p then kick link
+  else if Qdisc.enqueue link.qdisc ~now:(Sim.now net.sim) p then kick link
   else emit net (Queue_drop (link, p))
 
 let charge_hop node p =

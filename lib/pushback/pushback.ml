@@ -72,7 +72,7 @@ let make_qdisc t ~bandwidth_bps =
     }
   in
   let enqueue ~now p =
-    let accepted = inner.Qdisc.enqueue ~now p in
+    let accepted = Qdisc.enqueue inner ~now p in
     if accepted then ls.window_tx <- ls.window_tx + 1
     else begin
       ls.window_drops <- ls.window_drops + 1;
@@ -109,36 +109,39 @@ let make_qdisc t ~bandwidth_bps =
   in
   let dequeue ~now =
     match release_staged ~now with
-    | Some p -> Some p
-    | None ->
-        if ls.staged <> None then None
-        else begin
-          match inner.Qdisc.dequeue ~now with
-          | None -> None
-          | Some p ->
+    | Some p -> p
+    | None -> begin
+        match ls.staged with
+        | Some _ -> Qdisc.none
+        | None -> begin
+            let p = Qdisc.dequeue inner ~now in
+            if p == Qdisc.none then Qdisc.none
+            else begin
               ls.staged <- Some p;
-              release_staged ~now
-        end
+              match release_staged ~now with Some p -> p | None -> Qdisc.none
+            end
+          end
+      end
   in
   let next_ready ~now =
     match ls.staged with
     | Some p -> begin
         match Hashtbl.find_opt ls.limits (Wire.Addr.to_int p.Wire.Packet.dst) with
-        | None -> Some now
+        | None -> now
         | Some f ->
             refill f ~now;
             let size = float_of_int (Wire.Packet.size p) in
-            if f.tokens >= size then Some now
-            else Some (now +. ((size -. f.tokens) /. f.rate))
+            if f.tokens >= size then now else now +. ((size -. f.tokens) /. f.rate)
       end
-    | None -> inner.Qdisc.next_ready ~now
+    | None -> Qdisc.next_ready inner ~now
   in
   let qdisc =
-    Qdisc.make ~name:"pushback-link" ~enqueue ~dequeue ~next_ready
-      ~packet_count:(fun () -> inner.Qdisc.packet_count () + if ls.staged = None then 0 else 1)
+    Qdisc.make_custom ~name:"pushback-link" ~enqueue ~dequeue ~next_ready
+      ~packet_count:(fun () -> Qdisc.packet_count inner + if ls.staged = None then 0 else 1)
       ~byte_count:(fun () ->
-        inner.Qdisc.byte_count ()
-        + match ls.staged with None -> 0 | Some p -> Wire.Packet.size p) ()
+        Qdisc.byte_count inner
+        + match ls.staged with None -> 0 | Some p -> Wire.Packet.size p)
+      ()
   in
   t.registry <- (qdisc.Qdisc.stats, ls) :: t.registry;
   qdisc
@@ -279,7 +282,7 @@ let tick t st =
   List.iter
     (fun ((lid, _) as key) ->
       match List.find_opt (fun l -> Net.link_id l = lid) (Net.links_into st.node) with
-      | Some in_link when (Net.link_qdisc in_link).Qdisc.packet_count () > 0 ->
+      | Some in_link when Qdisc.packet_count (Net.link_qdisc in_link) > 0 ->
           Hashtbl.replace t.ages key 0
       | Some _ | None -> ())
     st.installed;

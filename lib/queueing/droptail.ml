@@ -1,3 +1,6 @@
+(* Thin constructor: the FIFO datapath lives in [Qdisc], backed by a
+   [Pktring] instead of [Stdlib.Queue] (no per-push cell allocation). *)
+
 let default_capacity ~bandwidth_bps ~delay =
   let bdp = int_of_float (bandwidth_bps *. delay /. 8.) in
   max bdp (30 * 1500)
@@ -10,28 +13,11 @@ let create ?(name = "droptail") ?capacity_packets ~capacity_bytes () =
   (match capacity_packets with
   | Some n when n <= 0 -> invalid_arg "Droptail.create: packet capacity must be positive"
   | Some _ | None -> ());
-  let q : Wire.Packet.t Queue.t = Queue.create () in
-  let bytes = ref 0 in
-  let enqueue ~now:_ p =
-    let size = Wire.Packet.size p in
-    let over_packets =
-      match capacity_packets with Some n -> Queue.length q >= n | None -> false
-    in
-    if !bytes + size > capacity_bytes || over_packets then false
-    else begin
-      Queue.push p q;
-      bytes := !bytes + size;
-      true
-    end
-  in
-  let dequeue ~now:_ =
-    match Queue.take_opt q with
-    | None -> None
-    | Some p ->
-        bytes := !bytes - Wire.Packet.size p;
-        Some p
-  in
-  let next_ready ~now = if Queue.is_empty q then None else Some now in
-  Qdisc.make ~name ~enqueue ~dequeue ~next_ready
-    ~packet_count:(fun () -> Queue.length q)
-    ~byte_count:(fun () -> !bytes) ()
+  Qdisc.make ~name
+    (Qdisc.Fifo
+       {
+         Qdisc.f_capacity_bytes = capacity_bytes;
+         f_capacity_packets = (match capacity_packets with Some n -> n | None -> max_int);
+         f_ring = Pktring.create ();
+         f_bytes = 0;
+       })

@@ -1,145 +1,32 @@
-type subqueue = {
-  q : Wire.Packet.t Queue.t;
-  mutable bytes : int;
-  mutable deficit : int;
-  mutable active : bool; (* present in the round-robin ring *)
-}
+(* Thin constructor: the DRR datapath itself lives in [Qdisc] (direct
+   dispatch over the concrete variant). *)
 
-type state = {
-  quantum : int;
-  queue_capacity : int;
-  max_queues : int;
-  classify : Wire.Packet.t -> int;
-  table : (int, subqueue) Hashtbl.t;
-  ring : int Queue.t; (* keys awaiting service, round-robin order *)
-  mutable current : int option; (* key being served within its deficit *)
-  mutable packets : int;
-  mutable bytes : int;
-}
-
-let overflow_key = min_int
-(* Shared queue for keys arriving once [max_queues] distinct classes exist. *)
-
-(* [active_queues] recovers the DRR state from the boxed Qdisc.t through
-   its [meta] field.  (The seed kept a global registry list for this, which
-   was both a cross-run mutable global — off-limits now that sweeps run on
-   parallel domains — and an O(registry) lookup.) *)
-type Qdisc.meta += Drr_state of state
-
-let subqueue_of st key =
-  match Hashtbl.find_opt st.table key with
-  | Some sq -> Some (key, sq)
-  | None ->
-      if Hashtbl.length st.table >= st.max_queues && key <> overflow_key then None
-      else begin
-        let sq = { q = Queue.create (); bytes = 0; deficit = 0; active = false } in
-        Hashtbl.add st.table key sq;
-        Some (key, sq)
-      end
-
-let enqueue st p =
-  let size = Wire.Packet.size p in
-  let key = st.classify p in
-  let slot =
-    match subqueue_of st key with
-    | Some s -> Some s
-    | None -> subqueue_of st overflow_key (* class table full: share the overflow queue *)
-  in
-  match slot with
-  | None -> false
-  | Some (key, sq) ->
-      if sq.bytes + size > st.queue_capacity then false
-      else begin
-        Queue.push p sq.q;
-        sq.bytes <- sq.bytes + size;
-        st.packets <- st.packets + 1;
-        st.bytes <- st.bytes + size;
-        if not sq.active then begin
-          sq.active <- true;
-          sq.deficit <- 0;
-          Queue.push key st.ring
-        end;
-        true
-      end
-
-let rec dequeue st =
-  match st.current with
-  | None ->
-      if Queue.is_empty st.ring then None
-      else begin
-        let key = Queue.pop st.ring in
-        (match Hashtbl.find_opt st.table key with
-        | None -> ()
-        | Some sq -> sq.deficit <- sq.deficit + st.quantum);
-        st.current <- Some key;
-        dequeue st
-      end
-  | Some key -> begin
-      match Hashtbl.find_opt st.table key with
-      | None ->
-          st.current <- None;
-          dequeue st
-      | Some sq -> begin
-          match Queue.peek_opt sq.q with
-          | None ->
-              (* Served dry within its deficit: leaves the ring, and its
-                 state is reclaimed so the table only holds backlogged
-                 classes. *)
-              Hashtbl.remove st.table key;
-              st.current <- None;
-              dequeue st
-          | Some head ->
-              let size = Wire.Packet.size head in
-              if size <= sq.deficit then begin
-                let p = Queue.pop sq.q in
-                sq.deficit <- sq.deficit - size;
-                sq.bytes <- sq.bytes - size;
-                st.packets <- st.packets - 1;
-                st.bytes <- st.bytes - size;
-                if Queue.is_empty sq.q then begin
-                  Hashtbl.remove st.table key;
-                  st.current <- None
-                end;
-                Some p
-              end
-              else begin
-                (* Deficit exhausted: back to the tail of the ring, keeping
-                   the accumulated deficit for the next round. *)
-                Queue.push key st.ring;
-                st.current <- None;
-                dequeue st
-              end
-        end
-    end
+let overflow_key = Qdisc.overflow_key
 
 let create ?(name = "drr") ?(quantum = 1500) ?(queue_capacity_bytes = 65536) ?(max_queues = 4096)
     ~classify () =
   if quantum <= 0 then invalid_arg "Drr.create: quantum must be positive";
   if queue_capacity_bytes <= 0 then invalid_arg "Drr.create: queue capacity must be positive";
   if max_queues <= 0 then invalid_arg "Drr.create: max_queues must be positive";
-  let st =
-    {
-      quantum;
-      queue_capacity = queue_capacity_bytes;
-      max_queues;
-      classify;
-      table = Hashtbl.create 64;
-      ring = Queue.create ();
-      current = None;
-      packets = 0;
-      bytes = 0;
-    }
-  in
-  Qdisc.make ~meta:(Drr_state st) ~name
-    ~enqueue:(fun ~now:_ p -> enqueue st p)
-    ~dequeue:(fun ~now:_ -> dequeue st)
-    ~next_ready:(fun ~now -> if st.packets > 0 then Some now else None)
-    ~packet_count:(fun () -> st.packets)
-    ~byte_count:(fun () -> st.bytes)
-    ()
+  Qdisc.make ~name
+    (Qdisc.Drr
+       {
+         Qdisc.d_quantum = quantum;
+         d_capacity = queue_capacity_bytes;
+         d_max_queues = max_queues;
+         d_classify = classify;
+         d_table = Hashtbl.create 64;
+         d_ring = Intring.create ();
+         d_current = 0;
+         d_has_current = false;
+         d_packets = 0;
+         d_bytes = 0;
+         d_pool = [||];
+         d_pool_len = 0;
+       })
 
 let active_queues (qdisc : Qdisc.t) =
-  match qdisc.Qdisc.meta with
-  | Some (Drr_state st) ->
-      Hashtbl.fold (fun _ sq acc -> if sq.active then acc + 1 else acc) st.table 0
-  | Some _ | None -> invalid_arg "Drr.active_queues: not a DRR qdisc"
+  match qdisc.Qdisc.kind with
+  | Qdisc.Drr d ->
+      Hashtbl.fold (fun _ sq acc -> if sq.Qdisc.dc_active then acc + 1 else acc) d.Qdisc.d_table 0
+  | _ -> invalid_arg "Drr.active_queues: not a DRR qdisc"

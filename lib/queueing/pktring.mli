@@ -1,0 +1,24 @@
+(** Growable ring buffer of packets — the allocation-free FIFO backing the
+    queueing disciplines.  Pushes and pops allocate nothing once the ring
+    has grown to its working-set size; vacated slots are reset to {!nil} so
+    the ring never pins dequeued packets against the GC. *)
+
+type t
+
+val nil : Wire.Packet.t
+(** The shared "no packet" sentinel, compared by physical identity ([==]).
+    Returned by {!peek}/{!pop} on an empty ring; rejected by {!push}. *)
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> Wire.Packet.t -> unit
+(** Appends at the tail, doubling the backing array when full.  Raises
+    [Invalid_argument] if given {!nil}. *)
+
+val peek : t -> Wire.Packet.t
+(** The head packet, or {!nil} when empty.  No allocation. *)
+
+val pop : t -> Wire.Packet.t
+(** Removes and returns the head packet, or {!nil} when empty. *)

@@ -1,31 +1,5 @@
+(* Thin constructor: the strict-priority datapath lives in [Qdisc]. *)
+
 let create ?(name = "priority") ~classify ~classes () =
   if classes = [] then invalid_arg "Priority.create: need at least one class";
-  let arr = Array.of_list classes in
-  let n = Array.length arr in
-  let enqueue ~now p =
-    let i = classify p in
-    let i = if i < 0 then 0 else if i >= n then n - 1 else i in
-    arr.(i).Qdisc.enqueue ~now p
-  in
-  let dequeue ~now =
-    let rec go i =
-      if i >= n then None
-      else begin
-        match arr.(i).Qdisc.dequeue ~now with Some p -> Some p | None -> go (i + 1)
-      end
-    in
-    go 0
-  in
-  let next_ready ~now =
-    Array.fold_left
-      (fun acc child ->
-        match (child.Qdisc.next_ready ~now, acc) with
-        | None, acc -> acc
-        | Some t, None -> Some t
-        | Some t, Some u -> Some (Float.min t u))
-      None arr
-  in
-  Qdisc.make ~name ~enqueue ~dequeue ~next_ready
-    ~packet_count:(fun () -> Array.fold_left (fun acc c -> acc + c.Qdisc.packet_count ()) 0 arr)
-    ~byte_count:(fun () -> Array.fold_left (fun acc c -> acc + c.Qdisc.byte_count ()) 0 arr)
-    ()
+  Qdisc.make ~name (Qdisc.Priority { Qdisc.p_classify = classify; p_classes = Array.of_list classes })

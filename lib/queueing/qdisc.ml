@@ -1,3 +1,18 @@
+(* The queueing datapath.
+
+   A qdisc used to be a record of closures (each discipline wrapping the
+   next), which made the per-packet path three indirect calls deep, each
+   returning a freshly boxed [option].  It is now a concrete variant: the
+   disciplines' state lives here and [enqueue]/[dequeue]/[next_ready]
+   dispatch over [kind] as a match chain, so the TVA link scheduler
+   (tri-class -> token bucket -> DRR) runs as straight-line code.
+
+   Allocation discipline (DESIGN.md Sec. 9): steady-state enqueue/dequeue
+   allocate nothing.  FIFOs are ring buffers ([Pktring]), DRR's round-robin
+   ring is an int ring ([Intring]), the token bucket counts fixed-point
+   integer tokens, "no packet" is the physical sentinel [none] instead of
+   [option], and "never ready" is [infinity] instead of [float option]. *)
+
 type stats = {
   mutable enqueued : int;
   mutable dequeued : int;
@@ -7,47 +22,424 @@ type stats = {
   mutable bytes_dropped : int;
 }
 
-type meta = ..
-
-type t = {
-  name : string;
-  enqueue : now:float -> Wire.Packet.t -> bool;
-  dequeue : now:float -> Wire.Packet.t option;
-  next_ready : now:float -> float option;
-  packet_count : unit -> int;
-  byte_count : unit -> int;
-  stats : stats;
-  meta : meta option;
-}
-
 let fresh_stats () =
   { enqueued = 0; dequeued = 0; dropped = 0; bytes_enqueued = 0; bytes_dequeued = 0; bytes_dropped = 0 }
-
-let make ?meta ~name ~enqueue ~dequeue ~next_ready ~packet_count ~byte_count () =
-  let stats = fresh_stats () in
-  let enqueue ~now p =
-    let size = Wire.Packet.size p in
-    let accepted = enqueue ~now p in
-    if accepted then begin
-      stats.enqueued <- stats.enqueued + 1;
-      stats.bytes_enqueued <- stats.bytes_enqueued + size
-    end
-    else begin
-      stats.dropped <- stats.dropped + 1;
-      stats.bytes_dropped <- stats.bytes_dropped + size
-    end;
-    accepted
-  in
-  let dequeue ~now =
-    match dequeue ~now with
-    | None -> None
-    | Some p ->
-        stats.dequeued <- stats.dequeued + 1;
-        stats.bytes_dequeued <- stats.bytes_dequeued + Wire.Packet.size p;
-        Some p
-  in
-  { name; enqueue; dequeue; next_ready; packet_count; byte_count; stats; meta }
 
 let pp_stats fmt s =
   Format.fprintf fmt "enq=%d deq=%d drop=%d (%dB in, %dB out, %dB dropped)" s.enqueued s.dequeued
     s.dropped s.bytes_enqueued s.bytes_dequeued s.bytes_dropped
+
+(* "No packet", by physical identity.  Shared with the rings' empty-slot
+   filler so [Pktring.pop] on an empty ring and "dequeue found nothing"
+   are the same value. *)
+let none = Pktring.nil
+
+type t = { name : string; stats : stats; kind : kind }
+
+and kind =
+  | Fifo of fifo
+  | Drr of drr
+  | Token_bucket of token_bucket
+  | Tri_class of tri_class
+  | Priority of priority
+  | Custom of custom
+
+(* --- droptail FIFO ----------------------------------------------------- *)
+and fifo = {
+  f_capacity_bytes : int;
+  f_capacity_packets : int; (* [max_int] when unbounded *)
+  f_ring : Pktring.t;
+  mutable f_bytes : int;
+}
+
+(* --- deficit round robin ----------------------------------------------- *)
+and drr = {
+  d_quantum : int;
+  d_capacity : int; (* per-class byte capacity *)
+  d_max_queues : int;
+  d_classify : Wire.Packet.t -> int;
+  d_table : (int, drr_class) Hashtbl.t; (* backlogged classes only *)
+  d_ring : Intring.t; (* keys awaiting service, round-robin order *)
+  mutable d_current : int; (* key being served within its deficit... *)
+  mutable d_has_current : bool; (* ...valid only when this is set *)
+  mutable d_packets : int;
+  mutable d_bytes : int;
+  (* Drained class records are recycled through this stack so a class that
+     reactivates costs no fresh record or ring allocation. *)
+  mutable d_pool : drr_class array;
+  mutable d_pool_len : int;
+}
+
+and drr_class = {
+  mutable dc_key : int; (* the table key this record is filed under *)
+  dc_ring : Pktring.t;
+  mutable dc_bytes : int;
+  mutable dc_deficit : int;
+  mutable dc_active : bool; (* present in the round-robin ring *)
+}
+
+(* --- token bucket ------------------------------------------------------ *)
+and token_bucket = {
+  tb_rate_bytes : float; (* bytes per second, for readiness arithmetic *)
+  tb_rate_fp : float; (* bytes/s scaled by 2^fp_shift, for refill *)
+  tb_burst_fp : int;
+  tb_horizon_fp : int; (* min(burst, mtu): poll horizon for an unstaged head *)
+  mutable tb_tokens : int; (* fixed-point: bytes * 2^fp_shift, an immediate *)
+  tb_last : float array; (* [|last refill time|]: flat float, unboxed store *)
+  mutable tb_staged : Wire.Packet.t; (* head awaiting tokens; [none] if absent *)
+  tb_inner : t;
+}
+
+(* --- strict classifiers ------------------------------------------------ *)
+and tri_class = {
+  tc_classify : Wire.Packet.t -> int; (* 0 request / 1 regular / _ legacy *)
+  tc_request : t;
+  tc_regular : t;
+  tc_legacy : t;
+}
+
+and priority = {
+  p_classify : Wire.Packet.t -> int; (* clamped into [0, classes-1] *)
+  p_classes : t array;
+}
+
+(* --- escape hatch for disciplines defined outside this module ---------- *)
+and custom = {
+  c_enqueue : now:float -> Wire.Packet.t -> bool;
+  c_dequeue : now:float -> Wire.Packet.t; (* [none] when unservable *)
+  c_next_ready : now:float -> float; (* [infinity] when never *)
+  c_packet_count : unit -> int;
+  c_byte_count : unit -> int;
+}
+
+(* --- token-bucket fixed point ------------------------------------------ *)
+
+(* Tokens are bytes scaled by 2^20: sub-microbyte resolution, so the
+   truncation on refill shifts a release time by well under a nanosecond
+   of virtual time, while a 4 GB burst still fits an immediate int with
+   twenty bits to spare.  Being an immediate is the point — a mutable
+   int64 or float record field would box on every store. *)
+let tb_fp_shift = 20
+
+let tb_refill tb ~now =
+  let last = Array.unsafe_get tb.tb_last 0 in
+  if now > last then begin
+    let grant = tb.tb_rate_fp *. (now -. last) in
+    let deficit = tb.tb_burst_fp - tb.tb_tokens in
+    if grant >= float_of_int deficit then begin
+      tb.tb_tokens <- tb.tb_burst_fp;
+      Array.unsafe_set tb.tb_last 0 now
+    end
+    else begin
+      (* Advance [last] only over the interval the whole units account
+         for, so the fractional remainder keeps accruing.  Truncating it
+         away (last <- now) live-locks: when a staged packet is one unit
+         short, the re-poll interval is 1/rate_fp seconds, over which the
+         truncated grant is 0 whole units — tokens freeze and the
+         transmitter polls forever. *)
+      let g = int_of_float grant in
+      if g > 0 then begin
+        tb.tb_tokens <- tb.tb_tokens + g;
+        Array.unsafe_set tb.tb_last 0 (last +. (float_of_int g /. tb.tb_rate_fp))
+      end
+    end
+  end
+
+(* --- DRR class pool ---------------------------------------------------- *)
+
+let drr_fresh_class () =
+  { dc_key = 0; dc_ring = Pktring.create (); dc_bytes = 0; dc_deficit = 0; dc_active = false }
+
+let drr_take_class d ~key =
+  let sq =
+    if d.d_pool_len = 0 then drr_fresh_class ()
+    else begin
+      d.d_pool_len <- d.d_pool_len - 1;
+      d.d_pool.(d.d_pool_len)
+    end
+  in
+  sq.dc_key <- key;
+  sq.dc_bytes <- 0;
+  sq.dc_deficit <- 0;
+  sq.dc_active <- false;
+  sq
+  [@@inline]
+
+let drr_release_class d sq =
+  if d.d_pool_len = Array.length d.d_pool then begin
+    let bigger = Array.make (max 8 (2 * d.d_pool_len)) sq in
+    Array.blit d.d_pool 0 bigger 0 d.d_pool_len;
+    d.d_pool <- bigger
+  end;
+  d.d_pool.(d.d_pool_len) <- sq;
+  d.d_pool_len <- d.d_pool_len + 1
+
+let overflow_key = min_int
+(* Shared queue for keys arriving once [d_max_queues] distinct classes
+   exist. *)
+
+(* Find or create the class for [key]; once the class table is full, new
+   keys share the overflow class.  (Mirrors the paper's bounded per-path-id
+   and per-destination queues, Sec. 3.2/3.6.) *)
+let rec drr_slot d key =
+  match Hashtbl.find d.d_table key with
+  | sq -> sq
+  | exception Not_found ->
+      if Hashtbl.length d.d_table >= d.d_max_queues && key <> overflow_key then
+        drr_slot d overflow_key
+      else begin
+        let sq = drr_take_class d ~key in
+        Hashtbl.add d.d_table key sq;
+        sq
+      end
+
+(* --- the datapath ------------------------------------------------------ *)
+
+let rec enqueue t ~now p =
+  let size = Wire.Packet.size p in
+  let accepted =
+    match t.kind with
+    | Fifo f ->
+        if f.f_bytes + size > f.f_capacity_bytes || Pktring.length f.f_ring >= f.f_capacity_packets
+        then false
+        else begin
+          Pktring.push f.f_ring p;
+          f.f_bytes <- f.f_bytes + size;
+          true
+        end
+    | Drr d ->
+        let sq = drr_slot d (d.d_classify p) in
+        if sq.dc_bytes + size > d.d_capacity then false
+        else begin
+          Pktring.push sq.dc_ring p;
+          sq.dc_bytes <- sq.dc_bytes + size;
+          d.d_packets <- d.d_packets + 1;
+          d.d_bytes <- d.d_bytes + size;
+          if not sq.dc_active then begin
+            sq.dc_active <- true;
+            sq.dc_deficit <- 0;
+            Intring.push d.d_ring sq.dc_key
+          end;
+          true
+        end
+    | Token_bucket tb -> enqueue tb.tb_inner ~now p
+    | Tri_class tc -> begin
+        match tc.tc_classify p with
+        | 0 -> enqueue tc.tc_request ~now p
+        | 1 -> enqueue tc.tc_regular ~now p
+        | _ -> enqueue tc.tc_legacy ~now p
+      end
+    | Priority pr ->
+        let n = Array.length pr.p_classes in
+        let i = pr.p_classify p in
+        let i = if i < 0 then 0 else if i >= n then n - 1 else i in
+        enqueue pr.p_classes.(i) ~now p
+    | Custom c -> c.c_enqueue ~now p
+  in
+  let stats = t.stats in
+  if accepted then begin
+    stats.enqueued <- stats.enqueued + 1;
+    stats.bytes_enqueued <- stats.bytes_enqueued + size
+  end
+  else begin
+    stats.dropped <- stats.dropped + 1;
+    stats.bytes_dropped <- stats.bytes_dropped + size
+  end;
+  accepted
+
+(* DRR dequeue, structured exactly like the closure version it replaces:
+   pick up the ring head as [current], spend its deficit, rotate it to the
+   tail when the deficit runs dry, and reclaim its record (into the pool)
+   the moment it goes empty so the table only holds backlogged classes. *)
+and drr_dequeue d =
+  if not d.d_has_current then begin
+    if Intring.is_empty d.d_ring then none
+    else begin
+      let key = Intring.pop d.d_ring in
+      (match Hashtbl.find d.d_table key with
+      | sq -> sq.dc_deficit <- sq.dc_deficit + d.d_quantum
+      | exception Not_found -> ());
+      d.d_current <- key;
+      d.d_has_current <- true;
+      drr_dequeue d
+    end
+  end
+  else begin
+    let key = d.d_current in
+    match Hashtbl.find d.d_table key with
+    | exception Not_found ->
+        d.d_has_current <- false;
+        drr_dequeue d
+    | sq ->
+        let head = Pktring.peek sq.dc_ring in
+        if head == none then begin
+          (* Served dry within its deficit: leaves the ring and its record
+             is reclaimed. *)
+          Hashtbl.remove d.d_table key;
+          drr_release_class d sq;
+          d.d_has_current <- false;
+          drr_dequeue d
+        end
+        else begin
+          let size = Wire.Packet.size head in
+          if size <= sq.dc_deficit then begin
+            let p = Pktring.pop sq.dc_ring in
+            sq.dc_deficit <- sq.dc_deficit - size;
+            sq.dc_bytes <- sq.dc_bytes - size;
+            d.d_packets <- d.d_packets - 1;
+            d.d_bytes <- d.d_bytes - size;
+            if Pktring.is_empty sq.dc_ring then begin
+              Hashtbl.remove d.d_table key;
+              drr_release_class d sq;
+              d.d_has_current <- false
+            end;
+            p
+          end
+          else begin
+            (* Deficit exhausted: back to the tail of the ring, keeping the
+               accumulated deficit for the next round. *)
+            Intring.push d.d_ring key;
+            d.d_has_current <- false;
+            drr_dequeue d
+          end
+        end
+  end
+
+and dequeue t ~now =
+  let p =
+    match t.kind with
+    | Fifo f ->
+        let p = Pktring.pop f.f_ring in
+        if p != none then f.f_bytes <- f.f_bytes - Wire.Packet.size p;
+        p
+    | Drr d -> drr_dequeue d
+    | Token_bucket tb -> begin
+        tb_refill tb ~now;
+        match tb.tb_staged with
+        | staged when staged != none ->
+            let size_fp = Wire.Packet.size staged lsl tb_fp_shift in
+            if tb.tb_tokens >= size_fp then begin
+              tb.tb_tokens <- tb.tb_tokens - size_fp;
+              tb.tb_staged <- none;
+              staged
+            end
+            else none
+        | _ -> begin
+            match dequeue tb.tb_inner ~now with
+            | p when p == none -> none
+            | p ->
+                let size_fp = Wire.Packet.size p lsl tb_fp_shift in
+                if tb.tb_tokens >= size_fp then begin
+                  tb.tb_tokens <- tb.tb_tokens - size_fp;
+                  p
+                end
+                else begin
+                  (* Stage the head until tokens accrue; a one-slot buffer
+                     rate-limits without a peek operation on the inner. *)
+                  tb.tb_staged <- p;
+                  none
+                end
+          end
+      end
+    | Tri_class tc -> begin
+        (* Requests first — their own rate limiter keeps them below their
+           link share — then regular, then legacy scavenges. *)
+        match dequeue tc.tc_request ~now with
+        | p when p != none -> p
+        | _ -> begin
+            match dequeue tc.tc_regular ~now with
+            | p when p != none -> p
+            | _ -> dequeue tc.tc_legacy ~now
+          end
+      end
+    | Priority pr ->
+        let n = Array.length pr.p_classes in
+        let rec go i = if i >= n then none else
+          match dequeue pr.p_classes.(i) ~now with
+          | p when p != none -> p
+          | _ -> go (i + 1)
+        in
+        go 0
+    | Custom c -> c.c_dequeue ~now
+  in
+  if p != none then begin
+    let stats = t.stats in
+    stats.dequeued <- stats.dequeued + 1;
+    stats.bytes_dequeued <- stats.bytes_dequeued + Wire.Packet.size p
+  end;
+  p
+
+let dequeue_opt t ~now =
+  match dequeue t ~now with p when p == none -> None | p -> Some p
+
+(* Earliest time the head packet could be released, or [infinity] when the
+   qdisc is empty.  The value may be conservative (the transmitter
+   re-polls), never late. *)
+let rec next_ready t ~now =
+  match t.kind with
+  | Fifo f -> if Pktring.is_empty f.f_ring then infinity else now
+  | Drr d -> if d.d_packets > 0 then now else infinity
+  | Token_bucket tb ->
+      tb_refill tb ~now;
+      let ready_at size_fp =
+        if tb.tb_tokens >= size_fp then now
+        else now +. (float_of_int (size_fp - tb.tb_tokens) /. tb.tb_rate_fp)
+      in
+      let staged = tb.tb_staged in
+      if staged != none then ready_at (Wire.Packet.size staged lsl tb_fp_shift)
+      else begin
+        let at = next_ready tb.tb_inner ~now in
+        if at = infinity then infinity
+        else
+          (* The inner head's exact size is unknown until staged; poll at
+             the later of the inner readiness and a one-MTU token horizon.
+             The transmitter will stage-and-recheck, so this is only a
+             lower bound on readiness, never a miss. *)
+          Float.max at (ready_at tb.tb_horizon_fp)
+      end
+  | Tri_class tc ->
+      Float.min
+        (next_ready tc.tc_request ~now)
+        (Float.min (next_ready tc.tc_regular ~now) (next_ready tc.tc_legacy ~now))
+  | Priority pr ->
+      let acc = ref infinity in
+      for i = 0 to Array.length pr.p_classes - 1 do
+        acc := Float.min !acc (next_ready pr.p_classes.(i) ~now)
+      done;
+      !acc
+  | Custom c -> c.c_next_ready ~now
+
+let rec packet_count t =
+  match t.kind with
+  | Fifo f -> Pktring.length f.f_ring
+  | Drr d -> d.d_packets
+  | Token_bucket tb -> packet_count tb.tb_inner + if tb.tb_staged == none then 0 else 1
+  | Tri_class tc -> packet_count tc.tc_request + packet_count tc.tc_regular + packet_count tc.tc_legacy
+  | Priority pr -> Array.fold_left (fun acc c -> acc + packet_count c) 0 pr.p_classes
+  | Custom c -> c.c_packet_count ()
+
+let rec byte_count t =
+  match t.kind with
+  | Fifo f -> f.f_bytes
+  | Drr d -> d.d_bytes
+  | Token_bucket tb ->
+      byte_count tb.tb_inner
+      + if tb.tb_staged == none then 0 else Wire.Packet.size tb.tb_staged
+  | Tri_class tc -> byte_count tc.tc_request + byte_count tc.tc_regular + byte_count tc.tc_legacy
+  | Priority pr -> Array.fold_left (fun acc c -> acc + byte_count c) 0 pr.p_classes
+  | Custom c -> c.c_byte_count ()
+
+(* --- constructors ------------------------------------------------------ *)
+
+let make ~name kind = { name; stats = fresh_stats (); kind }
+
+let make_custom ?(name = "custom") ~enqueue ~dequeue ~next_ready ~packet_count ~byte_count () =
+  make ~name
+    (Custom
+       {
+         c_enqueue = enqueue;
+         c_dequeue = dequeue;
+         c_next_ready = next_ready;
+         c_packet_count = packet_count;
+         c_byte_count = byte_count;
+       })

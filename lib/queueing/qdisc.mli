@@ -3,8 +3,15 @@
     A qdisc sits between a node's forwarding decision and a link's
     transmitter.  The transmitter calls [dequeue] each time it finishes a
     packet; a qdisc that is nonempty but momentarily unservable (e.g. a
-    rate-limited request queue out of tokens) answers [None] and reports
-    via [next_ready] when it should be polled again. *)
+    rate-limited request queue out of tokens) answers {!none} and reports
+    via [next_ready] when it should be polled again.
+
+    The type is a concrete variant rather than a record of closures: the
+    datapath functions dispatch over [kind] directly, so a composite like
+    the TVA link scheduler (tri-class over token bucket over DRR) dequeues
+    through one match chain with no indirect calls and — by design — no
+    steady-state allocation: "no packet" is the physical sentinel {!none}
+    (never a boxed [option]) and "never ready" is [infinity]. *)
 
 type stats = {
   mutable enqueued : int;
@@ -15,37 +22,121 @@ type stats = {
   mutable bytes_dropped : int;
 }
 
-type meta = ..
-(** Discipline-private state a qdisc can attach to itself so introspection
-    helpers (e.g. {!Drr.active_queues}) can recover it from the boxed [t]
-    without any global registry — registries are cross-run mutable globals,
-    which the parallel sweep engine forbids. *)
+type t = { name : string; stats : stats; kind : kind }
 
-type t = {
-  name : string;
-  enqueue : now:float -> Wire.Packet.t -> bool;
-      (** [false] means the packet was dropped (queue full or policy). *)
-  dequeue : now:float -> Wire.Packet.t option;
-  next_ready : now:float -> float option;
-      (** [None] when empty; [Some at] when a packet will become servable at
-          virtual time [at] (which may be [now]). *)
-  packet_count : unit -> int;
-  byte_count : unit -> int;
-  stats : stats;
-  meta : meta option;
+and kind =
+  | Fifo of fifo
+  | Drr of drr
+  | Token_bucket of token_bucket
+  | Tri_class of tri_class
+  | Priority of priority
+  | Custom of custom
+
+and fifo = {
+  f_capacity_bytes : int;
+  f_capacity_packets : int;  (** [max_int] when unbounded *)
+  f_ring : Pktring.t;
+  mutable f_bytes : int;
 }
 
-val make :
-  ?meta:meta ->
-  name:string ->
+and drr = {
+  d_quantum : int;
+  d_capacity : int;  (** per-class byte capacity *)
+  d_max_queues : int;
+  d_classify : Wire.Packet.t -> int;
+  d_table : (int, drr_class) Hashtbl.t;  (** backlogged classes only *)
+  d_ring : Intring.t;  (** keys awaiting service, round-robin order *)
+  mutable d_current : int;
+  mutable d_has_current : bool;
+  mutable d_packets : int;
+  mutable d_bytes : int;
+  mutable d_pool : drr_class array;  (** recycled class records *)
+  mutable d_pool_len : int;
+}
+
+and drr_class = {
+  mutable dc_key : int;
+  dc_ring : Pktring.t;
+  mutable dc_bytes : int;
+  mutable dc_deficit : int;
+  mutable dc_active : bool;  (** present in the round-robin ring *)
+}
+
+and token_bucket = {
+  tb_rate_bytes : float;
+  tb_rate_fp : float;  (** bytes/s scaled by [2{^fp_shift}] *)
+  tb_burst_fp : int;
+  tb_horizon_fp : int;  (** min(burst, mtu): poll horizon when unstaged *)
+  mutable tb_tokens : int;  (** fixed point: bytes * [2{^fp_shift}] *)
+  tb_last : float array;  (** single cell: last refill time *)
+  mutable tb_staged : Wire.Packet.t;  (** head awaiting tokens, or {!none} *)
+  tb_inner : t;
+}
+
+and tri_class = {
+  tc_classify : Wire.Packet.t -> int;  (** 0 request / 1 regular / _ legacy *)
+  tc_request : t;
+  tc_regular : t;
+  tc_legacy : t;
+}
+
+and priority = {
+  p_classify : Wire.Packet.t -> int;  (** clamped into [0, classes-1] *)
+  p_classes : t array;
+}
+
+and custom = {
+  c_enqueue : now:float -> Wire.Packet.t -> bool;
+  c_dequeue : now:float -> Wire.Packet.t;  (** {!none} when unservable *)
+  c_next_ready : now:float -> float;  (** [infinity] when never *)
+  c_packet_count : unit -> int;
+  c_byte_count : unit -> int;
+}
+
+val none : Wire.Packet.t
+(** The "no packet" sentinel (= {!Pktring.nil}), compared by physical
+    identity: [dequeue q ~now == Qdisc.none] means nothing was servable. *)
+
+val enqueue : t -> now:float -> Wire.Packet.t -> bool
+(** [false] means the packet was dropped (queue full or policy).  Stats are
+    accounted at every level of a composite qdisc. *)
+
+val dequeue : t -> now:float -> Wire.Packet.t
+(** The next servable packet, or {!none}. *)
+
+val dequeue_opt : t -> now:float -> Wire.Packet.t option
+(** Convenience boxing of {!dequeue} for cold callers and tests. *)
+
+val next_ready : t -> now:float -> float
+(** Earliest virtual time a packet could become servable (may be [now]),
+    or [infinity] when the qdisc is empty.  May be conservative — the
+    transmitter re-polls — but never later than actual readiness. *)
+
+val packet_count : t -> int
+val byte_count : t -> int
+
+val tb_fp_shift : int
+(** Token-bucket fixed-point scale: tokens are bytes times [2{^tb_fp_shift}],
+    kept in an immediate [int] so refills do not box. *)
+
+val overflow_key : int
+(** DRR key under which packets share one queue once [d_max_queues]
+    distinct classes are backlogged ([min_int], outside the tag space). *)
+
+val make : name:string -> kind -> t
+
+val make_custom :
+  ?name:string ->
   enqueue:(now:float -> Wire.Packet.t -> bool) ->
-  dequeue:(now:float -> Wire.Packet.t option) ->
-  next_ready:(now:float -> float option) ->
+  dequeue:(now:float -> Wire.Packet.t) ->
+  next_ready:(now:float -> float) ->
   packet_count:(unit -> int) ->
   byte_count:(unit -> int) ->
   unit ->
   t
-(** Wraps the callbacks with automatic stats accounting. *)
+(** A discipline defined outside this module (e.g. pushback shapers, test
+    doubles).  The callbacks use the sentinel conventions of {!dequeue} and
+    {!next_ready}; stats accounting is layered on automatically. *)
 
 val fresh_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,9 +1,18 @@
 let hash ~seed ~buckets key =
-  (* Knuth multiplicative hashing, perturbed by the seed; adequate for SFQ
-     and trivially invertible enough for the deliberate-collision attack
-     the paper warns about. *)
-  let h = (key lxor seed) * 2654435761 in
-  (h lsr 7) mod buckets |> abs
+  (* Murmur3 fmix-style finalizer over the seed-perturbed key.  The seed is
+     mixed in twice (xor before, add after the first avalanche round) so
+     that a set of keys crafted to collide under one seed is scattered by
+     another — the defense the paper's Sec. 4.4 hashing discussion assumes.
+     (The previous Knuth multiplicative hash left the bucket index
+     dependent on only a narrow band of key bits, so collisions survived
+     any seed; its trailing [abs] was dead code after [lsr].) *)
+  let h = key lxor seed in
+  let h = h lxor (h lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = (h + seed) lxor (h lsr 29) in
+  let h = h * 0x369DEA0F31A53F85 in
+  let h = h lxor (h lsr 32) in
+  (h land max_int) mod buckets
 
 let create ?(name = "sfq") ?quantum ?queue_capacity_bytes ?(seed = 0) ~buckets ~flow_key () =
   if buckets <= 0 then invalid_arg "Sfq.create: buckets must be positive";

@@ -1,83 +1,22 @@
-type state = {
-  rate_bytes_per_s : float;
-  burst : float;
-  inner : Qdisc.t;
-  mutable tokens : float;
-  mutable last : float;
-  mutable staged : Wire.Packet.t option;
-      (* Head packet pulled from [inner] but still waiting for tokens; a
-         one-slot buffer lets us rate-limit without a peek operation. *)
-}
+(* Thin constructor: the token-bucket datapath lives in [Qdisc].  Tokens
+   are fixed-point bytes (an immediate int) and the last-refill time sits
+   in a flat float array, so refills never box — see DESIGN.md Sec. 9. *)
 
-let refill st ~now =
-  if now > st.last then begin
-    st.tokens <- Float.min st.burst (st.tokens +. (st.rate_bytes_per_s *. (now -. st.last)));
-    st.last <- now
-  end
-
-let take_staged st =
-  match st.staged with
-  | None -> None
-  | Some p ->
-      let size = float_of_int (Wire.Packet.size p) in
-      if st.tokens >= size then begin
-        st.tokens <- st.tokens -. size;
-        st.staged <- None;
-        Some p
-      end
-      else None
-
-let dequeue st ~now =
-  refill st ~now;
-  match take_staged st with
-  | Some p -> Some p
-  | None ->
-      if st.staged <> None then None
-      else begin
-        match st.inner.Qdisc.dequeue ~now with
-        | None -> None
-        | Some p ->
-            st.staged <- Some p;
-            take_staged st
-      end
-
-let next_ready st ~now =
-  refill st ~now;
-  let ready_time size =
-    if st.tokens >= size then now else now +. ((size -. st.tokens) /. st.rate_bytes_per_s)
-  in
-  match st.staged with
-  | Some p -> Some (ready_time (float_of_int (Wire.Packet.size p)))
-  | None -> begin
-      match st.inner.Qdisc.next_ready ~now with
-      | None -> None
-      | Some at ->
-          (* The inner head's exact size is unknown until staged; poll at
-             the later of the inner readiness and a one-MTU token horizon.
-             The transmitter will stage-and-recheck, so this is only a
-             lower bound on readiness, never a miss. *)
-          Some (Float.max at (ready_time (Float.min st.burst 1500.)))
-    end
-
-let create ?(name = "token-bucket") ~rate_bps ~burst_bytes ~inner () =
+let create ?(name = "token-bucket") ?(mtu = 1500) ~rate_bps ~burst_bytes ~inner () =
   if rate_bps <= 0. then invalid_arg "Token_bucket.create: rate must be positive";
   if burst_bytes <= 0 then invalid_arg "Token_bucket.create: burst must be positive";
-  let st =
-    {
-      rate_bytes_per_s = rate_bps /. 8.;
-      burst = float_of_int burst_bytes;
-      inner;
-      tokens = float_of_int burst_bytes;
-      last = 0.;
-      staged = None;
-    }
-  in
+  if mtu <= 0 then invalid_arg "Token_bucket.create: mtu must be positive";
+  let rate_bytes = rate_bps /. 8. in
+  let burst_fp = burst_bytes lsl Qdisc.tb_fp_shift in
   Qdisc.make ~name
-    ~enqueue:(fun ~now p -> inner.Qdisc.enqueue ~now p)
-    ~dequeue:(fun ~now -> dequeue st ~now)
-    ~next_ready:(fun ~now -> next_ready st ~now)
-    ~packet_count:(fun () -> inner.Qdisc.packet_count () + if st.staged = None then 0 else 1)
-    ~byte_count:(fun () ->
-      inner.Qdisc.byte_count ()
-      + match st.staged with None -> 0 | Some p -> Wire.Packet.size p)
-    ()
+    (Qdisc.Token_bucket
+       {
+         Qdisc.tb_rate_bytes = rate_bytes;
+         tb_rate_fp = rate_bytes *. float_of_int (1 lsl Qdisc.tb_fp_shift);
+         tb_burst_fp = burst_fp;
+         tb_horizon_fp = min burst_fp (mtu lsl Qdisc.tb_fp_shift);
+         tb_tokens = burst_fp;
+         tb_last = [| 0. |];
+         tb_staged = Qdisc.none;
+         tb_inner = inner;
+       })

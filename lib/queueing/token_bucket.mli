@@ -9,11 +9,13 @@
 
 val create :
   ?name:string ->
+  ?mtu:int ->
   rate_bps:float ->
   burst_bytes:int ->
   inner:Qdisc.t ->
   unit ->
   Qdisc.t
-(** Raises [Invalid_argument] on nonpositive rate or burst.  [burst_bytes]
-    must cover at least one MTU or full-size packets would never be
-    serviceable. *)
+(** Raises [Invalid_argument] on nonpositive rate, burst, or mtu.
+    [burst_bytes] must cover at least one MTU or full-size packets would
+    never be serviceable.  [mtu] (default 1500) bounds the token horizon
+    [next_ready] assumes for a not-yet-staged head packet. *)

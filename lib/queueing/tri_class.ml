@@ -1,3 +1,6 @@
+(* Thin constructor: the tri-class datapath lives in [Qdisc], where the
+   request -> regular -> legacy dequeue is a direct match chain. *)
+
 type cls = Request | Regular | Legacy
 
 let classify_by_shim p =
@@ -12,34 +15,12 @@ let classify_by_shim p =
       end
 
 let create ?(name = "tri-class") ~classify ~request ~regular ~legacy () =
-  let children = [ request; regular; legacy ] in
-  let enqueue ~now p =
-    let child =
-      match classify p with Request -> request | Regular -> regular | Legacy -> legacy
-    in
-    child.Qdisc.enqueue ~now p
-  in
-  let dequeue ~now =
-    (* Requests first — their own rate limiter keeps them below their link
-       share — then regular, then legacy scavenges. *)
-    match request.Qdisc.dequeue ~now with
-    | Some p -> Some p
-    | None -> begin
-        match regular.Qdisc.dequeue ~now with
-        | Some p -> Some p
-        | None -> legacy.Qdisc.dequeue ~now
-      end
-  in
-  let next_ready ~now =
-    List.fold_left
-      (fun acc child ->
-        match (child.Qdisc.next_ready ~now, acc) with
-        | None, acc -> acc
-        | Some t, None -> Some t
-        | Some t, Some u -> Some (Float.min t u))
-      None children
-  in
-  Qdisc.make ~name ~enqueue ~dequeue ~next_ready
-    ~packet_count:(fun () -> List.fold_left (fun acc c -> acc + c.Qdisc.packet_count ()) 0 children)
-    ~byte_count:(fun () -> List.fold_left (fun acc c -> acc + c.Qdisc.byte_count ()) 0 children)
-    ()
+  Qdisc.make ~name
+    (Qdisc.Tri_class
+       {
+         Qdisc.tc_classify =
+           (fun p -> match classify p with Request -> 0 | Regular -> 1 | Legacy -> 2);
+         tc_request = request;
+         tc_regular = regular;
+         tc_legacy = legacy;
+       })

@@ -173,12 +173,12 @@ let pushback_qdisc_is_fifo_when_unlimited () =
   let q = Pushback.make_qdisc t ~bandwidth_bps:10e6 in
   let p1 = Wire.Packet.make ~src ~dst ~created:0. (Wire.Packet.Raw 100) in
   let p2 = Wire.Packet.make ~src ~dst ~created:0. (Wire.Packet.Raw 100) in
-  ignore (q.Qdisc.enqueue ~now:0. p1);
-  ignore (q.Qdisc.enqueue ~now:0. p2);
-  (match q.Qdisc.dequeue ~now:0. with
+  ignore (Qdisc.enqueue q ~now:0. p1);
+  ignore (Qdisc.enqueue q ~now:0. p2);
+  (match Qdisc.dequeue_opt q ~now:0. with
   | Some p -> Alcotest.(check int) "fifo" p1.Wire.Packet.id p.Wire.Packet.id
   | None -> Alcotest.fail "empty");
-  match q.Qdisc.dequeue ~now:0. with
+  match Qdisc.dequeue_opt q ~now:0. with
   | Some p -> Alcotest.(check int) "fifo 2" p2.Wire.Packet.id p.Wire.Packet.id
   | None -> Alcotest.fail "empty"
 

@@ -241,12 +241,12 @@ let unservable_qdisc_does_not_spin () =
   let sim, net = mk_net () in
   let held = ref None in
   let stuck_bucket =
-    Qdisc.make ~name:"stuck-token-bucket"
+    Qdisc.make_custom ~name:"stuck-token-bucket"
       ~enqueue:(fun ~now:_ p ->
         held := Some p;
         true)
-      ~dequeue:(fun ~now:_ -> None)
-      ~next_ready:(fun ~now -> if !held = None then None else Some now)
+      ~dequeue:(fun ~now:_ -> Qdisc.none)
+      ~next_ready:(fun ~now -> if !held = None then infinity else now)
       ~packet_count:(fun () -> if !held = None then 0 else 1)
       ~byte_count:(fun () ->
         match !held with None -> 0 | Some p -> Wire.Packet.size p)

@@ -11,45 +11,43 @@ let mk_packet ?(src = 1) ?(dst = 2) ?(bytes = 1000) () =
 let droptail_fifo_order () =
   let q = Droptail.create ~capacity_bytes:10_000 () in
   let a = mk_packet () and b = mk_packet () in
-  Alcotest.(check bool) "enq a" true (q.Qdisc.enqueue ~now:0. a);
-  Alcotest.(check bool) "enq b" true (q.Qdisc.enqueue ~now:0. b);
-  (match q.Qdisc.dequeue ~now:0. with
+  Alcotest.(check bool) "enq a" true (Qdisc.enqueue q ~now:0. a);
+  Alcotest.(check bool) "enq b" true (Qdisc.enqueue q ~now:0. b);
+  (match Qdisc.dequeue_opt q ~now:0. with
   | Some p -> Alcotest.(check int) "a first" a.Wire.Packet.id p.Wire.Packet.id
   | None -> Alcotest.fail "empty");
-  match q.Qdisc.dequeue ~now:0. with
+  match Qdisc.dequeue_opt q ~now:0. with
   | Some p -> Alcotest.(check int) "b second" b.Wire.Packet.id p.Wire.Packet.id
   | None -> Alcotest.fail "empty"
 
 let droptail_byte_capacity () =
   let q = Droptail.create ~capacity_bytes:2500 () in
-  Alcotest.(check bool) "1" true (q.Qdisc.enqueue ~now:0. (mk_packet ()));
-  Alcotest.(check bool) "2" true (q.Qdisc.enqueue ~now:0. (mk_packet ()));
-  Alcotest.(check bool) "3 dropped" false (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  Alcotest.(check bool) "1" true (Qdisc.enqueue q ~now:0. (mk_packet ()));
+  Alcotest.(check bool) "2" true (Qdisc.enqueue q ~now:0. (mk_packet ()));
+  Alcotest.(check bool) "3 dropped" false (Qdisc.enqueue q ~now:0. (mk_packet ()));
   Alcotest.(check int) "drop counted" 1 q.Qdisc.stats.Qdisc.dropped;
-  ignore (q.Qdisc.dequeue ~now:0.);
-  Alcotest.(check bool) "space after dequeue" true (q.Qdisc.enqueue ~now:0. (mk_packet ()))
+  ignore (Qdisc.dequeue_opt q ~now:0.);
+  Alcotest.(check bool) "space after dequeue" true (Qdisc.enqueue q ~now:0. (mk_packet ()))
 
 let droptail_packet_capacity () =
   let q = Droptail.create ~capacity_packets:2 ~capacity_bytes:1_000_000 () in
-  Alcotest.(check bool) "1" true (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:40 ()));
-  Alcotest.(check bool) "2" true (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:40 ()));
+  Alcotest.(check bool) "1" true (Qdisc.enqueue q ~now:0. (mk_packet ~bytes:40 ()));
+  Alcotest.(check bool) "2" true (Qdisc.enqueue q ~now:0. (mk_packet ~bytes:40 ()));
   (* A tiny packet is still rejected once the packet count is reached —
      no small-packet advantage. *)
-  Alcotest.(check bool) "3 dropped" false (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:40 ()))
+  Alcotest.(check bool) "3 dropped" false (Qdisc.enqueue q ~now:0. (mk_packet ~bytes:40 ()))
 
 let droptail_counts () =
   let q = Droptail.create ~capacity_bytes:10_000 () in
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()));
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:500 ()));
-  Alcotest.(check int) "packets" 2 (q.Qdisc.packet_count ());
-  Alcotest.(check int) "bytes" 1500 (q.Qdisc.byte_count ());
-  Alcotest.(check (option (float 0.)))
-    "ready now" (Some 0.)
-    (q.Qdisc.next_ready ~now:0.)
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~bytes:500 ()));
+  Alcotest.(check int) "packets" 2 (Qdisc.packet_count q);
+  Alcotest.(check int) "bytes" 1500 (Qdisc.byte_count q);
+  Alcotest.(check (float 0.)) "ready now" 0. (Qdisc.next_ready q ~now:0.)
 
 let droptail_empty_next_ready () =
   let q = Droptail.create ~capacity_bytes:1000 () in
-  Alcotest.(check (option (float 0.))) "idle" None (q.Qdisc.next_ready ~now:0.)
+  Alcotest.(check bool) "idle" true (Qdisc.next_ready q ~now:0. = infinity)
 
 (* --- DRR ----------------------------------------------------------------- *)
 
@@ -57,14 +55,14 @@ let drr_round_robins_equally () =
   let q = Drr.create ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
   (* Backlog: 10 packets from A, 10 from B. *)
   for _ = 1 to 10 do
-    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
-    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()))
+    ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+    ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:2 ()))
   done;
   (* Twelve dequeues cover whole DRR rounds: the split must be 6/6 (within
      a round the 1500-byte quantum staggers 1000-byte packets 1-then-2). *)
   let counts = Hashtbl.create 2 in
   for _ = 1 to 12 do
-    match q.Qdisc.dequeue ~now:0. with
+    match Qdisc.dequeue_opt q ~now:0. with
     | Some p ->
         let k = Wire.Addr.to_int p.Wire.Packet.src in
         Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
@@ -78,12 +76,12 @@ let drr_byte_fairness_with_unequal_sizes () =
      should get ~3 packets for A's 1. *)
   let q = Drr.create ~quantum:1500 ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
   for _ = 1 to 30 do
-    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ~bytes:1500 ()));
-    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ~bytes:500 ()))
+    ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ~bytes:1500 ()));
+    ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:2 ~bytes:500 ()))
   done;
   let bytes = Hashtbl.create 2 in
   for _ = 1 to 24 do
-    match q.Qdisc.dequeue ~now:0. with
+    match Qdisc.dequeue_opt q ~now:0. with
     | Some p ->
         let k = Wire.Addr.to_int p.Wire.Packet.src in
         Hashtbl.replace bytes k
@@ -102,10 +100,10 @@ let drr_starvation_free =
     QCheck.(list_of_size Gen.(int_range 2 50) (int_range 0 7))
     (fun classes ->
       let q = Drr.create ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
-      List.iter (fun c -> ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:(c + 1) ()))) classes;
+      List.iter (fun c -> ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:(c + 1) ()))) classes;
       let served = Hashtbl.create 8 in
       let rec drain () =
-        match q.Qdisc.dequeue ~now:0. with
+        match Qdisc.dequeue_opt q ~now:0. with
         | Some p ->
             Hashtbl.replace served (Wire.Addr.to_int p.Wire.Packet.src) ();
             drain ()
@@ -113,32 +111,32 @@ let drr_starvation_free =
       in
       drain ();
       List.for_all (fun c -> Hashtbl.mem served (c + 1)) classes
-      && q.Qdisc.packet_count () = 0)
+      && Qdisc.packet_count q = 0)
 
 let drr_respects_per_class_capacity () =
   let q =
     Drr.create ~queue_capacity_bytes:2000 ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) ()
   in
-  Alcotest.(check bool) "1" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
-  Alcotest.(check bool) "2" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
-  Alcotest.(check bool) "class full" false (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
-  Alcotest.(check bool) "other class fine" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()))
+  Alcotest.(check bool) "1" true (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "2" true (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "class full" false (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "other class fine" true (Qdisc.enqueue q ~now:0. (mk_packet ~src:2 ()))
 
 let drr_overflow_class_shares () =
   let q = Drr.create ~max_queues:2 ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
   (* Three distinct classes with a 2-class bound: the third lands in the
      shared overflow queue rather than being dropped. *)
-  Alcotest.(check bool) "a" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
-  Alcotest.(check bool) "b" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()));
-  Alcotest.(check bool) "c overflows but queues" true (q.Qdisc.enqueue ~now:0. (mk_packet ~src:3 ()));
-  Alcotest.(check int) "all queued" 3 (q.Qdisc.packet_count ())
+  Alcotest.(check bool) "a" true (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+  Alcotest.(check bool) "b" true (Qdisc.enqueue q ~now:0. (mk_packet ~src:2 ()));
+  Alcotest.(check bool) "c overflows but queues" true (Qdisc.enqueue q ~now:0. (mk_packet ~src:3 ()));
+  Alcotest.(check int) "all queued" 3 (Qdisc.packet_count q)
 
 let drr_active_queue_count () =
   let q = Drr.create ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:2 ()));
   Alcotest.(check int) "two active" 2 (Drr.active_queues q);
-  let rec drain () = match q.Qdisc.dequeue ~now:0. with Some _ -> drain () | None -> () in
+  let rec drain () = match Qdisc.dequeue_opt q ~now:0. with Some _ -> drain () | None -> () in
   drain ();
   Alcotest.(check int) "none active" 0 (Drr.active_queues q)
 
@@ -149,31 +147,31 @@ let token_bucket_limits_rate () =
   (* 80 kb/s = 10 KB/s, 2 KB burst. *)
   let q = Token_bucket.create ~rate_bps:80_000. ~burst_bytes:2000 ~inner () in
   for _ = 1 to 10 do
-    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()))
+    ignore (Qdisc.enqueue q ~now:0. (mk_packet ()))
   done;
   (* At t=0 the bucket holds 2 KB: exactly two 1 KB packets. *)
-  Alcotest.(check bool) "1st" true (q.Qdisc.dequeue ~now:0. <> None);
-  Alcotest.(check bool) "2nd" true (q.Qdisc.dequeue ~now:0. <> None);
-  Alcotest.(check bool) "3rd blocked" true (q.Qdisc.dequeue ~now:0. = None);
+  Alcotest.(check bool) "1st" true (Qdisc.dequeue_opt q ~now:0. <> None);
+  Alcotest.(check bool) "2nd" true (Qdisc.dequeue_opt q ~now:0. <> None);
+  Alcotest.(check bool) "3rd blocked" true (Qdisc.dequeue_opt q ~now:0. = None);
   (* next_ready points at when the tokens suffice... *)
-  (match q.Qdisc.next_ready ~now:0. with
-  | Some at -> Alcotest.(check bool) "ready within 0.1s" true (at > 0. && at <= 0.11)
-  | None -> Alcotest.fail "no readiness");
+  let at = Qdisc.next_ready q ~now:0. in
+  if at = infinity then Alcotest.fail "no readiness"
+  else Alcotest.(check bool) "ready within 0.1s" true (at > 0. && at <= 0.11);
   (* ...and the packet flows once they do. *)
-  Alcotest.(check bool) "after refill" true (q.Qdisc.dequeue ~now:0.11 <> None)
+  Alcotest.(check bool) "after refill" true (Qdisc.dequeue_opt q ~now:0.11 <> None)
 
 let token_bucket_long_run_rate () =
   let inner = Droptail.create ~capacity_bytes:10_000_000 () in
   let q = Token_bucket.create ~rate_bps:800_000. ~burst_bytes:2000 ~inner () in
   for _ = 1 to 1000 do
-    ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()))
+    ignore (Qdisc.enqueue q ~now:0. (mk_packet ()))
   done;
   (* Pull as fast as permitted for 1 simulated second: ~100 packets
      (100 KB/s) plus the burst. *)
   let served = ref 0 in
   let t = ref 0. in
   while !t < 1.0 do
-    (match q.Qdisc.dequeue ~now:!t with Some _ -> incr served | None -> ());
+    (match Qdisc.dequeue_opt q ~now:!t with Some _ -> incr served | None -> ());
     t := !t +. 0.001
   done;
   Alcotest.(check bool)
@@ -184,8 +182,8 @@ let token_bucket_long_run_rate () =
 let token_bucket_passes_stats_through () =
   let inner = Droptail.create ~capacity_bytes:500 () in
   let q = Token_bucket.create ~rate_bps:1e6 ~burst_bytes:10_000 ~inner () in
-  Alcotest.(check bool) "fits" true (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:400 ()));
-  Alcotest.(check bool) "inner full" false (q.Qdisc.enqueue ~now:0. (mk_packet ~bytes:400 ()))
+  Alcotest.(check bool) "fits" true (Qdisc.enqueue q ~now:0. (mk_packet ~bytes:400 ()));
+  Alcotest.(check bool) "inner full" false (Qdisc.enqueue q ~now:0. (mk_packet ~bytes:400 ()))
 
 (* --- Priority --------------------------------------------------------------- *)
 
@@ -197,12 +195,12 @@ let priority_serves_high_first () =
       ~classify:(fun p -> if Wire.Addr.to_int p.Wire.Packet.src = 1 then 0 else 1)
       ~classes:[ high; low ] ()
   in
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:2 ()));
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:1 ()));
-  (match q.Qdisc.dequeue ~now:0. with
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:2 ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+  (match Qdisc.dequeue_opt q ~now:0. with
   | Some p -> Alcotest.(check int) "high first" 1 (Wire.Addr.to_int p.Wire.Packet.src)
   | None -> Alcotest.fail "empty");
-  match q.Qdisc.dequeue ~now:0. with
+  match Qdisc.dequeue_opt q ~now:0. with
   | Some p -> Alcotest.(check int) "then low" 2 (Wire.Addr.to_int p.Wire.Packet.src)
   | None -> Alcotest.fail "empty"
 
@@ -210,8 +208,8 @@ let priority_clamps_class_index () =
   let a = Droptail.create ~capacity_bytes:10_000 () in
   let b = Droptail.create ~capacity_bytes:10_000 () in
   let q = Priority.create ~classify:(fun _ -> 99) ~classes:[ a; b ] () in
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()));
-  Alcotest.(check int) "landed in last class" 1 (b.Qdisc.packet_count ())
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ()));
+  Alcotest.(check int) "landed in last class" 1 (Qdisc.packet_count b)
 
 (* --- Tri-class (Fig. 2) ------------------------------------------------------ *)
 
@@ -238,11 +236,11 @@ let tri_class_classifier () =
 let tri_class_legacy_is_lowest_priority () =
   let q = Tva.Qdiscs.make ~params:Tva.Params.default ~bandwidth_bps:10e6 () in
   (* Backlog legacy then regular: regular must come out first. *)
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ()));
   let reg = mk_packet ~src:5 () in
   reg.Wire.Packet.shim <- Some (tva_shim `Regular);
-  ignore (q.Qdisc.enqueue ~now:0. reg);
-  match q.Qdisc.dequeue ~now:0. with
+  ignore (Qdisc.enqueue q ~now:0. reg);
+  match Qdisc.dequeue_opt q ~now:0. with
   | Some p -> Alcotest.(check bool) "regular first" true (p.Wire.Packet.shim <> None)
   | None -> Alcotest.fail "empty"
 
@@ -254,14 +252,14 @@ let tri_class_requests_rate_limited () =
     let p = mk_packet ~bytes:250 () in
     p.Wire.Packet.shim <- Some (tva_shim `Request);
     (* account for shim size: Raw 250 + shim *)
-    ignore (q.Qdisc.enqueue ~now:0. p)
+    ignore (Qdisc.enqueue q ~now:0. p)
   done;
   (* Draining for one second should release roughly rate/size packets, not
      all 100. *)
   let served = ref 0 in
   let t = ref 0. in
   while !t < 1.0 do
-    (match q.Qdisc.dequeue ~now:!t with Some _ -> incr served | None -> ());
+    (match Qdisc.dequeue_opt q ~now:!t with Some _ -> incr served | None -> ());
     t := !t +. 0.001
   done;
   Alcotest.(check bool)
@@ -274,17 +272,17 @@ let tri_class_regular_unaffected_by_request_backlog () =
   for _ = 1 to 50 do
     let p = mk_packet ~bytes:250 () in
     p.Wire.Packet.shim <- Some (tva_shim `Request);
-    ignore (q.Qdisc.enqueue ~now:0. p)
+    ignore (Qdisc.enqueue q ~now:0. p)
   done;
   let reg = mk_packet () in
   reg.Wire.Packet.shim <- Some (tva_shim `Regular);
-  ignore (q.Qdisc.enqueue ~now:0. reg);
+  ignore (Qdisc.enqueue q ~now:0. reg);
   (* Drain: the regular packet must appear as soon as the request
      limiter's initial token burst (~16 small requests) is spent, long
      before the 50-request backlog clears on rate. *)
   let found_at = ref None in
   for i = 1 to 25 do
-    match q.Qdisc.dequeue ~now:0. with
+    match Qdisc.dequeue_opt q ~now:0. with
     | Some p ->
         if !found_at = None && Tri_class.classify_by_shim p = Tri_class.Regular then
           found_at := Some i
@@ -294,7 +292,282 @@ let tri_class_regular_unaffected_by_request_backlog () =
   | Some i -> Alcotest.(check bool) (Printf.sprintf "served at %d" i) true (i <= 20)
   | None -> Alcotest.fail "regular never served"
 
+(* --- DRR differential model --------------------------------------------------- *)
+
+(* Reference model: the pre-ring DRR exactly as it shipped — per-class
+   [Stdlib.Queue] FIFOs, an [int Queue.t] round-robin ring, and an option
+   current pointer.  The production DRR (ring buffers, pooled class
+   records, sentinel dispatch) must agree with it decision-for-decision:
+   same accepts/rejects, same service order, same counts — including the
+   overflow-key sharing, the [max_queues] boundary, and the quirk that a
+   rejected oversized packet still files an empty class record. *)
+module Drr_model = struct
+  type subqueue = {
+    q : Wire.Packet.t Queue.t;
+    mutable bytes : int;
+    mutable deficit : int;
+    mutable active : bool;
+  }
+
+  type t = {
+    quantum : int;
+    queue_capacity : int;
+    max_queues : int;
+    classify : Wire.Packet.t -> int;
+    table : (int, subqueue) Hashtbl.t;
+    ring : int Queue.t;
+    mutable current : int option;
+    mutable packets : int;
+    mutable bytes : int;
+  }
+
+  let overflow_key = min_int
+
+  let create ~quantum ~queue_capacity ~max_queues ~classify =
+    {
+      quantum;
+      queue_capacity;
+      max_queues;
+      classify;
+      table = Hashtbl.create 16;
+      ring = Queue.create ();
+      current = None;
+      packets = 0;
+      bytes = 0;
+    }
+
+  let subqueue_of st key =
+    match Hashtbl.find_opt st.table key with
+    | Some sq -> Some (key, sq)
+    | None ->
+        if Hashtbl.length st.table >= st.max_queues && key <> overflow_key then None
+        else begin
+          let sq = { q = Queue.create (); bytes = 0; deficit = 0; active = false } in
+          Hashtbl.add st.table key sq;
+          Some (key, sq)
+        end
+
+  let enqueue st p =
+    let size = Wire.Packet.size p in
+    let key = st.classify p in
+    let slot =
+      match subqueue_of st key with Some s -> Some s | None -> subqueue_of st overflow_key
+    in
+    match slot with
+    | None -> false
+    | Some (key, sq) ->
+        if sq.bytes + size > st.queue_capacity then false
+        else begin
+          Queue.push p sq.q;
+          sq.bytes <- sq.bytes + size;
+          st.packets <- st.packets + 1;
+          st.bytes <- st.bytes + size;
+          if not sq.active then begin
+            sq.active <- true;
+            sq.deficit <- 0;
+            Queue.push key st.ring
+          end;
+          true
+        end
+
+  let rec dequeue st =
+    match st.current with
+    | None ->
+        if Queue.is_empty st.ring then None
+        else begin
+          let key = Queue.pop st.ring in
+          (match Hashtbl.find_opt st.table key with
+          | None -> ()
+          | Some sq -> sq.deficit <- sq.deficit + st.quantum);
+          st.current <- Some key;
+          dequeue st
+        end
+    | Some key -> begin
+        match Hashtbl.find_opt st.table key with
+        | None ->
+            st.current <- None;
+            dequeue st
+        | Some sq -> begin
+            match Queue.peek_opt sq.q with
+            | None ->
+                Hashtbl.remove st.table key;
+                st.current <- None;
+                dequeue st
+            | Some head ->
+                let size = Wire.Packet.size head in
+                if size <= sq.deficit then begin
+                  let p = Queue.pop sq.q in
+                  sq.deficit <- sq.deficit - size;
+                  sq.bytes <- sq.bytes - size;
+                  st.packets <- st.packets - 1;
+                  st.bytes <- st.bytes - size;
+                  if Queue.is_empty sq.q then begin
+                    Hashtbl.remove st.table key;
+                    st.current <- None
+                  end;
+                  Some p
+                end
+                else begin
+                  Queue.push key st.ring;
+                  st.current <- None;
+                  dequeue st
+                end
+          end
+      end
+end
+
+type drr_op = Enq of int * int | Deq
+
+let drr_op_gen =
+  (* Keys 0-5 against max_queues 3 exercises the overflow class; sizes up
+     to 2600 against a 2500-byte class capacity exercises rejects,
+     including the oversized-first-packet edge. *)
+  QCheck.Gen.(
+    frequency
+      [ (3, map2 (fun k s -> Enq (k, s)) (int_range 0 5) (int_range 100 2600)); (2, return Deq) ])
+
+let drr_op_print = function
+  | Enq (k, s) -> Printf.sprintf "Enq(key=%d,%dB)" k s
+  | Deq -> "Deq"
+
+let drr_matches_reference_model =
+  QCheck.Test.make ~name:"drr: ring-buffer datapath matches the queue-based reference model"
+    ~count:300
+    (QCheck.make ~print:QCheck.Print.(list drr_op_print) QCheck.Gen.(list_size (int_range 1 200) drr_op_gen))
+    (fun ops ->
+      let classify p = Wire.Addr.to_int p.Wire.Packet.src in
+      let quantum = 1500 and capacity = 2500 and max_queues = 3 in
+      let q =
+        Drr.create ~quantum ~queue_capacity_bytes:capacity ~max_queues ~classify ()
+      in
+      let m = Drr_model.create ~quantum ~queue_capacity:capacity ~max_queues ~classify in
+      List.for_all
+        (fun op ->
+          match op with
+          | Enq (key, bytes) ->
+              let p = mk_packet ~src:key ~bytes () in
+              let got = Qdisc.enqueue q ~now:0. p in
+              let want = Drr_model.enqueue m p in
+              got = want
+          | Deq -> begin
+              let got = Qdisc.dequeue_opt q ~now:0. in
+              let want = Drr_model.dequeue m in
+              match (got, want) with
+              | None, None -> true
+              | Some g, Some w -> g.Wire.Packet.id = w.Wire.Packet.id
+              | _ -> false
+            end)
+        ops
+      && Qdisc.packet_count q = m.Drr_model.packets
+      && Qdisc.byte_count q = m.Drr_model.bytes)
+
+let drr_overflow_key_is_reachable () =
+  (* Once [max_queues] classes are backlogged, further keys all share the
+     overflow class: they are FIFO among themselves regardless of key. *)
+  let q = Drr.create ~max_queues:2 ~classify:(fun p -> Wire.Addr.to_int p.Wire.Packet.src) () in
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:1 ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:2 ()));
+  let c = mk_packet ~src:3 () and d = mk_packet ~src:4 () in
+  ignore (Qdisc.enqueue q ~now:0. c);
+  ignore (Qdisc.enqueue q ~now:0. d);
+  Alcotest.(check int) "four queued" 4 (Qdisc.packet_count q);
+  (* Drain and confirm the two overflow packets come out in arrival order. *)
+  let order = ref [] in
+  let rec drain () =
+    match Qdisc.dequeue_opt q ~now:0. with
+    | Some p ->
+        order := p.Wire.Packet.id :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let order = List.rev !order in
+  let pos id = Option.get (List.find_index (fun x -> x = id) order) in
+  Alcotest.(check bool) "overflow is FIFO" true (pos c.Wire.Packet.id < pos d.Wire.Packet.id)
+
+(* --- Token bucket conformance --------------------------------------------------- *)
+
+let token_bucket_window_conformance =
+  (* Over any observation window [t, t+w], a conformant shaper releases at
+     most burst + rate*w bytes.  Drive the bucket with a randomized
+     dequeue schedule and check every window pair. *)
+  QCheck.Test.make ~name:"token bucket: released bytes within burst + rate*w in every window"
+    ~count:100
+    QCheck.(
+      triple (int_range 1 40) (* rate, units of 10 KB/s *)
+        (int_range 1500 20_000) (* burst bytes *)
+        (list_of_size Gen.(int_range 10 120) (pair (int_range 1 50) (int_range 100 1500))))
+    (fun (rate10k, burst, steps) ->
+      let rate_bytes = float_of_int rate10k *. 10_000. in
+      let inner = Droptail.create ~capacity_bytes:max_int () in
+      let q =
+        Token_bucket.create ~rate_bps:(rate_bytes *. 8.) ~burst_bytes:burst ~inner ()
+      in
+      (* Pre-load a deep backlog with varying packet sizes. *)
+      List.iter (fun (_, bytes) -> ignore (Qdisc.enqueue q ~now:0. (mk_packet ~bytes ()))) steps;
+      for _ = 1 to 100 do
+        ignore (Qdisc.enqueue q ~now:0. (mk_packet ~bytes:700 ()))
+      done;
+      (* Random dequeue schedule: advance time by 0.1-5 ms per step, pull
+         until refused. *)
+      let releases = ref [] in
+      let t = ref 0. in
+      List.iter
+        (fun (dt_tenth_ms, _) ->
+          t := !t +. (float_of_int dt_tenth_ms *. 1e-4);
+          let rec pull () =
+            match Qdisc.dequeue_opt q ~now:!t with
+            | Some p ->
+                releases := (!t, Wire.Packet.size p) :: !releases;
+                pull ()
+            | None -> ()
+          in
+          pull ())
+        steps;
+      let releases = Array.of_list (List.rev !releases) in
+      let n = Array.length releases in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let ti, _ = releases.(i) in
+        let bytes = ref 0 in
+        for j = i to n - 1 do
+          let tj, sz = releases.(j) in
+          bytes := !bytes + sz;
+          (* 1-byte slack for float rounding in the bound itself; the
+             fixed-point bucket only truncates grants, never inflates. *)
+          if float_of_int !bytes > float_of_int burst +. (rate_bytes *. (tj -. ti)) +. 1. then
+            ok := false
+        done
+      done;
+      !ok)
+
 (* --- SFQ ----------------------------------------------------------------------- *)
+
+let sfq_seed_breaks_collision_set () =
+  (* Craft a set of path-ids that all collide under one seed, then check a
+     different seed scatters them — the rehash-on-new-secret defense of
+     paper Sec. 3.9.  (The old multiplicative hash failed this: bucket
+     choice depended on a narrow band of key bits, so a collision set
+     survived every seed.) *)
+  let buckets = 64 in
+  let seed1 = 0x1234 and seed2 = 0x9e3779b9 in
+  let target = Sfq.hash ~seed:seed1 ~buckets 1 in
+  let colliding = ref [ 1 ] in
+  let k = ref 2 in
+  while List.length !colliding < 8 do
+    if Sfq.hash ~seed:seed1 ~buckets !k = target then colliding := !k :: !colliding;
+    incr k
+  done;
+  let spread seed =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun key -> Hashtbl.replace tbl (Sfq.hash ~seed ~buckets key) ()) !colliding;
+    Hashtbl.length tbl
+  in
+  Alcotest.(check int) "collides under seed1" 1 (spread seed1);
+  Alcotest.(check bool)
+    (Printf.sprintf "seed2 scatters to %d buckets" (spread seed2))
+    true
+    (spread seed2 >= 4)
 
 let sfq_collisions_share_fate () =
   let buckets = 8 and seed = 3 in
@@ -310,11 +583,11 @@ let sfq_collisions_share_fate () =
       ~flow_key:(fun p -> Wire.Addr.to_int p.Wire.Packet.src)
       ()
   in
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:k1 ()));
-  ignore (q.Qdisc.enqueue ~now:0. (mk_packet ~src:k1 ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:k1 ()));
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ~src:k1 ()));
   (* The colliding flow shares the same (full) bucket and is dropped — the
      deliberate-collision crowding the paper warns about (Sec. 3.9). *)
-  Alcotest.(check bool) "collision crowded out" false (q.Qdisc.enqueue ~now:0. (mk_packet ~src:k2 ()))
+  Alcotest.(check bool) "collision crowded out" false (Qdisc.enqueue q ~now:0. (mk_packet ~src:k2 ()))
 
 let sfq_hash_stable () =
   Alcotest.(check int) "deterministic" (Sfq.hash ~seed:7 ~buckets:16 123)
@@ -339,10 +612,13 @@ let suite =
     QCheck_alcotest.to_alcotest drr_starvation_free;
     Alcotest.test_case "drr class capacity" `Quick drr_respects_per_class_capacity;
     Alcotest.test_case "drr overflow class" `Quick drr_overflow_class_shares;
+    Alcotest.test_case "drr overflow fifo" `Quick drr_overflow_key_is_reachable;
     Alcotest.test_case "drr active queues" `Quick drr_active_queue_count;
+    QCheck_alcotest.to_alcotest drr_matches_reference_model;
     Alcotest.test_case "token bucket burst" `Quick token_bucket_limits_rate;
     Alcotest.test_case "token bucket rate" `Quick token_bucket_long_run_rate;
     Alcotest.test_case "token bucket inner stats" `Quick token_bucket_passes_stats_through;
+    QCheck_alcotest.to_alcotest token_bucket_window_conformance;
     Alcotest.test_case "priority order" `Quick priority_serves_high_first;
     Alcotest.test_case "priority clamp" `Quick priority_clamps_class_index;
     Alcotest.test_case "tri-class classifier" `Quick tri_class_classifier;
@@ -350,6 +626,7 @@ let suite =
     Alcotest.test_case "tri-class request limiter" `Quick tri_class_requests_rate_limited;
     Alcotest.test_case "tri-class regular protected" `Quick tri_class_regular_unaffected_by_request_backlog;
     Alcotest.test_case "sfq collisions" `Quick sfq_collisions_share_fate;
+    Alcotest.test_case "sfq seed breaks collisions" `Quick sfq_seed_breaks_collision_set;
     Alcotest.test_case "sfq stable" `Quick sfq_hash_stable;
     QCheck_alcotest.to_alcotest sfq_hash_in_range;
   ]

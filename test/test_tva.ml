@@ -526,6 +526,70 @@ let router_cached_path_allocation_budget () =
     Alcotest.failf "cached-nonce path allocates %.2f minor words/packet (budget %g)" per_packet
       budget
 
+(* Same guard for the validate path (nonce mismatch, two hash checks).
+   Alternating two nonces against one flow-cache entry forces every packet
+   through full validation, as in bench/pps_bench.ml. *)
+let router_validate_path_allocation_budget () =
+  let budget = 56. in
+  let sim = Sim.create () in
+  let router = make_router sim in
+  let mk_a = granted_regular sim router ~n_kb:1023 ~t_sec:32 ~nonce:15L in
+  let mk_b = granted_regular sim router ~n_kb:1023 ~t_sec:32 ~nonce:16L in
+  let p_a = mk_a ~bytes:10 () and p_b = mk_b ~bytes:10 () in
+  let reset (p : Wire.Packet.t) =
+    match p.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.ptr <- 0 | None -> ()
+  in
+  let one p =
+    Tva.Router.process router ~in_interface:0 p;
+    reset p
+  in
+  one p_a;
+  one p_b;
+  let iters = 4000 in
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    one p_a;
+    one p_b
+  done;
+  let per_packet = (Gc.minor_words () -. words0) /. float_of_int (2 * iters) in
+  Alcotest.(check bool) "packets kept validating" false
+    (match p_a.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted | None -> true);
+  if per_packet > budget then
+    Alcotest.failf "validate path allocates %.2f minor words/packet (budget %g)" per_packet budget
+
+(* And for the request path (path-id tag + pre-capability mint).  The shim's
+   accumulated lists are rewound in place so only the router's work counts. *)
+let router_request_path_allocation_budget () =
+  let budget = 32. in
+  let sim = Sim.create () in
+  let router = make_router sim in
+  let p = request_packet () in
+  let reset (p : Wire.Packet.t) =
+    match p.Wire.Packet.shim with
+    | Some ({ Wire.Cap_shim.kind = Wire.Cap_shim.Request req; _ } as shim) ->
+        req.Wire.Cap_shim.rev_path_ids <- [];
+        req.Wire.Cap_shim.rev_precaps <- [];
+        shim.Wire.Cap_shim.demoted <- false
+    | _ -> Alcotest.fail "not a request"
+  in
+  let one () =
+    reset p;
+    Tva.Router.process router ~in_interface:0 p
+  in
+  for _ = 1 to 100 do
+    one ()
+  done;
+  let iters = 8000 in
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    one ()
+  done;
+  let per_packet = (Gc.minor_words () -. words0) /. float_of_int iters in
+  if per_packet > budget then
+    Alcotest.failf "request path allocates %.2f minor words/packet (budget %g)" per_packet budget
+
 let router_passes_legacy () =
   let sim = Sim.create () in
   let router = make_router sim in
@@ -786,6 +850,10 @@ let suite =
     Alcotest.test_case "router secret rotation" `Quick router_secret_rotation_invalidates;
     Alcotest.test_case "router two rotations distinct" `Quick router_two_rotations_distinct;
     Alcotest.test_case "router cached path allocation" `Quick router_cached_path_allocation_budget;
+    Alcotest.test_case "router validate path allocation" `Quick
+      router_validate_path_allocation_budget;
+    Alcotest.test_case "router request path allocation" `Quick
+      router_request_path_allocation_budget;
     Alcotest.test_case "router legacy" `Quick router_passes_legacy;
     Alcotest.test_case "router demoted passthrough" `Quick router_skips_demoted;
     Alcotest.test_case "policy allow_all" `Quick policy_allow_all;
