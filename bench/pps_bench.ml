@@ -14,6 +14,12 @@
    if it allocates more than [budget] minor words per packet; the same
    budget is pinned by a regression test in the test suite.
 
+   The cached-nonce path is then re-measured on a second router with the
+   observability counter registry attached (tracing stays off).  The
+   zero-overhead contract gates here too: counters may cost at most
+   [--obs-overhead-pct] percent of cached-nonce pps (default 5%) and must
+   allocate no extra minor words per packet.
+
    Run with:            dune exec bench/pps_bench.exe
    Smoke mode (CI):     dune exec bench/pps_bench.exe -- --flows 64 --passes 50 *)
 
@@ -22,6 +28,7 @@ let passes = ref 512
 let budget = ref 32.
 let validate_budget = ref 56.
 let request_budget = ref 32.
+let obs_overhead_pct = ref 5.
 let out_path = ref "BENCH_pps.json"
 
 let spec =
@@ -37,12 +44,15 @@ let spec =
     ( "--request-budget",
       Arg.Set_float request_budget,
       "W  max minor words/packet on the request path (default 32)" );
+    ( "--obs-overhead-pct",
+      Arg.Set_float obs_overhead_pct,
+      "P  max cached-nonce pps loss with obs counters attached (default 5)" );
     ("--out", Arg.Set_string out_path, "PATH  where to write the JSON report");
   ]
 
 let usage =
   "pps_bench [--flows N] [--passes K] [--budget W] [--validate-budget W] [--request-budget W] \
-   [--out PATH]"
+   [--obs-overhead-pct P] [--out PATH]"
 
 let n_kb = 1023
 let t_sec = 32
@@ -67,6 +77,46 @@ let measure ~flows ~passes per_pass =
     ns_per_packet = wall *. 1e9 /. float_of_int packets;
     minor_words_per_packet = words /. float_of_int packets;
   }
+
+(* Compare two variants of the same path fairly on a noisy machine:
+   alternate [reps] chunks of each and keep each side's best (max-pps)
+   chunk.  Adjacent chunks share the noise environment, and scheduler
+   stalls only ever slow a chunk down, so the best chunk is the cleanest
+   estimate of each side's true rate.  Minor words are averaged over every
+   chunk — allocation does not depend on timing noise. *)
+let measure_duel ?(reps = 8) ~flows ~passes pass_a pass_b =
+  let chunk = max 1 (passes / reps) in
+  let reps = passes / chunk in
+  let best_a = ref None and best_b = ref None in
+  let words_a = ref 0. and words_b = ref 0. in
+  let packets = ref 0 in
+  for r = 0 to reps - 1 do
+    (* Fold the division remainder into the last chunk so each side times
+       exactly [passes] passes in total. *)
+    let p = chunk + if r = reps - 1 then passes - (chunk * reps) else 0 in
+    (* Swap which side goes first each round: cache- and frequency-state
+       left behind by one measurement must not systematically favor the
+       other. *)
+    let ma, mb =
+      if r land 1 = 0 then
+        let ma = measure ~flows ~passes:p pass_a in
+        (ma, measure ~flows ~passes:p pass_b)
+      else
+        let mb = measure ~flows ~passes:p pass_b in
+        (measure ~flows ~passes:p pass_a, mb)
+    in
+    let n = float_of_int (flows * p) in
+    words_a := !words_a +. (ma.minor_words_per_packet *. n);
+    words_b := !words_b +. (mb.minor_words_per_packet *. n);
+    packets := !packets + (flows * p);
+    (match !best_a with Some m when m.pps >= ma.pps -> () | _ -> best_a := Some ma);
+    match !best_b with Some m when m.pps >= mb.pps -> () | _ -> best_b := Some mb
+  done;
+  let finish best words =
+    let m = Option.get best in
+    { m with minor_words_per_packet = words /. float_of_int !packets }
+  in
+  (finish !best_a !words_a, finish !best_b !words_b)
 
 let check_counters ~label ~(before : Tva.Router.counters) ~(after : Tva.Router.counters)
     ~expect_field ~expected =
@@ -213,6 +263,67 @@ let () =
     ~expect_field:(fun c -> c.Tva.Router.legacy)
     ~expected:(flows * passes);
 
+  (* --- cached-nonce path, observability counters attached --------------- *)
+  (* A second router with the same secret master and id (so the caps minted
+     above validate on it) but a live counter registry.  The counters are
+     unconditional int-array stores, so both gates below should be slack:
+     pps within [--obs-overhead-pct] of the bare cached path, and not one
+     extra minor word per packet. *)
+  let obs_counters = Obs.Counters.create ~name:"pps-bench-router" () in
+  let router_obs =
+    Tva.Router.create ~obs:obs_counters ~secret_master:"pps-bench" ~router_id:1 ~sim
+      ~link_bps:1e9 ()
+  in
+  let obs_nonce = 3L in
+  let obs_prime =
+    Array.init flows (fun f ->
+        let shim =
+          Wire.Cap_shim.regular ~nonce:obs_nonce ~caps:[ caps.(f) ] ~n_kb ~t_sec ~renewal:false ()
+        in
+        Wire.Packet.make ~shim ~src:(src f) ~dst ~created:0. (Wire.Packet.Raw 64))
+  in
+  Array.iter (fun p -> Tva.Router.process router_obs ~in_interface:0 p) obs_prime;
+  let obs_cached_packets =
+    Array.init flows (fun f ->
+        let shim =
+          Wire.Cap_shim.regular ~nonce:obs_nonce ~caps:[] ~n_kb ~t_sec ~renewal:false ()
+        in
+        Wire.Packet.make ~shim ~src:(src f) ~dst ~created:0. (Wire.Packet.Raw 64))
+  in
+  let obs_cached_pass _pass =
+    for f = 0 to flows - 1 do
+      Tva.Router.process router_obs ~in_interface:0 obs_cached_packets.(f)
+    done
+  in
+  obs_cached_pass 0 (* warmup *);
+  let before_bare = snapshot (Tva.Router.counters router) in
+  let before_obs = snapshot (Tva.Router.counters router_obs) in
+  let obs_events_before = Obs.Counters.get obs_counters Obs.Event.Nonce_hit in
+  (* The overhead comparison re-times the bare cached path head-to-head
+     against the obs one rather than reusing [cached_m]: back-to-back
+     alternating chunks are the only fair comparison on a machine with
+     minutes-scale speed drift. *)
+  let bare_duel_m, obs_cached_m = measure_duel ~flows ~passes cached_pass obs_cached_pass in
+  check_counters ~label:"cached-nonce (duel)" ~before:before_bare
+    ~after:(Tva.Router.counters router)
+    ~expect_field:(fun c -> c.Tva.Router.regular_cached)
+    ~expected:(flows * passes);
+  check_counters ~label:"cached-nonce+obs" ~before:before_obs
+    ~after:(Tva.Router.counters router_obs)
+    ~expect_field:(fun c -> c.Tva.Router.regular_cached)
+    ~expected:(flows * passes);
+  (* The registry really was on the path: every timed packet hit the nonce
+     counter. *)
+  if Obs.Counters.get obs_counters Obs.Event.Nonce_hit - obs_events_before <> flows * passes
+  then begin
+    Printf.eprintf "FATAL: obs cached-nonce path did not tick the nonce_hit counter\n";
+    exit 1
+  end;
+  let obs_overhead = 100. *. (bare_duel_m.pps -. obs_cached_m.pps) /. bare_duel_m.pps in
+  let obs_extra_words =
+    obs_cached_m.minor_words_per_packet -. bare_duel_m.minor_words_per_packet
+  in
+
   (* --- report ---------------------------------------------------------- *)
   let pp_path name m =
     Printf.printf "  %-13s %10.0f pps  %8.1f ns/pkt  %6.2f minor words/pkt\n%!" name m.pps
@@ -222,6 +333,9 @@ let () =
   pp_path "validate" validate_m;
   pp_path "request" request_m;
   pp_path "legacy" legacy_m;
+  pp_path "cached+obs" obs_cached_m;
+  Printf.printf "  obs counters: %+.2f%% pps, %+.3f minor words/pkt vs bare cached-nonce\n%!"
+    obs_overhead obs_extra_words;
   let budget_ok = cached_m.minor_words_per_packet <= !budget in
   let validate_ok = validate_m.minor_words_per_packet <= !validate_budget in
   let request_ok = request_m.minor_words_per_packet <= !request_budget in
@@ -247,6 +361,10 @@ let () =
         json_path "validate" validate_m ^ ",";
         json_path "request" request_m ^ ",";
         json_path "legacy" legacy_m ^ ",";
+        json_path "cached_nonce_obs" obs_cached_m ^ ",";
+        Printf.sprintf "  \"obs_overhead_pct\": %.2f," obs_overhead;
+        Printf.sprintf "  \"obs_overhead_budget_pct\": %g," !obs_overhead_pct;
+        Printf.sprintf "  \"obs_extra_minor_words\": %.3f," obs_extra_words;
         Printf.sprintf "  \"cached_nonce_budget_words\": %g," !budget;
         Printf.sprintf "  \"cached_nonce_budget_ok\": %b," budget_ok;
         Printf.sprintf "  \"validate_budget_words\": %g," !validate_budget;
@@ -272,4 +390,17 @@ let () =
   check_budget "cached-nonce" cached_m.minor_words_per_packet !budget;
   check_budget "validate" validate_m.minor_words_per_packet !validate_budget;
   check_budget "request" request_m.minor_words_per_packet !request_budget;
+  if obs_overhead > !obs_overhead_pct then begin
+    Printf.eprintf "FATAL: obs counters cost %.2f%% cached-nonce pps (budget %g%%)\n" obs_overhead
+      !obs_overhead_pct;
+    failed := true
+  end;
+  (* Counters are unconditional stores into a preallocated array: the obs
+     run must not allocate a single extra minor word per packet.  The
+     epsilon only absorbs the per-measurement fixed costs amortized over
+     flows*passes packets. *)
+  if obs_extra_words > 0.01 then begin
+    Printf.eprintf "FATAL: obs counters allocate %.3f extra minor words/packet\n" obs_extra_words;
+    failed := true
+  end;
   if !failed then exit 1

@@ -38,6 +38,18 @@ let schemes_arg =
   let doc = "Comma-separated subset of schemes (internet,siff,pushback,tva)." in
   Arg.(value & opt (list string) [ "internet"; "siff"; "pushback"; "tva" ] & info [ "schemes" ] ~doc)
 
+let stats_arg =
+  let doc = "Write an observability report (counters, per-link queue stats, flow caches) as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "stats" ] ~doc ~docv:"FILE")
+
+let trace_arg =
+  let doc = "Enable the packet-lifecycle trace ring and dump it as JSONL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let trace_sample_arg =
+  let doc = "Record 1 in $(docv) trace-eligible packet events." in
+  Arg.(value & opt int 1 & info [ "trace-sample" ] ~doc ~docv:"K")
+
 let base_config transfers max_time seed =
   { Workload.Experiment.default with Workload.Experiment.transfers_per_user = transfers; max_time; seed }
 
@@ -47,20 +59,81 @@ let select_schemes names =
 let print_table csv table =
   print_string (if csv then Stats.Table.to_csv table else Stats.Table.render table)
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Sweep stats file: the counters merged across every grid cell, then each
+   cell's full report keyed by its grid position. *)
+let sweep_stats_json (o : Workload.Scenario.observed) =
+  Obs.Export.to_string_pretty
+    (Obs.Export.Obj
+       [
+         ("merged_counters", Obs.Report.counters_json o.Workload.Scenario.obs_counters);
+         ( "cells",
+           Obs.Export.List
+             (List.map
+                (fun (c : Workload.Scenario.cell_report) ->
+                  Obs.Export.Obj
+                    [
+                      ("scheme", Obs.Export.String c.Workload.Scenario.cr_scheme);
+                      ("attackers", Obs.Export.Int c.cr_attackers);
+                      ("report", Obs.Report.to_json c.cr_report);
+                    ])
+                o.obs_cells) );
+       ])
+
+(* Sweep trace file: each cell's JSONL records, preceded by a cell-marker
+   line (itself a JSON object, so the file stays line-delimited JSON). *)
+let sweep_trace_jsonl (o : Workload.Scenario.observed) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (c : Workload.Scenario.cell_report) ->
+      match c.cr_report.Obs.Report.trace_jsonl with
+      | None -> ()
+      | Some body ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"cell\": {\"scheme\": \"%s\", \"attackers\": %d}}\n"
+               c.Workload.Scenario.cr_scheme c.cr_attackers);
+          Buffer.add_string buf body)
+    o.obs_cells;
+  Buffer.contents buf
+
+let sweep_obs_config ~trace ~trace_sample =
+  {
+    Workload.Experiment.obs_default with
+    Workload.Experiment.obs_trace_capacity = (if trace = None then 0 else 65536);
+    obs_trace_sample = trace_sample;
+  }
+
 let sweep_cmd name ~doc ~attack =
-  let run attackers transfers max_time seed csv schemes jobs =
+  let run attackers transfers max_time seed csv schemes jobs stats trace trace_sample =
     let base = base_config transfers max_time seed in
-    let series =
-      Workload.Scenario.flood_sweep ~jobs ~schemes:(select_schemes schemes)
-        ~attacker_counts:attackers ~base ~attack ()
-    in
-    print_table csv (Workload.Scenario.render series)
+    let schemes = select_schemes schemes in
+    match (stats, trace) with
+    | None, None ->
+        (* The unobserved path: nothing observability-related is installed,
+           so figure output stays byte-identical to the pre-obs driver. *)
+        let series =
+          Workload.Scenario.flood_sweep ~jobs ~schemes ~attacker_counts:attackers ~base ~attack ()
+        in
+        print_table csv (Workload.Scenario.render series)
+    | _ ->
+        let obs = sweep_obs_config ~trace ~trace_sample in
+        let observed =
+          Workload.Scenario.flood_sweep_observed ~jobs ~obs ~schemes ~attacker_counts:attackers
+            ~base ~attack ()
+        in
+        print_table csv (Workload.Scenario.render observed.Workload.Scenario.obs_series);
+        Option.iter (fun path -> write_file path (sweep_stats_json observed)) stats;
+        Option.iter (fun path -> write_file path (sweep_trace_jsonl observed)) trace
   in
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
       const run $ attackers_arg $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ schemes_arg
-      $ jobs_arg)
+      $ jobs_arg $ stats_arg $ trace_arg $ trace_sample_arg)
 
 let fig8_cmd =
   sweep_cmd "fig8" ~doc:"Legacy traffic floods (paper Fig. 8)."
@@ -151,56 +224,148 @@ let fig12_cmd =
   in
   Cmd.v (Cmd.info "fig12" ~doc) Term.(const run $ lrp_arg $ measured_arg $ csv_arg)
 
+let scheme_arg =
+  Arg.(value & opt string "tva" & info [ "scheme" ] ~doc:"internet | siff | pushback | tva")
+
+let nattackers_arg = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of attackers.")
+
+let attack_arg =
+  Arg.(
+    value
+    & opt string "legacy"
+    & info [ "attack" ] ~doc:"none | legacy | request | authorized | imprecise")
+
+let single_config scheme_name n attack transfers max_time seed =
+  let scheme =
+    match List.assoc_opt scheme_name Workload.Scenario.schemes with
+    | Some s -> s
+    | None -> failwith ("unknown scheme " ^ scheme_name)
+  in
+  let attack =
+    match attack with
+    | "none" -> Workload.Experiment.No_attack
+    | "legacy" -> Workload.Experiment.Legacy_flood { rate_bps = 1e6 }
+    | "request" -> Workload.Experiment.Request_flood { rate_bps = 1e6 }
+    | "authorized" -> Workload.Experiment.Authorized_flood { rate_bps = 1e6 }
+    | "imprecise" ->
+        Workload.Experiment.Imprecise_flood
+          { rate_bps = 1e6; groups = 1; group_interval = 3.; start_at = 10. }
+    | other -> failwith ("unknown attack " ^ other)
+  in
+  {
+    (base_config transfers max_time seed) with
+    Workload.Experiment.scheme;
+    n_attackers = n;
+    attack;
+  }
+
+(* The experiment summary that heads a single-run stats file.  Metrics that
+   never had data ("no transfers attempted", "none completed") export as
+   JSON null, not a fake 1.0 or NaN. *)
+let experiment_json (r : Workload.Experiment.result) ~attackers =
+  Obs.Export.Obj
+    [
+      ("scheme", Obs.Export.String r.Workload.Experiment.scheme_name);
+      ("attackers", Obs.Export.Int attackers);
+      ( "fraction_completed",
+        match Workload.Metrics.fraction_completed_opt r.Workload.Experiment.metrics with
+        | None -> Obs.Export.Null
+        | Some f -> Obs.Export.Float f );
+      ("avg_transfer_time_s", Obs.Export.number_or_null r.Workload.Experiment.avg_transfer_time);
+      ("attempted", Obs.Export.Int (Workload.Metrics.attempted r.Workload.Experiment.metrics));
+      ("completed", Obs.Export.Int (Workload.Metrics.completed r.Workload.Experiment.metrics));
+      ("aborted", Obs.Export.Int (Workload.Metrics.aborted r.Workload.Experiment.metrics));
+      ("sim_end_s", Obs.Export.Float r.Workload.Experiment.sim_end);
+    ]
+
+let run_stats_json (r : Workload.Experiment.result) ~attackers report =
+  Obs.Export.to_string_pretty
+    (Obs.Export.Obj
+       [
+         ("experiment", experiment_json r ~attackers);
+         ("report", Obs.Report.to_json report);
+       ])
+
 let run_cmd =
   let doc = "One custom experiment run." in
-  let scheme_arg =
-    Arg.(value & opt string "tva" & info [ "scheme" ] ~doc:"internet | siff | pushback | tva")
-  in
-  let nattackers_arg = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of attackers.") in
-  let attack_arg =
-    Arg.(
-      value
-      & opt string "legacy"
-      & info [ "attack" ] ~doc:"none | legacy | request | authorized | imprecise")
-  in
-  let run scheme_name n attack transfers max_time seed =
-    let scheme =
-      match List.assoc_opt scheme_name Workload.Scenario.schemes with
-      | Some s -> s
-      | None -> failwith ("unknown scheme " ^ scheme_name)
+  let run scheme_name n attack transfers max_time seed stats trace trace_sample =
+    let cfg = single_config scheme_name n attack transfers max_time seed in
+    let r =
+      match (stats, trace) with
+      | None, None -> Workload.Experiment.run cfg
+      | _ ->
+          (* Counters, the net-event bridge, the wall-time profiler and (if
+             asked) the trace ring; no gauges, so the simulated outcome is
+             identical to the unobserved run. *)
+          let obs =
+            {
+              Workload.Experiment.obs_trace_capacity = (if trace = None then 0 else 65536);
+              obs_trace_sample = trace_sample;
+              obs_profile = true;
+              obs_gauge_period = 0.;
+            }
+          in
+          Workload.Experiment.run ~obs cfg
     in
-    let attack =
-      match attack with
-      | "none" -> Workload.Experiment.No_attack
-      | "legacy" -> Workload.Experiment.Legacy_flood { rate_bps = 1e6 }
-      | "request" -> Workload.Experiment.Request_flood { rate_bps = 1e6 }
-      | "authorized" -> Workload.Experiment.Authorized_flood { rate_bps = 1e6 }
-      | "imprecise" ->
-          Workload.Experiment.Imprecise_flood
-            { rate_bps = 1e6; groups = 1; group_interval = 3.; start_at = 10. }
-      | other -> failwith ("unknown attack " ^ other)
-    in
-    let cfg =
-      {
-        (base_config transfers max_time seed) with
-        Workload.Experiment.scheme;
-        n_attackers = n;
-        attack;
-      }
-    in
-    let r = Workload.Experiment.run cfg in
     Printf.printf "scheme=%s attackers=%d fraction_completed=%.4f avg_transfer_time=%.4fs\n"
       r.Workload.Experiment.scheme_name n r.fraction_completed r.avg_transfer_time;
     Printf.printf "attempted=%d completed=%d aborted=%d sim_end=%.1fs\n"
       (Workload.Metrics.attempted r.metrics)
       (Workload.Metrics.completed r.metrics)
       (Workload.Metrics.aborted r.metrics)
-      r.sim_end
+      r.sim_end;
+    match r.Workload.Experiment.obs with
+    | None -> ()
+    | Some report ->
+        Option.iter (fun path -> write_file path (run_stats_json r ~attackers:n report)) stats;
+        Option.iter
+          (fun path ->
+            write_file path (Option.value ~default:"" report.Obs.Report.trace_jsonl))
+          trace
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scheme_arg $ nattackers_arg $ attack_arg $ transfers_arg $ max_time_arg
-      $ seed_arg)
+      $ seed_arg $ stats_arg $ trace_arg $ trace_sample_arg)
+
+let dashboard_cmd =
+  let doc =
+    "Run one experiment with full observability (counters, profiler, queue-depth gauges) and \
+     render a text dashboard."
+  in
+  let gauge_period_arg =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "gauge-period" ]
+          ~doc:
+            "Sim-seconds between bottleneck queue-depth samples; 0 disables the gauge (gauge \
+             sampling consumes scheduler sequence numbers, so it can perturb event tie-breaks)."
+          ~docv:"SECONDS")
+  in
+  let run scheme_name n attack transfers max_time seed gauge_period stats =
+    let cfg = single_config scheme_name n attack transfers max_time seed in
+    let obs =
+      {
+        Workload.Experiment.obs_trace_capacity = 0;
+        obs_trace_sample = 1;
+        obs_profile = true;
+        obs_gauge_period = gauge_period;
+      }
+    in
+    let r = Workload.Experiment.run ~obs cfg in
+    Printf.printf "scheme=%s attackers=%d fraction_completed=%.4f avg_transfer_time=%.4fs\n\n"
+      r.Workload.Experiment.scheme_name n r.fraction_completed r.avg_transfer_time;
+    (match r.Workload.Experiment.obs with
+    | None -> ()
+    | Some report ->
+        Format.printf "%a@." Obs.Report.pp_dashboard report;
+        Option.iter (fun path -> write_file path (run_stats_json r ~attackers:n report)) stats)
+  in
+  Cmd.v (Cmd.info "dashboard" ~doc)
+    Term.(
+      const run $ scheme_arg $ nattackers_arg $ attack_arg $ transfers_arg $ max_time_arg
+      $ seed_arg $ gauge_period_arg $ stats_arg)
 
 let ablation_cmd name ~doc ~run_comparison =
   let run transfers max_time seed csv jobs =
@@ -250,6 +415,7 @@ let () =
             table1_cmd;
             fig12_cmd;
             run_cmd;
+            dashboard_cmd;
             ablation_queueing_cmd;
             ablation_state_cmd;
             ablation_sfq_cmd;

@@ -23,17 +23,31 @@ type t = {
   mutable tombs : int;
   mutable cursor : int; (* incremental-sweep position, see [reclaim_one] *)
   max_entries : int;
+  mutable evictions : int; (* records reclaimed (ttl/cap expiry), ever *)
+  mutable hwm : int; (* live-records high-water mark *)
+  obs : Obs.Counters.t;
 }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
 
-let create ~max_entries () =
+let create ?(obs = Obs.Counters.nop) ~max_entries () =
   if max_entries <= 0 then invalid_arg "Flow_cache.create: capacity must be positive";
   let len = next_pow2 (min (2 * max_entries) 1024) 16 in
-  { slots = Array.make len Empty; live = 0; tombs = 0; cursor = 0; max_entries }
+  {
+    slots = Array.make len Empty;
+    live = 0;
+    tombs = 0;
+    cursor = 0;
+    max_entries;
+    evictions = 0;
+    hwm = 0;
+    obs;
+  }
 
 let size t = t.live
 let capacity t = t.max_entries
+let evictions t = t.evictions
+let hwm t = t.hwm
 
 (* Deterministic multiplicative mix of the two 32-bit addresses; OCaml int
    multiplication wraps, which is exactly what we want here. *)
@@ -71,13 +85,20 @@ let[@inline] kill t i =
   t.live <- t.live - 1;
   t.tombs <- t.tombs + 1
 
+(* A reclaim is an eviction for accounting purposes; explicit [remove] (a
+   host tearing down its own flow) is not. *)
+let[@inline] evict t i =
+  kill t i;
+  t.evictions <- t.evictions + 1;
+  Obs.Counters.incr t.obs Obs.Event.Cache_evicted
+
 let sweep t ~now =
   let slots = t.slots in
   let reclaimed = ref 0 in
   for i = 0 to Array.length slots - 1 do
     match slots.(i) with
     | Used e when reclaimable e ~now ->
-        kill t i;
+        evict t i;
         incr reclaimed
     | Used _ | Empty | Tomb -> ()
   done;
@@ -96,7 +117,7 @@ let reclaim_one t ~now =
     else
       match slots.(i) with
       | Used e when reclaimable e ~now ->
-          kill t i;
+          evict t i;
           t.cursor <- (i + 1) land mask;
           true
       | Used _ | Empty | Tomb -> go (remaining - 1) ((i + 1) land mask)
@@ -154,7 +175,8 @@ let insert t ~now ~src ~dst ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
           let dest = if tomb >= 0 then tomb else i in
           if tomb >= 0 then t.tombs <- t.tombs - 1;
           slots.(dest) <- Used entry;
-          t.live <- t.live + 1
+          t.live <- t.live + 1;
+          if t.live > t.hwm then t.hwm <- t.live
       | Used e when Wire.Addr.equal e.e_src src && Wire.Addr.equal e.e_dst dst ->
           slots.(i) <- Used entry
       | Tomb -> place ((i + 1) land mask) (if tomb >= 0 then tomb else i)

@@ -27,11 +27,22 @@ type entry = {
   mutable ttl_expiry : float; (* absolute virtual time the ttl runs out *)
 }
 
-val create : max_entries:int -> unit -> t
-(** Raises [Invalid_argument] on a nonpositive bound. *)
+val create : ?obs:Obs.Counters.t -> max_entries:int -> unit -> t
+(** Raises [Invalid_argument] on a nonpositive bound.  [obs] (default
+    {!Obs.Counters.nop}) receives a [Cache_evicted] increment per
+    reclaimed record. *)
 
 val size : t -> int
 val capacity : t -> int
+
+val evictions : t -> int
+(** Records reclaimed over the cache's lifetime — ttl run out or
+    capability expired, via {!sweep} or the amortized insert-path scan.
+    Explicit {!remove} is not an eviction. *)
+
+val hwm : t -> int
+(** Live-record high-water mark, for checking the Sec. 3.6 state bound
+    [records <= C/(N/T)_min] empirically. *)
 
 val lookup : t -> src:Wire.Addr.t -> dst:Wire.Addr.t -> entry option
 

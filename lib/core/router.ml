@@ -18,6 +18,7 @@ type t = {
   sim : Sim.t;
   cache : Flow_cache.t;
   counters : counters;
+  obs : Obs.Counters.t; (* event-coded registry; [Obs.Counters.nop] when off *)
   (* Per-packet hot-path memos: prepared hash keys (per epoch secret) and
      this router's path-id tag per incoming interface.  Both hold pure
      functions of stable inputs, so they are caches in the strict sense —
@@ -27,7 +28,7 @@ type t = {
 }
 
 let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S))
-    ?(trust_boundary = true) ~secret_master ~router_id ~sim ~link_bps () =
+    ?(trust_boundary = true) ?(obs = Obs.Counters.nop) ~secret_master ~router_id ~sim ~link_bps () =
   {
     params;
     hash;
@@ -37,9 +38,10 @@ let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : 
     rotations = 0;
     router_id;
     sim;
-    cache = Flow_cache.create ~max_entries:(Params.flow_cache_entries params ~link_bps) ();
+    cache = Flow_cache.create ~obs ~max_entries:(Params.flow_cache_entries params ~link_bps) ();
     counters =
       { requests = 0; regular_cached = 0; regular_validated = 0; renewals = 0; demotions = 0; legacy = 0 };
+    obs;
     prep = Crypto.Keyed_hash.prep_cache ();
     tags = Hashtbl.create 16;
   }
@@ -58,9 +60,13 @@ let rotate_secret t =
   t.secret <-
     Crypto.Secret.create ~master:(t.secret_master ^ "/rotated/" ^ string_of_int t.rotations)
 
-let demote t (shim : Wire.Cap_shim.t) =
+(* Every demotion carries a reason event; the total under [Obs.Event.Demoted]
+   always equals the sum of the reasons (and [counters.demotions]). *)
+let demote t (shim : Wire.Cap_shim.t) ~(reason : Obs.Event.t) =
   shim.Wire.Cap_shim.demoted <- true;
-  t.counters.demotions <- t.counters.demotions + 1
+  t.counters.demotions <- t.counters.demotions + 1;
+  Obs.Counters.incr t.obs reason;
+  Obs.Counters.incr t.obs Obs.Event.Demoted
 
 (* The capability addressed to this router sits at [ptr] in the array. *)
 let my_cap (shim : Wire.Cap_shim.t) (caps : Wire.Cap_shim.cap array) =
@@ -88,80 +94,111 @@ let process_request t ~in_interface (p : Wire.Packet.t) (shim : Wire.Cap_shim.t)
   in
   match shim.Wire.Cap_shim.kind with
   | Wire.Cap_shim.Request req ->
-      if Wire.Cap_shim.precap_count req >= 255 then demote t shim (* header space exhausted *)
-      else Wire.Cap_shim.push_precap req precap
+      if Wire.Cap_shim.precap_count req >= 255 then
+        demote t shim ~reason:Obs.Event.Demoted_header_full (* header space exhausted *)
+      else begin
+        Wire.Cap_shim.push_precap req precap;
+        Obs.Counters.incr t.obs Obs.Event.Request_minted
+      end
   | Wire.Cap_shim.Regular _ -> assert false
+
+(* The outcome of checking the capability addressed to this router, with
+   the failure reason preserved so demotions can be attributed. *)
+type listed =
+  | L_ok of Wire.Cap_shim.cap
+  | L_no_cap (* nothing at [ptr]: sender listed no capability for us *)
+  | L_expired
+  | L_bad
 
 (* Validate the capability at [ptr] against this router's secret and the
    packet's addresses / N / T.  Two hash computations, per the paper. *)
 let validate_listed t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~caps ~n_kb ~t_sec =
   match my_cap shim caps with
-  | None -> None
+  | None -> L_no_cap
   | Some cap -> begin
       let now = Sim.now t.sim in
       match
         Capability.validate_cached ~hash:t.hash ~cache:t.prep ~secret:t.secret ~now
           ~src:p.Wire.Packet.src ~dst:p.Wire.Packet.dst ~n_kb ~t_sec cap
       with
-      | Capability.Valid -> Some cap
-      | Capability.Expired | Capability.Bad_hash -> None
+      | Capability.Valid -> L_ok cap
+      | Capability.Expired -> L_expired
+      | Capability.Bad_hash -> L_bad
     end
+
+let listed_failure = function
+  | L_no_cap -> Obs.Event.Demoted_no_cap
+  | L_expired -> Obs.Event.Demoted_cap_expired
+  | L_bad | L_ok _ -> Obs.Event.Demoted_bad_cap
+
+(* The "no demotion" sentinel: [valid = true] iff reason is physically this
+   value, so the hot path carries no allocated option. *)
+let no_demotion = Obs.Event.Packets_in
 
 let process_regular t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~nonce ~caps ~n_kb ~t_sec
     ~renewal =
   let now = Sim.now t.sim in
   let size = Wire.Packet.size p in
   let src = p.Wire.Packet.src and dst = p.Wire.Packet.dst in
-  let valid =
+  let reason =
     match Flow_cache.lookup t.cache ~src ~dst with
     | Some entry when Int64.equal entry.Flow_cache.nonce nonce ->
         (* Fast path: nonce match.  Still subject to expiry and the byte
            limit. *)
+        Obs.Counters.incr t.obs Obs.Event.Nonce_hit;
         if Capability.expired ~now ~ts:entry.Flow_cache.cap_ts ~t_sec:entry.Flow_cache.t_sec then
-          false
+          Obs.Event.Demoted_cap_expired
         else begin
           match Flow_cache.charge entry ~now ~bytes:size with
           | Flow_cache.Charged ->
               t.counters.regular_cached <- t.counters.regular_cached + 1;
-              true
-          | Flow_cache.Byte_limit -> false
+              no_demotion
+          | Flow_cache.Byte_limit -> Obs.Event.Demoted_bytes_exhausted
         end
     | Some entry -> begin
         (* Nonce mismatch: possibly the first packet of a renewed grant.
            Validate the listed capability and replace the entry. *)
+        Obs.Counters.incr t.obs Obs.Event.Nonce_miss;
         match validate_listed t p shim ~caps ~n_kb ~t_sec with
-        | None -> false
-        | Some cap -> begin
+        | (L_no_cap | L_expired | L_bad) as fail -> listed_failure fail
+        | L_ok cap -> begin
             match
               Flow_cache.renew entry ~now ~nonce ~n_kb ~t_sec ~cap_ts:cap.Wire.Cap_shim.ts
                 ~packet_bytes:size
             with
             | Flow_cache.Charged ->
                 t.counters.regular_validated <- t.counters.regular_validated + 1;
-                true
-            | Flow_cache.Byte_limit -> false
+                Obs.Counters.incr t.obs Obs.Event.Regular_validated;
+                Obs.Counters.incr t.obs Obs.Event.Cache_renewed;
+                no_demotion
+            | Flow_cache.Byte_limit -> Obs.Event.Demoted_bytes_exhausted
           end
       end
     | None -> begin
+        Obs.Counters.incr t.obs Obs.Event.Nonce_miss;
         match validate_listed t p shim ~caps ~n_kb ~t_sec with
-        | None -> false
-        | Some cap -> begin
+        | (L_no_cap | L_expired | L_bad) as fail -> listed_failure fail
+        | L_ok cap -> begin
             match
               Flow_cache.insert t.cache ~now ~src ~dst ~nonce ~n_kb ~t_sec
                 ~cap_ts:cap.Wire.Cap_shim.ts ~packet_bytes:size
             with
             | Flow_cache.Inserted _ ->
                 t.counters.regular_validated <- t.counters.regular_validated + 1;
-                true
-            | Flow_cache.Cache_full | Flow_cache.Over_limit -> false
+                Obs.Counters.incr t.obs Obs.Event.Regular_validated;
+                Obs.Counters.incr t.obs Obs.Event.Cache_inserted;
+                no_demotion
+            | Flow_cache.Cache_full -> Obs.Event.Demoted_cache_full
+            | Flow_cache.Over_limit -> Obs.Event.Demoted_over_limit
           end
       end
   in
-  if not valid then demote t shim
+  if reason != no_demotion then demote t shim ~reason
   else begin
     if Array.length caps > 0 then shim.Wire.Cap_shim.ptr <- shim.Wire.Cap_shim.ptr + 1;
     if renewal then begin
       t.counters.renewals <- t.counters.renewals + 1;
+      Obs.Counters.incr t.obs Obs.Event.Renewal;
       let precap =
         Capability.mint_precap_cached ~hash:t.hash ~cache:t.prep ~secret:t.secret ~now ~src ~dst
       in
@@ -172,13 +209,21 @@ let process_regular t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~nonce ~caps 
   end
 
 let process t ~in_interface (p : Wire.Packet.t) =
+  Obs.Counters.incr t.obs Obs.Event.Packets_in;
   match p.Wire.Packet.shim with
-  | None -> t.counters.legacy <- t.counters.legacy + 1
-  | Some shim when shim.Wire.Cap_shim.demoted -> t.counters.legacy <- t.counters.legacy + 1
+  | None ->
+      t.counters.legacy <- t.counters.legacy + 1;
+      Obs.Counters.incr t.obs Obs.Event.Legacy_in
+  | Some shim when shim.Wire.Cap_shim.demoted ->
+      t.counters.legacy <- t.counters.legacy + 1;
+      Obs.Counters.incr t.obs Obs.Event.Legacy_in
   | Some shim -> begin
       match shim.Wire.Cap_shim.kind with
-      | Wire.Cap_shim.Request _ -> process_request t ~in_interface p shim
+      | Wire.Cap_shim.Request _ ->
+          Obs.Counters.incr t.obs Obs.Event.Request_in;
+          process_request t ~in_interface p shim
       | Wire.Cap_shim.Regular { nonce; caps; n_kb; t_sec; renewal; rev_fresh_precaps = _ } ->
+          Obs.Counters.incr t.obs Obs.Event.Regular_in;
           process_regular t p shim ~nonce ~caps ~n_kb ~t_sec ~renewal
     end
 

@@ -21,6 +21,7 @@ val create :
   ?params:Params.t ->
   ?hash:Capability.keyed ->
   ?trust_boundary:bool ->
+  ?obs:Obs.Counters.t ->
   secret_master:string ->
   router_id:int ->
   sim:Sim.t ->
@@ -28,7 +29,11 @@ val create :
   unit ->
   t
 (** [link_bps] provisions the flow cache ([C/(N/T)_min] records).
-    [trust_boundary] defaults to [true] (edge router). *)
+    [trust_boundary] defaults to [true] (edge router).  [obs] (default
+    {!Obs.Counters.nop}) receives per-event increments — packet class on
+    arrival, validation outcomes, reason-coded demotions, flow-cache
+    activity; with the default sink the increments are blind stores and
+    the processing path stays allocation-free. *)
 
 val handler : t -> Net.handler
 (** A drop-in node handler: processes the packet then forwards it along

@@ -10,6 +10,32 @@ type t
 type handle
 (** A scheduled event, usable for cancellation (e.g. retransmit timers). *)
 
+(** Scheduling-site tags carried by every event, read only by an attached
+    {!probe}.  Sites that matter to the event-loop profiler (link
+    transmitters, propagation deliveries, qdisc polls, TCP timers, workload
+    agents) pass their tag to {!schedule}; everything else defaults to
+    {!Kind.other}. *)
+module Kind : sig
+  val other : int
+  val net_transmit : int
+  val net_deliver : int
+  val net_poll : int
+  val tcp_timer : int
+  val agent : int
+  val obs : int
+  val count : int
+  val name : int -> string
+end
+
+type probe = {
+  pr_clock : unit -> float;  (** wall-clock source (e.g. [Unix.gettimeofday]) *)
+  pr_hit : kind:int -> dt:float -> unit;
+      (** called after every fired action with its kind tag and wall time *)
+}
+(** The event-loop profiler hook.  The clock is injected so the engine
+    stays free of [Unix]; with no probe attached the per-event cost is one
+    field load and branch. *)
+
 val create : ?seed:int -> unit -> t
 (** A fresh simulator at time 0.  [seed] (default 1) seeds {!rng}. *)
 
@@ -19,11 +45,12 @@ val now : t -> float
 val rng : t -> Rng.t
 (** The simulator's root random stream. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> handle
+val schedule_at : ?kind:int -> t -> time:float -> (unit -> unit) -> handle
 (** Fire the callback at absolute virtual [time].  Raises
-    [Invalid_argument] if [time] is in the past. *)
+    [Invalid_argument] if [time] is in the past.  [kind] (default
+    {!Kind.other}) tags the event for the profiler {!probe}. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+val schedule : ?kind:int -> t -> delay:float -> (unit -> unit) -> handle
 (** Fire the callback [delay] seconds from {!now} ([delay >= 0]). *)
 
 val cancel : handle -> unit
@@ -48,3 +75,8 @@ val events_processed : t -> int
 (** Total number of event actions executed since creation (cancelled events
     are not counted).  Used by benchmarks to report events/second and by
     tests to bound event-loop work. *)
+
+val set_probe : t -> probe option -> unit
+(** Attach (or detach with [None]) the event-loop profiler hook.  The probe
+    observes only; it cannot change scheduling order, so attaching one
+    never perturbs a run's results. *)

@@ -161,10 +161,10 @@ let rec kick link =
         emit net (Transmit (link, p));
         let tx_time = float_of_int (Wire.Packet.size p) *. 8. /. link.bandwidth in
         ignore
-          (Sim.schedule net.sim ~delay:tx_time (fun () ->
+          (Sim.schedule ~kind:Sim.Kind.net_transmit net.sim ~delay:tx_time (fun () ->
                link.busy <- false;
                ignore
-                 (Sim.schedule net.sim ~delay:link.delay (fun () ->
+                 (Sim.schedule ~kind:Sim.Kind.net_deliver net.sim ~delay:link.delay (fun () ->
                       emit net (Deliver (link.dst, p));
                       link.dst.handler link.dst ~in_link:(Some link) p));
                kick link))
@@ -178,7 +178,7 @@ let rec kick link =
         let delay = if delay <= 0. then min_poll_delay else delay in
         link.poll <-
           Some
-            (Sim.schedule net.sim ~delay (fun () ->
+            (Sim.schedule ~kind:Sim.Kind.net_poll net.sim ~delay (fun () ->
                  link.poll <- None;
                  kick link))
       end

@@ -1,0 +1,74 @@
+(* Preallocated per-router event counters.
+
+   An increment is two unsafe array operations on an int array — no bounds
+   check, no hashing, no allocation — so datapath modules increment
+   unconditionally.  "Disabled" is the shared [nop] instance: its array
+   absorbs the writes, no per-router memory is kept and nothing is ever
+   read back, which keeps the hot paths free of enable/disable branches.
+   (Worker domains may race on [nop]'s cells; the values are garbage by
+   design and int-array races are well-defined in OCaml, so this is
+   harmless.) *)
+
+type t = { name : string; counts : int array }
+
+let nop = { name = "nop"; counts = Array.make Event.count 0 }
+
+let create ~name () = { name; counts = Array.make Event.count 0 }
+
+let is_nop t = t == nop
+let name t = t.name
+
+let[@inline] incr t e =
+  let i = Event.to_int e in
+  Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + 1)
+
+let[@inline] add t e n =
+  let i = Event.to_int e in
+  Array.unsafe_set t.counts i (Array.unsafe_get t.counts i + n)
+
+let get t e = t.counts.(Event.to_int e)
+
+let reset t = Array.fill t.counts 0 Event.count 0
+
+let snapshot t = (t.name, Array.copy t.counts)
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+(* --- registry --------------------------------------------------------- *)
+
+(* One registry per simulation run.  Instances are kept in creation order,
+   so snapshots (and everything rendered or merged from them) are
+   deterministic regardless of how a sweep is parallelized. *)
+type registry = { mutable items : t list (* reverse creation order *) }
+
+let registry () = { items = [] }
+
+let register reg ~name =
+  let c = create ~name () in
+  reg.items <- c :: reg.items;
+  c
+
+let registered reg = List.rev reg.items
+
+let find reg ~name = List.find_opt (fun c -> c.name = name) reg.items
+
+(* --- domain-safe snapshots -------------------------------------------- *)
+
+type snap = (string * int array) list
+
+let snapshot_all reg = List.map snapshot (registered reg)
+
+(* Sum counters by name; names absent from [acc] append in first-seen
+   order, so folding a sweep's snapshots left to right (submission order)
+   is deterministic. *)
+let merge_snaps (a : snap) (b : snap) : snap =
+  let merged =
+    List.map
+      (fun (name, counts) ->
+        match List.assoc_opt name b with
+        | None -> (name, Array.copy counts)
+        | Some other -> (name, Array.init Event.count (fun i -> counts.(i) + other.(i))))
+      a
+  in
+  let extra = List.filter (fun (name, _) -> not (List.mem_assoc name a)) b in
+  merged @ List.map (fun (name, counts) -> (name, Array.copy counts)) extra

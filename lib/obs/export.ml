@@ -1,0 +1,108 @@
+(* A minimal JSON value and serializer.  No JSON library ships in this
+   environment, so exports are built by hand; the emitter guarantees valid
+   JSON (strings escaped, no NaN/Infinity — callers convert those to
+   [Null] via [number_or_null], which is how "no data" is distinguished
+   from a real zero downstream). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let number_or_null x =
+  if Float.is_nan x || x = infinity || x = neg_infinity then Null else Float x
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf x =
+  if Float.is_nan x || x = infinity || x = neg_infinity then Buffer.add_string buf "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.9g" x)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> add_float buf x
+  | String s -> escape buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ", ";
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          escape buf k;
+          Buffer.add_string buf ": ";
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+(* Pretty variant: objects and lists one entry per line, two-space indent.
+   The stats files are meant to be read (and diffed) by humans and grepped
+   by the bench comparators, both of which want one "key": value per line. *)
+let rec to_buffer_pretty buf ~indent v =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> to_buffer buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          to_buffer_pretty buf ~indent:(indent + 2) x)
+        xs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          escape buf k;
+          Buffer.add_string buf ": ";
+          to_buffer_pretty buf ~indent:(indent + 2) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 1024 in
+  to_buffer_pretty buf ~indent:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** A minimal JSON value + serializer (no JSON library is available).
+    Emitted JSON is always valid: strings are escaped, and non-finite
+    floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val number_or_null : float -> t
+(** [Null] for NaN/±infinity — the "no data" marker, distinguishable from
+    a genuine zero (e.g. {!Workload.Metrics.fraction_completed_opt} when
+    nothing was attempted). *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val to_string_pretty : t -> string
+(** One ["key": value] per line, two-space indent, trailing newline —
+    greppable by the bench comparators and diffable by humans. *)

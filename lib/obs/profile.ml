@@ -1,0 +1,99 @@
+(* Event-loop profiler: wall time and event counts bucketed by the
+   scheduling-site kind every event carries ([Sim.Kind]), plus named gauges
+   (queue depth / occupancy histograms) sampled on a sim-time cadence.
+
+   The wall clock is injected ([Unix.gettimeofday] from drivers) so this
+   library stays portable; attaching to a simulator installs a [Sim.probe],
+   which observes only and cannot change scheduling order. *)
+
+type gauge = { g_name : string; g_hist : Stats.Histogram.t; g_summary : Stats.Summary.t }
+
+type t = {
+  clock : unit -> float;
+  counts : int array; (* per Sim.Kind *)
+  wall : float array; (* seconds per Sim.Kind *)
+  mutable gauges : gauge list; (* reverse creation order *)
+  mutable samples : int; (* gauge sampling rounds completed *)
+}
+
+let create ~clock () =
+  {
+    clock;
+    counts = Array.make Sim.Kind.count 0;
+    wall = Array.make Sim.Kind.count 0.;
+    gauges = [];
+    samples = 0;
+  }
+
+let hit t ~kind ~dt =
+  let k = if kind >= 0 && kind < Sim.Kind.count then kind else Sim.Kind.other in
+  t.counts.(k) <- t.counts.(k) + 1;
+  t.wall.(k) <- t.wall.(k) +. dt
+
+let attach t sim =
+  Sim.set_probe sim (Some { Sim.pr_clock = t.clock; pr_hit = (fun ~kind ~dt -> hit t ~kind ~dt) })
+
+let detach sim = Sim.set_probe sim None
+
+let events t ~kind = t.counts.(kind)
+let wall_s t ~kind = t.wall.(kind)
+let total_events t = Array.fold_left ( + ) 0 t.counts
+let total_wall_s t = Array.fold_left ( +. ) 0. t.wall
+
+(* --- gauges ------------------------------------------------------------ *)
+
+(* Queue depths span zero to thousands of packets, so the default shape is
+   the log-scale histogram (zero lands in the underflow bucket). *)
+let gauge t ~name ~lo ~hi ~bins =
+  match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> g
+  | None ->
+      let g =
+        {
+          g_name = name;
+          g_hist = Stats.Histogram.create_log ~lo ~hi ~bins;
+          g_summary = Stats.Summary.create ();
+        }
+      in
+      t.gauges <- g :: t.gauges;
+      g
+
+let observe g v =
+  Stats.Histogram.add g.g_hist v;
+  Stats.Summary.add g.g_summary v
+
+let gauges t = List.rev t.gauges
+let gauge_name g = g.g_name
+let gauge_hist g = g.g_hist
+let gauge_summary g = g.g_summary
+
+(* Sample [read] for every named gauge each [period] of sim time, starting
+   one period in.  The sampler reads qdisc occupancy only — it never
+   touches packet state — but its events do consume scheduler sequence
+   numbers, so runs with gauges enabled are deterministic yet not
+   tie-break-identical to unobserved runs (DESIGN.md §10). *)
+let sample_every t sim ~period reads =
+  if period <= 0. then invalid_arg "Profile.sample_every: period must be positive";
+  let rec tick () =
+    List.iter
+      (fun (gauge, read) ->
+        t.samples <- t.samples + 1;
+        observe gauge (read ()))
+      reads;
+    ignore (Sim.schedule ~kind:Sim.Kind.obs sim ~delay:period tick)
+  in
+  ignore (Sim.schedule ~kind:Sim.Kind.obs sim ~delay:period tick)
+
+let samples t = t.samples
+
+(* --- rendering --------------------------------------------------------- *)
+
+let kind_rows t =
+  let rows = ref [] in
+  for k = Sim.Kind.count - 1 downto 0 do
+    if t.counts.(k) > 0 then
+      rows :=
+        (Sim.Kind.name k, t.counts.(k), t.wall.(k), 1e9 *. t.wall.(k) /. float_of_int t.counts.(k))
+        :: !rows
+  done;
+  !rows

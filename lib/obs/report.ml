@@ -1,0 +1,279 @@
+(* The end-of-run observability report: plain data, so a report built
+   inside a [Pool] worker domain crosses back to the submitting domain and
+   merges deterministically.  Builders snapshot live structures (counter
+   registry, the net's per-link qdisc stats, a profiler); rendering goes
+   through {!Export} (JSON) or a text dashboard. *)
+
+type qdisc_row = {
+  q_name : string;
+  q_enqueued : int;
+  q_dequeued : int;
+  q_dropped : int;
+  q_bytes_enqueued : int;
+  q_bytes_dequeued : int;
+  q_bytes_dropped : int;
+  q_hwm : int;
+  q_residual_packets : int; (* packets still queued when the run ended *)
+  q_residual_bytes : int;
+}
+
+type link_row = {
+  l_name : string; (* "src->dst" *)
+  l_tx_packets : int;
+  l_tx_bytes : int;
+  l_qdiscs : qdisc_row list; (* composite walked parent-first *)
+}
+
+type cache_row = {
+  c_router : string;
+  c_size : int;
+  c_capacity : int;
+  c_evictions : int;
+  c_hwm : int;
+}
+
+type profile_row = { p_kind : string; p_events : int; p_wall_s : float }
+
+type gauge_row = {
+  g_name : string;
+  g_count : int;
+  g_mean : float;
+  g_max : float;
+  g_p50 : float;
+  g_p99 : float;
+  g_render : string; (* pre-rendered histogram, for the dashboard *)
+}
+
+type t = {
+  counters : Counters.snap;
+  links : link_row list;
+  caches : cache_row list;
+  profile : profile_row list;
+  gauges : gauge_row list;
+  trace_jsonl : string option;
+}
+
+let empty = { counters = []; links = []; caches = []; profile = []; gauges = []; trace_jsonl = None }
+
+(* --- builders ----------------------------------------------------------- *)
+
+let qdisc_rows qdisc =
+  let rows = ref [] in
+  Qdisc.iter_nested qdisc (fun q ->
+      let s = q.Qdisc.stats in
+      rows :=
+        {
+          q_name = q.Qdisc.name;
+          q_enqueued = s.Qdisc.enqueued;
+          q_dequeued = s.Qdisc.dequeued;
+          q_dropped = s.Qdisc.dropped;
+          q_bytes_enqueued = s.Qdisc.bytes_enqueued;
+          q_bytes_dequeued = s.Qdisc.bytes_dequeued;
+          q_bytes_dropped = s.Qdisc.bytes_dropped;
+          q_hwm = s.Qdisc.hwm_packets;
+          q_residual_packets = Qdisc.packet_count q;
+          q_residual_bytes = Qdisc.byte_count q;
+        }
+        :: !rows);
+  List.rev !rows
+
+let link_rows_of_net net =
+  List.concat_map
+    (fun node ->
+      List.map
+        (fun link ->
+          {
+            l_name =
+              Net.node_name (Net.link_src link) ^ "->" ^ Net.node_name (Net.link_dst link);
+            l_tx_packets = Net.link_tx_packets link;
+            l_tx_bytes = Net.link_tx_bytes link;
+            l_qdiscs = qdisc_rows (Net.link_qdisc link);
+          })
+        (Net.links_out_of node))
+    (Net.nodes net)
+
+let profile_rows profile =
+  List.map
+    (fun (name, events, wall, _ns) -> { p_kind = name; p_events = events; p_wall_s = wall })
+    (Profile.kind_rows profile)
+
+let gauge_rows profile =
+  List.map
+    (fun g ->
+      let s = Profile.gauge_summary g in
+      let h = Profile.gauge_hist g in
+      {
+        g_name = Profile.gauge_name g;
+        g_count = Stats.Summary.count s;
+        g_mean = Stats.Summary.mean s;
+        g_max = Stats.Summary.max s;
+        g_p50 = Stats.Histogram.quantile h 0.5;
+        g_p99 = Stats.Histogram.quantile h 0.99;
+        g_render = Fmt.str "%a" Stats.Histogram.pp h;
+      })
+    (Profile.gauges profile)
+
+let trace_jsonl ?node_name trace =
+  if Trace.is_nop trace || Trace.length trace = 0 then None
+  else begin
+    let buf = Buffer.create 4096 in
+    Trace.to_jsonl ?node_name trace buf;
+    Some (Buffer.contents buf)
+  end
+
+(* --- merge -------------------------------------------------------------- *)
+
+(* Fold sweep-cell counter snapshots in submission order (Pool.map returns
+   results in that order), so the aggregate is deterministic across --jobs
+   settings. *)
+let merge_counters reports =
+  List.fold_left (fun acc r -> Counters.merge_snaps acc r.counters) [] reports
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let counters_json (snap : Counters.snap) =
+  Export.Obj
+    (List.map
+       (fun (name, counts) ->
+         let fields = ref [] in
+         for i = Array.length counts - 1 downto 0 do
+           if counts.(i) <> 0 then fields := (Event.name_of_int i, Export.Int counts.(i)) :: !fields
+         done;
+         (name, Export.Obj !fields))
+       snap)
+
+let qdisc_json q =
+  Export.Obj
+    [
+      ("name", Export.String q.q_name);
+      ("enqueued", Export.Int q.q_enqueued);
+      ("dequeued", Export.Int q.q_dequeued);
+      ("dropped", Export.Int q.q_dropped);
+      ("bytes_enqueued", Export.Int q.q_bytes_enqueued);
+      ("bytes_dequeued", Export.Int q.q_bytes_dequeued);
+      ("bytes_dropped", Export.Int q.q_bytes_dropped);
+      ("hwm_packets", Export.Int q.q_hwm);
+      ("residual_packets", Export.Int q.q_residual_packets);
+      ("residual_bytes", Export.Int q.q_residual_bytes);
+    ]
+
+let link_json l =
+  Export.Obj
+    [
+      ("name", Export.String l.l_name);
+      ("tx_packets", Export.Int l.l_tx_packets);
+      ("tx_bytes", Export.Int l.l_tx_bytes);
+      ("qdiscs", Export.List (List.map qdisc_json l.l_qdiscs));
+    ]
+
+let cache_json c =
+  Export.Obj
+    [
+      ("router", Export.String c.c_router);
+      ("size", Export.Int c.c_size);
+      ("capacity", Export.Int c.c_capacity);
+      ("evictions", Export.Int c.c_evictions);
+      ("hwm", Export.Int c.c_hwm);
+    ]
+
+let profile_json p =
+  Export.Obj
+    [
+      ("kind", Export.String p.p_kind);
+      ("events", Export.Int p.p_events);
+      ("wall_s", Export.Float p.p_wall_s);
+    ]
+
+let gauge_json g =
+  Export.Obj
+    [
+      ("name", Export.String g.g_name);
+      ("count", Export.Int g.g_count);
+      ("mean", Export.number_or_null g.g_mean);
+      ("max", Export.number_or_null g.g_max);
+      ("p50", Export.number_or_null g.g_p50);
+      ("p99", Export.number_or_null g.g_p99);
+    ]
+
+let to_json t =
+  Export.Obj
+    [
+      ("counters", counters_json t.counters);
+      ("links", Export.List (List.map link_json t.links));
+      ("flow_caches", Export.List (List.map cache_json t.caches));
+      ("profile", Export.List (List.map profile_json t.profile));
+      ("gauges", Export.List (List.map gauge_json t.gauges));
+    ]
+
+let to_json_string t = Export.to_string_pretty (to_json t)
+
+(* --- dashboard ---------------------------------------------------------- *)
+
+let pp_counters fmt (snap : Counters.snap) =
+  List.iter
+    (fun (name, counts) ->
+      let rows = ref [] in
+      for i = Array.length counts - 1 downto 0 do
+        if counts.(i) <> 0 then rows := (Event.name_of_int i, counts.(i)) :: !rows
+      done;
+      if !rows <> [] then begin
+        let wname =
+          List.fold_left (fun w (n, _) -> max w (String.length n)) 0 !rows
+        in
+        Format.fprintf fmt "== %s ==@." name;
+        List.iter (fun (n, c) -> Format.fprintf fmt "  %-*s %10d@." wname n c) !rows
+      end)
+    snap
+
+let pp_links fmt links =
+  if links <> [] then begin
+    Format.fprintf fmt "== links ==@.";
+    List.iter
+      (fun l ->
+        Format.fprintf fmt "  %s: tx=%d (%dB)@." l.l_name l.l_tx_packets l.l_tx_bytes;
+        List.iter
+          (fun q ->
+            Format.fprintf fmt "    %-20s enq=%-9d deq=%-9d drop=%-9d hwm=%-6d residual=%d@."
+              q.q_name q.q_enqueued q.q_dequeued q.q_dropped q.q_hwm q.q_residual_packets)
+          l.l_qdiscs)
+      links
+  end
+
+let pp_caches fmt caches =
+  if caches <> [] then begin
+    Format.fprintf fmt "== flow caches ==@.";
+    List.iter
+      (fun c ->
+        Format.fprintf fmt "  %s: size=%d/%d hwm=%d evictions=%d@." c.c_router c.c_size
+          c.c_capacity c.c_hwm c.c_evictions)
+      caches
+  end
+
+let pp_profile fmt profile =
+  if profile <> [] then begin
+    Format.fprintf fmt "== event loop ==@.";
+    List.iter
+      (fun p ->
+        let ns = if p.p_events = 0 then 0. else 1e9 *. p.p_wall_s /. float_of_int p.p_events in
+        Format.fprintf fmt "  %-14s %10d events %10.3f ms %8.0f ns/event@." p.p_kind p.p_events
+          (1e3 *. p.p_wall_s) ns)
+      profile
+  end
+
+let pp_gauges fmt gauges =
+  List.iter
+    (fun g ->
+      Format.fprintf fmt "== gauge %s ==@." g.g_name;
+      Format.fprintf fmt "  samples=%d mean=%.2f max=%.0f p50=%.2f p99=%.2f@." g.g_count g.g_mean
+        g.g_max g.g_p50 g.g_p99;
+      if g.g_render <> "" then
+        String.split_on_char '\n' g.g_render
+        |> List.iter (fun line -> if line <> "" then Format.fprintf fmt "  %s@." line))
+    gauges
+
+let pp_dashboard fmt t =
+  pp_counters fmt t.counters;
+  pp_links fmt t.links;
+  pp_caches fmt t.caches;
+  pp_profile fmt t.profile;
+  pp_gauges fmt t.gauges

@@ -1,0 +1,80 @@
+(** The end-of-run observability report: plain data (safe to build inside a
+    {!Pool} worker domain and move across), with JSON and text-dashboard
+    renderings. *)
+
+type qdisc_row = {
+  q_name : string;
+  q_enqueued : int;
+  q_dequeued : int;
+  q_dropped : int;
+  q_bytes_enqueued : int;
+  q_bytes_dequeued : int;
+  q_bytes_dropped : int;
+  q_hwm : int;
+  q_residual_packets : int;  (** still queued when the run ended *)
+  q_residual_bytes : int;
+}
+
+type link_row = {
+  l_name : string;  (** ["src->dst"] *)
+  l_tx_packets : int;
+  l_tx_bytes : int;
+  l_qdiscs : qdisc_row list;  (** composite walked parent-first *)
+}
+
+type cache_row = {
+  c_router : string;
+  c_size : int;
+  c_capacity : int;
+  c_evictions : int;
+  c_hwm : int;
+}
+
+type profile_row = { p_kind : string; p_events : int; p_wall_s : float }
+
+type gauge_row = {
+  g_name : string;
+  g_count : int;
+  g_mean : float;
+  g_max : float;
+  g_p50 : float;
+  g_p99 : float;
+  g_render : string;  (** pre-rendered histogram for the dashboard *)
+}
+
+type t = {
+  counters : Counters.snap;
+  links : link_row list;
+  caches : cache_row list;
+  profile : profile_row list;
+  gauges : gauge_row list;
+  trace_jsonl : string option;
+}
+
+val empty : t
+
+(** {1 Builders} — snapshot live structures into plain data. *)
+
+val qdisc_rows : Qdisc.t -> qdisc_row list
+val link_rows_of_net : Net.t -> link_row list
+val profile_rows : Profile.t -> profile_row list
+val gauge_rows : Profile.t -> gauge_row list
+
+val trace_jsonl : ?node_name:(int -> string) -> Trace.t -> string option
+(** [None] when the trace is disabled or empty. *)
+
+val merge_counters : t list -> Counters.snap
+(** Left fold of the reports' counter snapshots in list order; feeding
+    [Pool.map] results in submission order makes the aggregate independent
+    of [--jobs]. *)
+
+(** {1 Rendering} *)
+
+val to_json : t -> Export.t
+val to_json_string : t -> string
+
+val counters_json : Counters.snap -> Export.t
+(** The counter section alone (nonzero events only), for aggregates that
+    are not a whole report. *)
+
+val pp_dashboard : Format.formatter -> t -> unit

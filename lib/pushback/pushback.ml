@@ -333,7 +333,7 @@ let install t node =
   Net.set_handler node (handler st);
   let rec loop () =
     ignore
-      (Sim.schedule t.sim ~delay:t.interval (fun () ->
+      (Sim.schedule ~kind:Sim.Kind.agent t.sim ~delay:t.interval (fun () ->
            tick t st;
            loop ()))
   in

@@ -20,14 +20,23 @@ type stats = {
   mutable bytes_enqueued : int;
   mutable bytes_dequeued : int;
   mutable bytes_dropped : int;
+  mutable hwm_packets : int;
 }
 
 let fresh_stats () =
-  { enqueued = 0; dequeued = 0; dropped = 0; bytes_enqueued = 0; bytes_dequeued = 0; bytes_dropped = 0 }
+  {
+    enqueued = 0;
+    dequeued = 0;
+    dropped = 0;
+    bytes_enqueued = 0;
+    bytes_dequeued = 0;
+    bytes_dropped = 0;
+    hwm_packets = 0;
+  }
 
 let pp_stats fmt s =
-  Format.fprintf fmt "enq=%d deq=%d drop=%d (%dB in, %dB out, %dB dropped)" s.enqueued s.dequeued
-    s.dropped s.bytes_enqueued s.bytes_dequeued s.bytes_dropped
+  Format.fprintf fmt "enq=%d deq=%d drop=%d hwm=%d (%dB in, %dB out, %dB dropped)" s.enqueued
+    s.dequeued s.dropped s.hwm_packets s.bytes_enqueued s.bytes_dequeued s.bytes_dropped
 
 (* "No packet", by physical identity.  Shared with the rings' empty-slot
    filler so [Pktring.pop] on an empty ring and "dequeue found nothing"
@@ -239,7 +248,15 @@ let rec enqueue t ~now p =
   let stats = t.stats in
   if accepted then begin
     stats.enqueued <- stats.enqueued + 1;
-    stats.bytes_enqueued <- stats.bytes_enqueued + size
+    stats.bytes_enqueued <- stats.bytes_enqueued + size;
+    (* Occupancy high-water mark, kept at the leaves where it is one int
+       compare; composite levels report the max of their children. *)
+    match t.kind with
+    | Fifo f ->
+        let n = Pktring.length f.f_ring in
+        if n > stats.hwm_packets then stats.hwm_packets <- n
+    | Drr d -> if d.d_packets > stats.hwm_packets then stats.hwm_packets <- d.d_packets
+    | Token_bucket _ | Tri_class _ | Priority _ | Custom _ -> ()
   end
   else begin
     stats.dropped <- stats.dropped + 1;
@@ -428,6 +445,22 @@ let rec byte_count t =
   | Tri_class tc -> byte_count tc.tc_request + byte_count tc.tc_regular + byte_count tc.tc_legacy
   | Priority pr -> Array.fold_left (fun acc c -> acc + byte_count c) 0 pr.p_classes
   | Custom c -> c.c_byte_count ()
+
+(* Walk a composite qdisc, parent before children, depth-first in service
+   order (request, regular, legacy for the tri-class).  Observability reads
+   per-level stats and residual occupancy through this without knowing the
+   composite's shape. *)
+let rec iter_nested t f =
+  f t;
+  match t.kind with
+  | Fifo _ | Custom _ -> ()
+  | Drr _ -> ()
+  | Token_bucket tb -> iter_nested tb.tb_inner f
+  | Tri_class tc ->
+      iter_nested tc.tc_request f;
+      iter_nested tc.tc_regular f;
+      iter_nested tc.tc_legacy f
+  | Priority pr -> Array.iter (fun c -> iter_nested c f) pr.p_classes
 
 (* --- constructors ------------------------------------------------------ *)
 

@@ -20,6 +20,10 @@ type stats = {
   mutable bytes_enqueued : int;
   mutable bytes_dequeued : int;
   mutable bytes_dropped : int;
+  mutable hwm_packets : int;
+      (** Occupancy high-water mark.  Tracked at leaf disciplines (FIFO,
+          DRR) where it costs one compare per accepted packet; composite
+          levels leave it 0 and report through their children. *)
 }
 
 type t = { name : string; stats : stats; kind : kind }
@@ -114,6 +118,11 @@ val next_ready : t -> now:float -> float
 
 val packet_count : t -> int
 val byte_count : t -> int
+
+val iter_nested : t -> (t -> unit) -> unit
+(** Visit [t] and every nested qdisc, parent first, children in service
+    order.  Lets observability walk a composite's per-level stats and
+    residual occupancy without knowing its shape. *)
 
 val tb_fp_shift : int
 (** Token-bucket fixed-point scale: tokens are bytes times [2{^tb_fp_shift}],

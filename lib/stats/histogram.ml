@@ -1,7 +1,18 @@
+(* Fixed-bin histograms.  Two binnings share one representation: [Linear]
+   keeps the original equal-width arithmetic bit-for-bit (existing users
+   depend on exact bucket edges), [Log] spaces bucket edges geometrically
+   so counts spanning decades — queue depths, latencies — resolve at every
+   scale.  Nonpositive values cannot be log-binned and land in the
+   underflow bucket. *)
+
+type binning =
+  | Linear of { width : float }
+  | Log of { log_lo : float; log_width : float }
+
 type t = {
   lo : float;
   hi : float;
-  width : float;
+  binning : binning;
   counts : int array;
   mutable under : int;
   mutable over : int;
@@ -11,15 +22,42 @@ type t = {
 let create ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
   if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
-  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+  {
+    lo;
+    hi;
+    binning = Linear { width = (hi -. lo) /. float_of_int bins };
+    counts = Array.make bins 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let create_log ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create_log: bins must be positive";
+  if lo <= 0. then invalid_arg "Histogram.create_log: lo must be positive";
+  if hi <= lo then invalid_arg "Histogram.create_log: hi must exceed lo";
+  let log_lo = log lo in
+  {
+    lo;
+    hi;
+    binning = Log { log_lo; log_width = (log hi -. log_lo) /. float_of_int bins };
+    counts = Array.make bins 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
 
 let add t x =
   t.total <- t.total + 1;
   if x < t.lo then t.under <- t.under + 1
   else if x >= t.hi then t.over <- t.over + 1
   else begin
-    let i = int_of_float ((x -. t.lo) /. t.width) in
-    let i = if i >= Array.length t.counts then Array.length t.counts - 1 else i in
+    let i =
+      match t.binning with
+      | Linear { width } -> int_of_float ((x -. t.lo) /. width)
+      | Log { log_lo; log_width } -> int_of_float ((log x -. log_lo) /. log_width)
+    in
+    let i = if i < 0 then 0 else if i >= Array.length t.counts then Array.length t.counts - 1 else i in
     t.counts.(i) <- t.counts.(i) + 1
   end
 
@@ -35,7 +73,11 @@ let overflow t = t.over
 
 let bin_bounds t i =
   if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_bounds: index out of range";
-  (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width))
+  match t.binning with
+  | Linear { width } -> (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+  | Log { log_lo; log_width } ->
+      ( exp (log_lo +. (float_of_int i *. log_width)),
+        exp (log_lo +. (float_of_int (i + 1) *. log_width)) )
 
 let quantile t q =
   if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0,1]";
@@ -50,8 +92,11 @@ let quantile t q =
          for i = 0 to Array.length t.counts - 1 do
            let c = float_of_int t.counts.(i) in
            if !acc +. c >= target && c > 0. then begin
-             let lo, _ = bin_bounds t i in
-             result := lo +. (t.width *. ((target -. !acc) /. c));
+             let lo, hi = bin_bounds t i in
+             let width =
+               match t.binning with Linear { width } -> width | Log _ -> hi -. lo
+             in
+             result := lo +. (width *. ((target -. !acc) /. c));
              raise Exit
            end;
            acc := !acc +. c
@@ -61,14 +106,47 @@ let quantile t q =
     end
   end
 
+let merge_into acc x =
+  let same_binning =
+    match (acc.binning, x.binning) with
+    | Linear { width = a }, Linear { width = b } -> a = b
+    | Log { log_lo = a; log_width = aw }, Log { log_lo = b; log_width = bw } -> a = b && aw = bw
+    | Linear _, Log _ | Log _, Linear _ -> false
+  in
+  if acc.lo <> x.lo || acc.hi <> x.hi || Array.length acc.counts <> Array.length x.counts
+     || not same_binning
+  then invalid_arg "Histogram.merge_into: shapes differ";
+  for i = 0 to Array.length acc.counts - 1 do
+    acc.counts.(i) <- acc.counts.(i) + x.counts.(i)
+  done;
+  acc.under <- acc.under + x.under;
+  acc.over <- acc.over + x.over;
+  acc.total <- acc.total + x.total
+
+(* Aligned rendering: measure every bound and count string first, then pad,
+   so multi-histogram dashboards line up column for column.  (The old pp
+   printed "[%g,%g): n" raw, and widths jumped line to line.) *)
 let pp fmt t =
-  Format.fprintf fmt "@[<v>";
-  if t.under > 0 then Format.fprintf fmt "(<%g): %d@," t.lo t.under;
-  for i = 0 to Array.length t.counts - 1 do
+  let lines = ref [] in
+  if t.over > 0 then lines := (Printf.sprintf ">=%g" t.hi, "", t.over) :: !lines;
+  for i = Array.length t.counts - 1 downto 0 do
     if t.counts.(i) > 0 then begin
       let lo, hi = bin_bounds t i in
-      Format.fprintf fmt "[%g,%g): %d@," lo hi t.counts.(i)
+      lines := (Printf.sprintf "[%g" lo, Printf.sprintf "%g)" hi, t.counts.(i)) :: !lines
     end
   done;
-  if t.over > 0 then Format.fprintf fmt "(>=%g): %d@," t.hi t.over;
+  if t.under > 0 then lines := (Printf.sprintf "<%g" t.lo, "", t.under) :: !lines;
+  let lines = !lines in
+  let wa = List.fold_left (fun w (a, _, _) -> max w (String.length a)) 0 lines in
+  let wb = List.fold_left (fun w (_, b, _) -> max w (String.length b)) 0 lines in
+  let wc =
+    List.fold_left (fun w (_, _, c) -> max w (String.length (string_of_int c))) 0 lines
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (a, b, c) ->
+      let bounds = if b = "" then a else a ^ "," ^ b in
+      let width = wa + wb + 1 in
+      Format.fprintf fmt "%-*s %*d@," width bounds wc c)
+    lines;
   Format.fprintf fmt "@]"

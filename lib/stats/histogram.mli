@@ -1,5 +1,5 @@
-(** Fixed-width-bin histograms with overflow/underflow buckets, used for
-    transfer-time distributions. *)
+(** Fixed-bin histograms with overflow/underflow buckets, used for
+    transfer-time distributions and observability gauges. *)
 
 type t
 
@@ -7,6 +7,14 @@ val create : lo:float -> hi:float -> bins:int -> t
 (** [bins] equal-width buckets covering [\[lo, hi)]; values outside land in
     dedicated under/overflow counters.  Raises [Invalid_argument] on
     [bins <= 0] or [hi <= lo]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** [bins] geometrically spaced buckets covering [\[lo, hi)] — bucket edges
+    form a geometric progression, so values spanning decades (queue depths,
+    latencies) resolve at every scale.  Values below [lo] (including zero
+    and negatives, which cannot be log-binned) land in the underflow
+    counter.  Raises [Invalid_argument] on [bins <= 0], [lo <= 0] or
+    [hi <= lo]. *)
 
 val add : t -> float -> unit
 val count : t -> int
@@ -28,5 +36,12 @@ val quantile : t -> float -> float
 (** [quantile t q] approximates the [q]-quantile ([0 <= q <= 1]) by linear
     interpolation within the bucket; under/overflow clamp to [lo]/[hi]. *)
 
+val merge_into : t -> t -> unit
+(** [merge_into acc x] adds [x]'s buckets pointwise into [acc].  Both must
+    share the same shape (bounds, bin count, binning); raises
+    [Invalid_argument] otherwise.  Used to aggregate per-worker gauges
+    after a parallel sweep. *)
+
 val pp : Format.formatter -> t -> unit
-(** A compact ASCII rendering, one line per non-empty bucket. *)
+(** A compact ASCII rendering, one line per non-empty bucket, with bounds
+    and counts padded to stable column widths so stacked histograms align. *)

@@ -56,6 +56,7 @@ let run_custom ?(n_users = 10) ?(with_colluder = false) ?(transfers = 20) ?(max_
       metrics = user_metrics;
       sim_end = Sim.now sim;
       events = Sim.events_processed sim;
+      obs = None;
     }
   in
   (result metrics, List.map result per_user)
@@ -155,9 +156,9 @@ let queueing_discipline ?(jobs = 1) ?(n_attackers = 20) ?(transfers = 20) ?(max_
                 (Wire.Packet.make ~shim ~src:victim_addr ~dst:colluder_addr ~created:now
                    (Wire.Packet.Raw 64))
             end);
-        ignore (Sim.schedule sim ~delay:(interval *. (0.95 +. Rng.float rng 0.1)) tick)
+        ignore (Sim.schedule ~kind:Sim.Kind.agent sim ~delay:(interval *. (0.95 +. Rng.float rng 0.1)) tick)
       in
-      ignore (Sim.schedule_at sim ~time:(Rng.float rng interval) tick)
+      ignore (Sim.schedule_at ~kind:Sim.Kind.agent sim ~time:(Rng.float rng interval) tick)
     in
     let _, per_user =
       run_custom ~with_colluder:true ~transfers ~max_time ~seed ~scheme ~attach_attack ()
@@ -178,7 +179,7 @@ let state_provisioning ?(jobs = 1) ?(n_attacker_flows = 100) ?(transfers = 20) ?
       {
         base with
         Scheme.install_router =
-          (fun node ~link_bps ->
+          (fun ?obs:_ node ~link_bps ->
             let router =
               Tva.Router.create ~params:router_params
                 ~secret_master:("tva-secret-" ^ string_of_int (Net.node_id node))

@@ -39,6 +39,27 @@ type result = {
   metrics : Metrics.t;
   sim_end : float;
   events : int;
+  obs : Obs.Report.t option;
+}
+
+(* What to observe, as pure data: a config (not live state) crosses Pool
+   worker domains safely, each run building its own registry/trace/profiler
+   from it. *)
+type obs_config = {
+  obs_trace_capacity : int; (* 0 = no trace ring *)
+  obs_trace_sample : int; (* keep 1 record in k *)
+  obs_profile : bool; (* event-loop wall-time profiler (Unix clock) *)
+  obs_gauge_period : float; (* sim-seconds between queue-depth samples; 0 = off *)
+}
+
+let obs_default =
+  { obs_trace_capacity = 0; obs_trace_sample = 1; obs_profile = false; obs_gauge_period = 0. }
+
+type obs_state = {
+  st_registry : Obs.Counters.registry;
+  st_counters_for : Net.node -> Obs.Counters.t;
+  st_trace : Obs.Trace.t;
+  st_profile : Obs.Profile.t option;
 }
 
 let attacker_oracle a = Wire.Addr.to_int a lsr 24 = 0x0b
@@ -106,7 +127,7 @@ let install_attack cfg sim (topo : Topology.t) attacker_endpoints =
             ~mode:Agents.Flooder.Misbehaving ())
         attacker_endpoints
 
-let run cfg =
+let run ?obs cfg =
   let sim = Sim.create ~seed:cfg.seed () in
   let scheme = cfg.scheme sim in
   let with_colluder = match cfg.attack with Authorized_flood _ -> true | _ -> false in
@@ -116,8 +137,63 @@ let run cfg =
       ~make_qdisc:(fun ~bandwidth_bps -> scheme.Scheme.make_qdisc ~bandwidth_bps)
       sim
   in
-  scheme.Scheme.install_router topo.Topology.left ~link_bps:cfg.bottleneck_bps;
-  scheme.Scheme.install_router topo.Topology.right ~link_bps:cfg.bottleneck_bps;
+  (* Observability, when asked for: a counter registry keyed by node name,
+     the net-event bridge, and optionally a trace ring, an event-loop
+     profiler and a queue-depth gauge on the bottleneck.  With [?obs]
+     absent nothing is installed and the run is byte-identical to an
+     unobserved one. *)
+  let obs_state =
+    match obs with
+    | None -> None
+    | Some oc ->
+        let reg = Obs.Counters.registry () in
+        let counters_for node =
+          let name = Net.node_name node in
+          match Obs.Counters.find reg ~name with
+          | Some c -> c
+          | None -> Obs.Counters.register reg ~name
+        in
+        let trace =
+          if oc.obs_trace_capacity > 0 then
+            Obs.Trace.create ~capacity:oc.obs_trace_capacity ~sample:oc.obs_trace_sample ()
+          else Obs.Trace.nop
+        in
+        Obs.Bridge.install ~trace ~counters_for topo.Topology.net;
+        let profile =
+          if oc.obs_profile || oc.obs_gauge_period > 0. then
+            Some (Obs.Profile.create ~clock:Unix.gettimeofday ())
+          else None
+        in
+        (match profile with
+        | Some p when oc.obs_profile -> Obs.Profile.attach p sim
+        | Some _ | None -> ());
+        (match profile with
+        | Some p when oc.obs_gauge_period > 0. ->
+            (* The congested direction's queue is the interesting one; its
+               depth under each attack is the dashboard's headline gauge.
+               Sampling events consume scheduler sequence numbers, so
+               gauge-enabled runs are deterministic but not tie-break
+               identical to unobserved ones (DESIGN.md §10). *)
+            let q = Net.link_qdisc topo.Topology.bottleneck in
+            let g =
+              Obs.Profile.gauge p ~name:"bottleneck-queue-depth" ~lo:1. ~hi:4096. ~bins:24
+            in
+            Obs.Profile.sample_every p sim ~period:oc.obs_gauge_period
+              [ (g, fun () -> float_of_int (Qdisc.packet_count q)) ]
+        | Some _ | None -> ());
+        Some { st_registry = reg; st_counters_for = counters_for; st_trace = trace; st_profile = profile }
+  in
+  (match obs_state with
+  | None ->
+      scheme.Scheme.install_router topo.Topology.left ~link_bps:cfg.bottleneck_bps;
+      scheme.Scheme.install_router topo.Topology.right ~link_bps:cfg.bottleneck_bps
+  | Some st ->
+      scheme.Scheme.install_router
+        ~obs:(st.st_counters_for topo.Topology.left)
+        topo.Topology.left ~link_bps:cfg.bottleneck_bps;
+      scheme.Scheme.install_router
+        ~obs:(st.st_counters_for topo.Topology.right)
+        topo.Topology.right ~link_bps:cfg.bottleneck_bps);
   let dest_endpoint =
     scheme.Scheme.make_endpoint topo.Topology.destination ~role:Scheme.Destination
       ~policy:(destination_policy cfg)
@@ -165,6 +241,29 @@ let run cfg =
   install_attack cfg sim topo attacker_endpoints;
   Sim.run ~until:cfg.max_time sim;
   List.iter (Metrics.merge_into metrics) per_user_metrics;
+  let obs_report =
+    match obs_state with
+    | None -> None
+    | Some st ->
+        (match st.st_profile with Some _ -> Obs.Profile.detach sim | None -> ());
+        let names = Hashtbl.create 64 in
+        List.iter
+          (fun node -> Hashtbl.replace names (Net.node_id node) (Net.node_name node))
+          (Net.nodes topo.Topology.net);
+        let node_name id =
+          match Hashtbl.find_opt names id with Some n -> n | None -> string_of_int id
+        in
+        Some
+          {
+            Obs.Report.counters = Obs.Counters.snapshot_all st.st_registry;
+            links = Obs.Report.link_rows_of_net topo.Topology.net;
+            caches = scheme.Scheme.report_caches ();
+            profile =
+              (match st.st_profile with None -> [] | Some p -> Obs.Report.profile_rows p);
+            gauges = (match st.st_profile with None -> [] | Some p -> Obs.Report.gauge_rows p);
+            trace_jsonl = Obs.Report.trace_jsonl ~node_name st.st_trace;
+          }
+  in
   {
     scheme_name = scheme.Scheme.name;
     fraction_completed = Metrics.fraction_completed metrics;
@@ -172,4 +271,5 @@ let run cfg =
     metrics;
     sim_end = Sim.now sim;
     events = Sim.events_processed sim;
+    obs = obs_report;
   }

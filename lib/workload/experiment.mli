@@ -50,9 +50,28 @@ type result = {
   metrics : Metrics.t;
   sim_end : float;
   events : int;  (** simulator events fired during the run (for events/sec) *)
+  obs : Obs.Report.t option;  (** present iff [run ?obs] was given a config *)
 }
 
-val run : config -> result
+type obs_config = {
+  obs_trace_capacity : int;  (** trace-ring capacity; 0 disables tracing *)
+  obs_trace_sample : int;  (** keep 1 trace record in [k] *)
+  obs_profile : bool;  (** event-loop wall-time profiler (Unix clock) *)
+  obs_gauge_period : float;
+      (** sim-seconds between bottleneck queue-depth samples; 0 disables.
+          The sampler consumes scheduler sequence numbers, so gauge-enabled
+          runs are deterministic but not tie-break-identical to unobserved
+          ones. *)
+}
+
+val obs_default : obs_config
+(** Counters + net-event bridge only: no trace, no profiler, no gauges. *)
+
+val run : ?obs:obs_config -> config -> result
+(** With [?obs] absent, nothing observability-related is installed and the
+    run is byte-identical to the pre-observability harness.  [obs_config]
+    is pure data, so sweep cells can carry it across [Pool] domains and
+    each run builds private counter/trace/profiler state. *)
 
 val attacker_oracle : Wire.Addr.t -> bool
 (** True for addresses in the attacker range — the "destination can

@@ -29,8 +29,15 @@ let attempted t = t.attempted
 let completed t = t.completed
 let aborted t = t.aborted
 
+(* "Nothing attempted" is not "everything completed": exports must be able
+   to tell an idle cell from a perfect one, so the honest form is an
+   option.  The float form keeps returning 1.0 for the plots (an idle cell
+   plots as undamaged, matching the paper's figures). *)
+let fraction_completed_opt t =
+  if t.attempted = 0 then None else Some (float_of_int t.completed /. float_of_int t.attempted)
+
 let fraction_completed t =
-  if t.attempted = 0 then 1.0 else float_of_int t.completed /. float_of_int t.attempted
+  match fraction_completed_opt t with None -> 1.0 | Some f -> f
 
 let avg_transfer_time t = if t.completed = 0 then nan else Stats.Summary.mean t.times
 

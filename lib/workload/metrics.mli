@@ -15,7 +15,13 @@ val aborted : t -> int
 
 val fraction_completed : t -> float
 (** [completed / attempted]; transfers still in flight at cutoff count as
-    not completed.  1.0 when nothing was attempted. *)
+    not completed.  1.0 when nothing was attempted (so idle cells plot as
+    undamaged) — export paths that must distinguish "no attempts" from a
+    perfect score use {!fraction_completed_opt}. *)
+
+val fraction_completed_opt : t -> float option
+(** [None] when nothing was attempted; JSON exports render it as [null]
+    rather than a fabricated 1.0. *)
 
 val avg_transfer_time : t -> float
 (** Mean duration of completed transfers; [nan] if none completed. *)

@@ -22,22 +22,36 @@ let attack_rate_bps = 1e6 (* each attacker floods at one legitimate-user rate *)
    Results come back in submission order, making the sweep's output
    bit-identical whatever [jobs] is; [~jobs:1] (the library default) is
    exactly the seed's sequential loop. *)
+let sweep_grid ~schemes ~attacker_counts ~base ~attack =
+  List.concat_map
+    (fun (_, factory) ->
+      List.map
+        (fun n ->
+          {
+            base with
+            Experiment.scheme = factory;
+            n_attackers = n;
+            attack = attack ~rate_bps:attack_rate_bps;
+          })
+        attacker_counts)
+    schemes
+
+(* Re-chunk the flat scheme-major results back into one series per
+   scheme. *)
+let chunk_series ~schemes ~per_scheme points =
+  let rec chunk schemes points =
+    match schemes with
+    | [] -> []
+    | (name, _) :: rest ->
+        let mine = List.filteri (fun i _ -> i < per_scheme) points in
+        let others = List.filteri (fun i _ -> i >= per_scheme) points in
+        { scheme = name; points = mine } :: chunk rest others
+  in
+  chunk schemes points
+
 let flood_sweep ?(jobs = 1) ?(schemes = schemes) ?(attacker_counts = default_attacker_counts)
     ?(base = Experiment.default) ~attack () =
-  let grid =
-    List.concat_map
-      (fun (_, factory) ->
-        List.map
-          (fun n ->
-            {
-              base with
-              Experiment.scheme = factory;
-              n_attackers = n;
-              attack = attack ~rate_bps:attack_rate_bps;
-            })
-          attacker_counts)
-      schemes
-  in
+  let grid = sweep_grid ~schemes ~attacker_counts ~base ~attack in
   let points =
     Pool.map ~jobs
       (fun cfg ->
@@ -49,18 +63,48 @@ let flood_sweep ?(jobs = 1) ?(schemes = schemes) ?(attacker_counts = default_att
         })
       grid
   in
-  (* Re-chunk the flat scheme-major results back into one series per
-     scheme. *)
-  let per_scheme = List.length attacker_counts in
-  let rec chunk schemes points =
-    match schemes with
-    | [] -> []
-    | (name, _) :: rest ->
-        let mine = List.filteri (fun i _ -> i < per_scheme) points in
-        let others = List.filteri (fun i _ -> i >= per_scheme) points in
-        { scheme = name; points = mine } :: chunk rest others
+  chunk_series ~schemes ~per_scheme:(List.length attacker_counts) points
+
+(* One sweep cell's observability report, tagged with its grid position. *)
+type cell_report = { cr_scheme : string; cr_attackers : int; cr_report : Obs.Report.t }
+
+type observed = {
+  obs_series : series list;
+  obs_cells : cell_report list; (* grid order: scheme-major, then attackers *)
+  obs_counters : Obs.Counters.snap; (* all cells merged, submission order *)
+}
+
+(* The observed sweep: every cell runs with counters on (and whatever else
+   [obs] asks for) and ships its report — plain data — back across the
+   worker domain.  [Pool.map] returns results in submission order, so the
+   merged counter aggregate is identical whatever [jobs] is. *)
+let flood_sweep_observed ?(jobs = 1) ?(obs = Experiment.obs_default) ?(schemes = schemes)
+    ?(attacker_counts = default_attacker_counts) ?(base = Experiment.default) ~attack () =
+  let grid = sweep_grid ~schemes ~attacker_counts ~base ~attack in
+  let cells =
+    Pool.map ~jobs
+      (fun cfg ->
+        let r = Experiment.run ~obs cfg in
+        let report = match r.Experiment.obs with Some o -> o | None -> Obs.Report.empty in
+        ( {
+            n_attackers = cfg.Experiment.n_attackers;
+            fraction_completed = r.Experiment.fraction_completed;
+            avg_transfer_time = r.Experiment.avg_transfer_time;
+          },
+          {
+            cr_scheme = r.Experiment.scheme_name;
+            cr_attackers = cfg.Experiment.n_attackers;
+            cr_report = report;
+          } ))
+      grid
   in
-  chunk schemes points
+  let points = List.map fst cells in
+  let reports = List.map snd cells in
+  {
+    obs_series = chunk_series ~schemes ~per_scheme:(List.length attacker_counts) points;
+    obs_cells = reports;
+    obs_counters = Obs.Report.merge_counters (List.map (fun c -> c.cr_report) reports);
+  }
 
 let fig8 ?jobs ?attacker_counts ?base () =
   flood_sweep ?jobs ?attacker_counts ?base

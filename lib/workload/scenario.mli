@@ -37,6 +37,29 @@ val flood_sweep :
     sequential).  Output is bit-identical for every [jobs] value: results
     return in submission order and each run owns its simulator and RNG. *)
 
+type cell_report = { cr_scheme : string; cr_attackers : int; cr_report : Obs.Report.t }
+
+type observed = {
+  obs_series : series list;
+  obs_cells : cell_report list;  (** grid order: scheme-major, then attackers *)
+  obs_counters : Obs.Counters.snap;  (** all cells merged, submission order *)
+}
+
+val flood_sweep_observed :
+  ?jobs:int ->
+  ?obs:Experiment.obs_config ->
+  ?schemes:(string * Scheme.factory) list ->
+  ?attacker_counts:int list ->
+  ?base:Experiment.config ->
+  attack:(rate_bps:float -> Experiment.attack) ->
+  unit ->
+  observed
+(** {!flood_sweep} with per-cell observability: each cell runs under
+    [obs] (default {!Experiment.obs_default}: counters only) and returns
+    its report alongside the series points.  Reports are plain data and
+    merge in submission order, so the aggregate counters are identical
+    for every [jobs] value. *)
+
 val fig8 :
   ?jobs:int -> ?attacker_counts:int list -> ?base:Experiment.config -> unit -> series list
 (** Legacy traffic floods. *)

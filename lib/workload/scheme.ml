@@ -13,8 +13,9 @@ type endpoint = {
 type t = {
   name : string;
   make_qdisc : bandwidth_bps:float -> Qdisc.t;
-  install_router : Net.node -> link_bps:float -> unit;
+  install_router : ?obs:Obs.Counters.t -> Net.node -> link_bps:float -> unit;
   make_endpoint : Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
+  report_caches : unit -> Obs.Report.cache_row list;
 }
 
 type factory = Sim.t -> t
@@ -67,17 +68,34 @@ let tva_misbehaving_flood host sim =
 
 let tva ?(params = Tva.Params.default) () : factory =
  fun sim ->
+  (* Routers created this run, in creation order, so the flow-cache report
+     is deterministic. *)
+  let routers : (string * Tva.Router.t) list ref = ref [] in
   {
     name = "tva";
     make_qdisc = (fun ~bandwidth_bps -> Tva.Qdiscs.make ~params ~bandwidth_bps ());
     install_router =
-      (fun node ~link_bps ->
+      (fun ?obs node ~link_bps ->
         let router =
-          Tva.Router.create ~params
+          Tva.Router.create ~params ?obs
             ~secret_master:("tva-secret-" ^ string_of_int (Net.node_id node))
             ~router_id:(Net.node_id node) ~sim ~link_bps ()
         in
+        routers := (Net.node_name node, router) :: !routers;
         Net.set_handler node (Tva.Router.handler router));
+    report_caches =
+      (fun () ->
+        List.rev_map
+          (fun (name, router) ->
+            let cache = Tva.Router.cache router in
+            {
+              Obs.Report.c_router = name;
+              c_size = Tva.Flow_cache.size cache;
+              c_capacity = Tva.Flow_cache.capacity cache;
+              c_evictions = Tva.Flow_cache.evictions cache;
+              c_hwm = Tva.Flow_cache.hwm cache;
+            })
+          !routers);
     make_endpoint =
       (fun node ~role ~policy ->
         let auto_reply = match role with Destination | Colluder -> true | User | Attacker -> false in
@@ -129,8 +147,9 @@ let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
   {
     name = "siff";
     make_qdisc = (fun ~bandwidth_bps -> Siff.Router.make_qdisc ~bandwidth_bps);
+    report_caches = (fun () -> []);
     install_router =
-      (fun node ~link_bps:_ ->
+      (fun ?obs:_ node ~link_bps:_ ->
         let router =
           Siff.Router.create ~rotation_period
             ~secret_master:("siff-secret-" ^ string_of_int (Net.node_id node))
@@ -178,7 +197,8 @@ let pushback ?(interval = 1.0) () : factory =
   {
     name = "pushback";
     make_qdisc = (fun ~bandwidth_bps -> Pushback.make_qdisc controller ~bandwidth_bps);
-    install_router = (fun node ~link_bps:_ -> Pushback.install controller node);
+    install_router = (fun ?obs:_ node ~link_bps:_ -> Pushback.install controller node);
+    report_caches = (fun () -> []);
     make_endpoint = (fun node ~role:_ ~policy:_ -> plain_endpoint node);
   }
 
@@ -187,7 +207,9 @@ let internet () : factory =
   {
     name = "internet";
     make_qdisc = (fun ~bandwidth_bps -> Baseline.Internet.make_qdisc ~bandwidth_bps);
-    install_router = (fun node ~link_bps:_ -> Net.set_handler node Baseline.Internet.router_handler);
+    install_router =
+      (fun ?obs:_ node ~link_bps:_ -> Net.set_handler node Baseline.Internet.router_handler);
+    report_caches = (fun () -> []);
     make_endpoint = (fun node ~role:_ ~policy:_ -> plain_endpoint node);
   }
 

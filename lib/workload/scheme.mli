@@ -28,10 +28,16 @@ type endpoint = {
 type t = {
   name : string;
   make_qdisc : bandwidth_bps:float -> Qdisc.t;
-  install_router : Net.node -> link_bps:float -> unit;
+  install_router : ?obs:Obs.Counters.t -> Net.node -> link_bps:float -> unit;
       (** Set the router handler (and start any controller) on a router
-          node; call after links exist. *)
+          node; call after links exist.  [obs] threads a counter instance
+          into the router's processing path (TVA only; the other schemes
+          ignore it). *)
   make_endpoint : Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
+  report_caches : unit -> Obs.Report.cache_row list;
+      (** Flow-cache statistics for every router this scheme instance has
+          installed, in creation order (empty for schemes without
+          per-flow state). *)
 }
 
 type factory = Sim.t -> t

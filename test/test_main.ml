@@ -12,5 +12,6 @@ let () =
       ("tva", Test_tva.suite);
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
+      ("obs", Test_obs.suite);
       ("forwarder", Test_forwarder.suite);
     ]

@@ -1,0 +1,459 @@
+(* Observability: the counter registry, the trace ring, the event-loop
+   profiler, the export surfaces, and — most importantly — conservation
+   properties tying the obs counters to what the datapath actually did. *)
+
+let ev snap name e =
+  match List.assoc_opt name snap with
+  | None -> 0
+  | Some arr -> arr.(Obs.Event.to_int e)
+
+(* --- Counters ------------------------------------------------------------ *)
+
+let counters_basics () =
+  let c = Obs.Counters.create ~name:"c" () in
+  Alcotest.(check bool) "not nop" false (Obs.Counters.is_nop c);
+  Alcotest.(check bool) "nop is nop" true (Obs.Counters.is_nop Obs.Counters.nop);
+  Obs.Counters.incr c Obs.Event.Packets_in;
+  Obs.Counters.incr c Obs.Event.Packets_in;
+  Obs.Counters.add c Obs.Event.Demoted 5;
+  Alcotest.(check int) "incr" 2 (Obs.Counters.get c Obs.Event.Packets_in);
+  Alcotest.(check int) "add" 5 (Obs.Counters.get c Obs.Event.Demoted);
+  Alcotest.(check int) "total" 7 (Obs.Counters.total c);
+  (* the nop sink absorbs increments without being observable *)
+  Obs.Counters.incr Obs.Counters.nop Obs.Event.Packets_in;
+  Obs.Counters.reset c;
+  Alcotest.(check int) "reset" 0 (Obs.Counters.total c)
+
+let counters_registry_and_merge () =
+  let reg = Obs.Counters.registry () in
+  let a = Obs.Counters.register reg ~name:"a" in
+  let b = Obs.Counters.register reg ~name:"b" in
+  Alcotest.(check (list string)) "creation order"
+    [ "a"; "b" ]
+    (List.map Obs.Counters.name (Obs.Counters.registered reg));
+  Alcotest.(check bool) "find" true
+    (match Obs.Counters.find reg ~name:"b" with Some c -> c == b | None -> false);
+  Obs.Counters.incr a Obs.Event.Transmitted;
+  Obs.Counters.add b Obs.Event.Delivered 3;
+  let s1 = Obs.Counters.snapshot_all reg in
+  (* A second "run" with overlapping and fresh instances. *)
+  let reg2 = Obs.Counters.registry () in
+  let b2 = Obs.Counters.register reg2 ~name:"b" in
+  let c2 = Obs.Counters.register reg2 ~name:"c" in
+  Obs.Counters.add b2 Obs.Event.Delivered 4;
+  Obs.Counters.incr c2 Obs.Event.Packets_in;
+  let merged = Obs.Counters.merge_snaps s1 (Obs.Counters.snapshot_all reg2) in
+  Alcotest.(check (list string)) "first-seen order then appendees"
+    [ "a"; "b"; "c" ] (List.map fst merged);
+  Alcotest.(check int) "pointwise sum" 7 (ev merged "b" Obs.Event.Delivered);
+  Alcotest.(check int) "left-only survives" 1 (ev merged "a" Obs.Event.Transmitted);
+  Alcotest.(check int) "right-only appended" 1 (ev merged "c" Obs.Event.Packets_in)
+
+(* --- Trace ring ---------------------------------------------------------- *)
+
+let record t i =
+  Obs.Trace.record t ~time:(float_of_int i) ~node:i ~event:Obs.Event.Transmitted ~src:1 ~dst:2
+    ~size:100
+
+let trace_sampling_and_wraparound () =
+  (* capacity rounds up to a power of two *)
+  let t = Obs.Trace.create ~capacity:5 () in
+  Alcotest.(check int) "pow2 capacity" 8 (Obs.Trace.capacity t);
+  for i = 0 to 19 do
+    record t i
+  done;
+  Alcotest.(check int) "seen all offers" 20 (Obs.Trace.seen t);
+  Alcotest.(check int) "written all (sample=1)" 20 (Obs.Trace.written t);
+  Alcotest.(check int) "ring holds the tail" 8 (Obs.Trace.length t);
+  let times = ref [] in
+  Obs.Trace.iter t (fun ~time ~node:_ ~event:_ ~src:_ ~dst:_ ~size:_ ->
+      times := time :: !times);
+  Alcotest.(check (list (float 0.))) "oldest surviving first"
+    [ 12.; 13.; 14.; 15.; 16.; 17.; 18.; 19. ]
+    (List.rev !times);
+  (* 1-in-3 sampling keeps offers 0, 3, 6, ... *)
+  let s = Obs.Trace.create ~capacity:64 ~sample:3 () in
+  for i = 0 to 9 do
+    record s i
+  done;
+  Alcotest.(check int) "seen" 10 (Obs.Trace.seen s);
+  Alcotest.(check int) "1 in 3 written" 4 (Obs.Trace.written s);
+  (* nop: recording is a no-op *)
+  record Obs.Trace.nop 0;
+  Alcotest.(check int) "nop seen" 0 (Obs.Trace.seen Obs.Trace.nop)
+
+let trace_filter_and_formats () =
+  let t =
+    Obs.Trace.create ~capacity:16 ~filter:(fun e -> e = Obs.Event.Delivered) ()
+  in
+  record t 0;
+  (* filtered out: does not advance the sampling phase either *)
+  Alcotest.(check int) "filtered not seen" 0 (Obs.Trace.seen t);
+  Obs.Trace.record t ~time:1.5 ~node:7 ~event:Obs.Event.Delivered ~src:3 ~dst:4 ~size:64;
+  Alcotest.(check int) "kept" 1 (Obs.Trace.written t);
+  let buf = Buffer.create 256 in
+  Obs.Trace.to_jsonl ~node_name:(fun i -> Printf.sprintf "n%d" i) t buf;
+  let line = String.trim (Buffer.contents buf) in
+  Alcotest.(check string) "jsonl record"
+    "{\"t\":1.500000000,\"node\":\"n7\",\"event\":\"delivered\",\"src\":3,\"dst\":4,\"size\":64}"
+    line;
+  Buffer.clear buf;
+  Obs.Trace.to_csv t buf;
+  Alcotest.(check string) "csv" "time,node,event,src,dst,size\n1.500000000,7,delivered,3,4,64\n"
+    (Buffer.contents buf)
+
+(* --- Histogram log binning + pp alignment -------------------------------- *)
+
+let histogram_log_bins () =
+  (match Stats.Histogram.create_log ~lo:0. ~hi:10. ~bins:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "lo = 0 must be rejected");
+  let h = Stats.Histogram.create_log ~lo:1. ~hi:1000. ~bins:3 in
+  (* decade bins: [1,10) [10,100) [100,1000) *)
+  List.iteri
+    (fun i (lo, hi) ->
+      let blo, bhi = Stats.Histogram.bin_bounds h i in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "bin %d lo" i) lo blo;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "bin %d hi" i) hi bhi)
+    [ (1., 10.); (10., 100.); (100., 1000.) ];
+  List.iter (Stats.Histogram.add h) [ 2.; 5.; 20.; 500.; 0.5; 5000. ];
+  Alcotest.(check int) "bin0" 2 (Stats.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin1" 1 (Stats.Histogram.bin_count h 1);
+  Alcotest.(check int) "bin2" 1 (Stats.Histogram.bin_count h 2);
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Stats.Histogram.overflow h);
+  Alcotest.(check int) "count" 6 (Stats.Histogram.count h)
+
+let histogram_pp_alignment () =
+  (* Mixed-width labels and counts: every rendered line must come out the
+     same length — labels left-padded to one width, counts right-aligned. *)
+  let h = Stats.Histogram.create_log ~lo:1. ~hi:10000. ~bins:4 in
+  List.iter (Stats.Histogram.add h) [ 0.1; 2.; 2.; 2.; 20.; 20000. ];
+  for _ = 1 to 150 do
+    Stats.Histogram.add h 200.
+  done;
+  let rendered = Format.asprintf "%a" Stats.Histogram.pp h in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' rendered) in
+  Alcotest.(check bool) "several lines" true (List.length lines >= 4);
+  let widths = List.sort_uniq compare (List.map String.length lines) in
+  Alcotest.(check int) "all lines equally wide" 1 (List.length widths)
+
+(* --- Profiler ------------------------------------------------------------ *)
+
+let profile_kinds_and_gauges () =
+  let p = Obs.Profile.create ~clock:(fun () -> 0.) () in
+  Obs.Profile.hit p ~kind:Sim.Kind.agent ~dt:0.5;
+  Obs.Profile.hit p ~kind:Sim.Kind.agent ~dt:0.25;
+  Obs.Profile.hit p ~kind:Sim.Kind.net_deliver ~dt:1.;
+  Alcotest.(check int) "agent events" 2 (Obs.Profile.events p ~kind:Sim.Kind.agent);
+  Alcotest.(check (float 1e-9)) "agent wall" 0.75 (Obs.Profile.wall_s p ~kind:Sim.Kind.agent);
+  Alcotest.(check int) "total events" 3 (Obs.Profile.total_events p);
+  let rows = Obs.Profile.kind_rows p in
+  Alcotest.(check (list string)) "nonzero kinds in kind order"
+    [ Sim.Kind.name Sim.Kind.net_deliver; Sim.Kind.name Sim.Kind.agent ]
+    (List.map (fun (n, _, _, _) -> n) rows);
+  let g = Obs.Profile.gauge p ~name:"depth" ~lo:1. ~hi:100. ~bins:8 in
+  Alcotest.(check bool) "find-or-create" true
+    (g == Obs.Profile.gauge p ~name:"depth" ~lo:1. ~hi:100. ~bins:8);
+  Obs.Profile.observe g 3.;
+  Obs.Profile.observe g 30.;
+  Alcotest.(check int) "gauge count" 2 (Stats.Summary.count (Obs.Profile.gauge_summary g));
+  let sim = Sim.create () in
+  match Obs.Profile.sample_every p sim ~period:0. [ (g, fun () -> 1.) ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "nonpositive period must be rejected"
+
+let profile_attach_counts_sim_events () =
+  let sim = Sim.create () in
+  let p = Obs.Profile.create ~clock:Unix.gettimeofday () in
+  Obs.Profile.attach p sim;
+  ignore (Sim.schedule sim ~delay:0.1 ~kind:Sim.Kind.agent (fun () -> ()));
+  ignore (Sim.schedule sim ~delay:0.2 (fun () -> ()));
+  Sim.run sim;
+  Obs.Profile.detach sim;
+  Alcotest.(check int) "agent kind" 1 (Obs.Profile.events p ~kind:Sim.Kind.agent);
+  Alcotest.(check int) "default kind" 1 (Obs.Profile.events p ~kind:Sim.Kind.other);
+  ignore (Sim.schedule sim ~delay:0.1 ~kind:Sim.Kind.agent (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check int) "detached: no more hits" 1 (Obs.Profile.events p ~kind:Sim.Kind.agent)
+
+(* --- Export -------------------------------------------------------------- *)
+
+let export_null_markers () =
+  Alcotest.(check string) "nan is null" "null"
+    (Obs.Export.to_string (Obs.Export.number_or_null Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Obs.Export.to_string (Obs.Export.number_or_null Float.infinity));
+  Alcotest.(check string) "finite passes" "0.5"
+    (Obs.Export.to_string (Obs.Export.number_or_null 0.5));
+  Alcotest.(check string) "escaping"
+    "{\"a\\\"b\": [1, null, true]}"
+    (Obs.Export.to_string
+       (Obs.Export.Obj
+          [ ("a\"b", Obs.Export.List [ Obs.Export.Int 1; Obs.Export.Null; Obs.Export.Bool true ]) ]))
+
+let metrics_no_attempts_regression () =
+  let m = Workload.Metrics.create () in
+  (* The legacy accessor keeps its vacuous-truth value for renderers... *)
+  Alcotest.(check (float 1e-9)) "legacy accessor" 1.0 (Workload.Metrics.fraction_completed m);
+  (* ...but the export path can tell "nothing attempted" apart. *)
+  Alcotest.(check bool) "opt is None" true (Workload.Metrics.fraction_completed_opt m = None);
+  Workload.Metrics.record_start m;
+  Alcotest.(check bool) "attempted but incomplete" true
+    (Workload.Metrics.fraction_completed_opt m = Some 0.)
+
+(* --- Flow-cache eviction statistics -------------------------------------- *)
+
+let flow_cache_eviction_stats () =
+  let obs = Obs.Counters.create ~name:"cache" () in
+  let cache = Tva.Flow_cache.create ~obs ~max_entries:4 () in
+  let insert i ~now =
+    match
+      Tva.Flow_cache.insert cache ~now ~src:(Wire.Addr.of_int (100 + i))
+        ~dst:(Wire.Addr.of_int 1) ~nonce:(Int64.of_int i) ~n_kb:10 ~t_sec:1 ~cap_ts:0
+        ~packet_bytes:100
+    with
+    | Tva.Flow_cache.Inserted _ -> true
+    | _ -> false
+  in
+  for i = 1 to 4 do
+    Alcotest.(check bool) (Printf.sprintf "insert %d" i) true (insert i ~now:0.)
+  done;
+  Alcotest.(check int) "hwm at fill" 4 (Tva.Flow_cache.hwm cache);
+  Alcotest.(check int) "no evictions yet" 0 (Tva.Flow_cache.evictions cache);
+  (* All four entries' T windows passed: inserting reclaims one by one. *)
+  for i = 5 to 6 do
+    Alcotest.(check bool) (Printf.sprintf "insert %d reclaims" i) true (insert i ~now:10.)
+  done;
+  Alcotest.(check int) "two cursor evictions" 2 (Tva.Flow_cache.evictions cache);
+  (* By now=20 everything left (two originals plus inserts 5 and 6, all
+     with T=1) has expired. *)
+  let swept = Tva.Flow_cache.sweep cache ~now:20. in
+  Alcotest.(check int) "sweep reclaims the rest" 4 swept;
+  Alcotest.(check int) "evictions total" 6 (Tva.Flow_cache.evictions cache);
+  Alcotest.(check int) "counter mirrors evictions" 6 (Obs.Counters.get obs Obs.Event.Cache_evicted);
+  Alcotest.(check int) "hwm survives eviction" 4 (Tva.Flow_cache.hwm cache);
+  Alcotest.(check int) "size back down" 0 (Tva.Flow_cache.size cache);
+  (* Explicit removal is not an eviction. *)
+  (match
+     Tva.Flow_cache.insert cache ~now:20. ~src:(Wire.Addr.of_int 200) ~dst:(Wire.Addr.of_int 1)
+       ~nonce:9L ~n_kb:10 ~t_sec:1 ~cap_ts:0 ~packet_bytes:100
+   with
+  | Tva.Flow_cache.Inserted e -> Tva.Flow_cache.remove cache e
+  | _ -> Alcotest.fail "insert into empty cache");
+  Alcotest.(check int) "remove not counted" 6 (Tva.Flow_cache.evictions cache)
+
+(* --- Qdisc high-water mark ----------------------------------------------- *)
+
+let mk_packet ?(bytes = 1000) () =
+  Wire.Packet.make ~src:(Wire.Addr.of_int 1) ~dst:(Wire.Addr.of_int 2) ~created:0.
+    (Wire.Packet.Raw bytes)
+
+let qdisc_hwm () =
+  let q = Droptail.create ~capacity_bytes:10_000 () in
+  Alcotest.(check int) "fresh hwm" 0 q.Qdisc.stats.Qdisc.hwm_packets;
+  for _ = 1 to 3 do
+    ignore (Qdisc.enqueue q ~now:0. (mk_packet ()))
+  done;
+  ignore (Qdisc.dequeue_opt q ~now:0.);
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ()));
+  (* depth went 1,2,3 then 2,3: the mark stays at the peak *)
+  Alcotest.(check int) "hwm is the peak" 3 q.Qdisc.stats.Qdisc.hwm_packets;
+  Alcotest.(check int) "current depth below" 3 (Qdisc.packet_count q);
+  ignore (Qdisc.enqueue q ~now:0. (mk_packet ()));
+  Alcotest.(check int) "new peak" 4 q.Qdisc.stats.Qdisc.hwm_packets
+
+(* --- Conservation over a real run ---------------------------------------- *)
+
+let obs_cfg =
+  {
+    Workload.Experiment.default with
+    Workload.Experiment.scheme = Workload.Scheme.tva ~params:Workload.Scenario.sim_params ();
+    n_attackers = 5;
+    attack = Workload.Experiment.Legacy_flood { rate_bps = 1e6 };
+    transfers_per_user = 3;
+    max_time = 15.;
+  }
+
+let run_with_obs () =
+  let r = Workload.Experiment.run ~obs:Workload.Experiment.obs_default obs_cfg in
+  match r.Workload.Experiment.obs with
+  | Some report -> (r, report)
+  | None -> Alcotest.fail "obs run produced no report"
+
+let routers = [ "left-router"; "right-router" ]
+
+let conservation_packet_classes () =
+  let _, report = run_with_obs () in
+  let snap = report.Obs.Report.counters in
+  List.iter
+    (fun name ->
+      let c e = ev snap name e in
+      Alcotest.(check bool) (name ^ " saw traffic") true (c Obs.Event.Packets_in > 0);
+      Alcotest.(check int)
+        (name ^ ": in = legacy + request + regular")
+        (c Obs.Event.Packets_in)
+        (c Obs.Event.Legacy_in + c Obs.Event.Request_in + c Obs.Event.Regular_in);
+      Alcotest.(check int)
+        (name ^ ": demoted = sum of reasons")
+        (c Obs.Event.Demoted)
+        (c Obs.Event.Demoted_bad_cap + c Obs.Event.Demoted_cap_expired + c Obs.Event.Demoted_no_cap
+       + c Obs.Event.Demoted_bytes_exhausted + c Obs.Event.Demoted_cache_full
+       + c Obs.Event.Demoted_over_limit + c Obs.Event.Demoted_header_full))
+    routers
+
+let conservation_forwarding () =
+  (* Every packet handed to a router is accounted for: transmitted on some
+     out-link, dropped by a qdisc (or unroutable), or still queued when the
+     run ended. *)
+  let _, report = run_with_obs () in
+  let snap = report.Obs.Report.counters in
+  List.iter
+    (fun name ->
+      let c e = ev snap name e in
+      let residual =
+        List.fold_left
+          (fun acc (l : Obs.Report.link_row) ->
+            if String.length l.l_name >= String.length name + 2
+               && String.sub l.l_name 0 (String.length name + 2) = name ^ "->"
+            then
+              (* the first row is the link's root qdisc; nested rows would
+                 double-count *)
+              acc + (List.hd l.l_qdiscs).Obs.Report.q_residual_packets
+            else acc)
+          0 report.Obs.Report.links
+      in
+      Alcotest.(check int)
+        (name ^ ": delivered = transmitted + drops + residual")
+        (c Obs.Event.Delivered)
+        (c Obs.Event.Transmitted + c Obs.Event.Queue_drop_request + c Obs.Event.Queue_drop_regular
+       + c Obs.Event.Queue_drop_legacy + c Obs.Event.No_route + c Obs.Event.Hops_exceeded
+       + residual))
+    routers
+
+let conservation_caches () =
+  let _, report = run_with_obs () in
+  let snap = report.Obs.Report.counters in
+  let expected_capacity =
+    Tva.Params.flow_cache_entries Workload.Scenario.sim_params
+      ~link_bps:obs_cfg.Workload.Experiment.bottleneck_bps
+  in
+  Alcotest.(check int) "one cache row per router" 2 (List.length report.Obs.Report.caches);
+  List.iter
+    (fun (row : Obs.Report.cache_row) ->
+      Alcotest.(check int)
+        (row.c_router ^ ": Sec 3.6 provisioning")
+        expected_capacity row.c_capacity;
+      Alcotest.(check bool) (row.c_router ^ ": size within bound") true
+        (row.c_size <= row.c_capacity);
+      Alcotest.(check bool) (row.c_router ^ ": hwm within bound") true
+        (row.c_size <= row.c_hwm && row.c_hwm <= row.c_capacity);
+      Alcotest.(check int)
+        (row.c_router ^ ": evictions mirror counter")
+        (ev snap row.c_router Obs.Event.Cache_evicted)
+        row.c_evictions;
+      Alcotest.(check int)
+        (row.c_router ^ ": inserts cover occupancy peak")
+        row.c_hwm
+        (min (ev snap row.c_router Obs.Event.Cache_inserted) row.c_capacity))
+    report.Obs.Report.caches
+
+let obs_counters_do_not_perturb_results () =
+  let bare = Workload.Experiment.run obs_cfg in
+  let observed, _ = run_with_obs () in
+  Alcotest.(check (float 0.)) "fraction identical" bare.Workload.Experiment.fraction_completed
+    observed.Workload.Experiment.fraction_completed;
+  Alcotest.(check (float 0.)) "avg time identical" bare.Workload.Experiment.avg_transfer_time
+    observed.Workload.Experiment.avg_transfer_time;
+  Alcotest.(check (float 0.)) "sim end identical" bare.Workload.Experiment.sim_end
+    observed.Workload.Experiment.sim_end;
+  Alcotest.(check int) "event count identical" bare.Workload.Experiment.events
+    observed.Workload.Experiment.events
+
+(* --- Demotions vs the host protocol -------------------------------------- *)
+
+let src = Wire.Addr.of_int 0x0a000001
+let dst = Wire.Addr.of_int 0x0a000002
+
+(* The 4-node TVA line of test_tva, with obs counters on both routers. *)
+let demotions_match_host_echoes () =
+  let sim = Sim.create ~seed:77 () in
+  let net = Net.create sim in
+  let params = Tva.Params.default in
+  let sink _node ~in_link:_ _p = () in
+  let a = Net.add_node ~addr:src ~name:"a" net sink in
+  let r1 = Net.add_node ~name:"r1" net sink in
+  let r2 = Net.add_node ~name:"r2" net sink in
+  let b = Net.add_node ~addr:dst ~name:"b" net sink in
+  let connect x y =
+    ignore
+      (Net.duplex net x y ~bandwidth_bps:10e6 ~delay:0.005 ~qdisc:(fun () ->
+           Tva.Qdiscs.make ~params ~bandwidth_bps:10e6 ()))
+  in
+  connect a r1;
+  connect r1 r2;
+  connect r2 b;
+  Net.compute_routes net;
+  let obs1 = Obs.Counters.create ~name:"r1" () in
+  let obs2 = Obs.Counters.create ~name:"r2" () in
+  let router1 =
+    Tva.Router.create ~obs:obs1 ~params ~secret_master:"r1" ~router_id:(Net.node_id r1) ~sim
+      ~link_bps:10e6 ()
+  in
+  Net.set_handler r1 (Tva.Router.handler router1);
+  let router2 =
+    Tva.Router.create ~obs:obs2 ~params ~secret_master:"r2" ~router_id:(Net.node_id r2) ~sim
+      ~link_bps:10e6 ()
+  in
+  Net.set_handler r2 (Tva.Router.handler router2);
+  let host_a =
+    Tva.Host.create ~params ~policy:(Tva.Policy.client ()) ~node:a ~rng:(Rng.split (Sim.rng sim))
+      ()
+  in
+  let host_b =
+    Tva.Host.create ~params ~auto_reply:true ~policy:(Tva.Policy.server ()) ~node:b
+      ~rng:(Rng.split (Sim.rng sim)) ()
+  in
+  Tva.Host.send_raw host_a ~dst ~bytes:100;
+  Sim.run ~until:1. sim;
+  Tva.Host.send_raw host_a ~dst ~bytes:1000;
+  Sim.run ~until:2. sim;
+  let demoted () = Obs.Counters.get obs1 Obs.Event.Demoted + Obs.Counters.get obs2 Obs.Event.Demoted in
+  Alcotest.(check int) "authorized traffic: zero demotions" 0 (demoted ());
+  (* Route change: both routers lose their caches.  The next nonce-only
+     packet is demoted exactly once (r1 demotes; r2 then counts it as
+     legacy), and B sees exactly that many demoted arrivals. *)
+  Tva.Router.flush_cache router1;
+  Tva.Router.flush_cache router2;
+  Tva.Host.send_raw host_a ~dst ~bytes:1000;
+  Sim.run ~until:3. sim;
+  Alcotest.(check int) "one demotion, counted once" 1 (demoted ());
+  Alcotest.(check int) "r1 reason: no capability" 1
+    (Obs.Counters.get obs1 Obs.Event.Demoted_no_cap);
+  Alcotest.(check int) "obs matches router counters"
+    ((Tva.Router.counters router1).Tva.Router.demotions
+    + (Tva.Router.counters router2).Tva.Router.demotions)
+    (demoted ());
+  Alcotest.(check int) "obs matches host demotions_seen"
+    (Tva.Host.counters host_b).Tva.Host.demotions_seen (demoted ())
+
+let suite =
+  [
+    Alcotest.test_case "counters basics" `Quick counters_basics;
+    Alcotest.test_case "registry + merge" `Quick counters_registry_and_merge;
+    Alcotest.test_case "trace sampling + wraparound" `Quick trace_sampling_and_wraparound;
+    Alcotest.test_case "trace filter + formats" `Quick trace_filter_and_formats;
+    Alcotest.test_case "histogram log bins" `Quick histogram_log_bins;
+    Alcotest.test_case "histogram pp alignment" `Quick histogram_pp_alignment;
+    Alcotest.test_case "profile kinds + gauges" `Quick profile_kinds_and_gauges;
+    Alcotest.test_case "profile attach/detach" `Quick profile_attach_counts_sim_events;
+    Alcotest.test_case "export null markers" `Quick export_null_markers;
+    Alcotest.test_case "metrics no-attempts regression" `Quick metrics_no_attempts_regression;
+    Alcotest.test_case "flow-cache eviction stats" `Quick flow_cache_eviction_stats;
+    Alcotest.test_case "qdisc high-water mark" `Quick qdisc_hwm;
+    Alcotest.test_case "conservation: packet classes" `Quick conservation_packet_classes;
+    Alcotest.test_case "conservation: forwarding" `Quick conservation_forwarding;
+    Alcotest.test_case "conservation: flow caches" `Quick conservation_caches;
+    Alcotest.test_case "counters do not perturb results" `Quick obs_counters_do_not_perturb_results;
+    Alcotest.test_case "demotions match host echoes" `Quick demotions_match_host_echoes;
+  ]
