@@ -1,0 +1,107 @@
+(* Times the stock chaos suite sequentially (-j 1) and on the parallel run
+   engine (-j N), checks the two rendered tables are byte-identical,
+   aggregates the recovery-time distribution across scenarios, and writes
+   BENCH_chaos.json.  Exits non-zero if any recovery invariant fails or
+   the worst re-acquisition latency lands over the documented bound — the
+   robustness story's CI gate.
+
+   Run with:            dune exec bench/chaos_bench.exe
+   Smoke mode (CI):     dune exec bench/chaos_bench.exe -- --transfers 10 *)
+
+let jobs = ref (Pool.default_jobs ())
+let max_time = ref 120.
+let transfers = ref 50
+let out_path = ref "BENCH_chaos.json"
+
+let spec =
+  [
+    ("--jobs", Arg.Set_int jobs, "N  worker domains for the parallel leg (default: all cores)");
+    ( "--max-time",
+      Arg.Set_float max_time,
+      "S  simulated-time cutoff per run, seconds (default 120)" );
+    ( "--transfers",
+      Arg.Set_int transfers,
+      "K  transfers per legitimate user (default 50; use 10 for a smoke run)" );
+    ("--out", Arg.Set_string out_path, "PATH  where to write the JSON report");
+  ]
+
+let usage = "chaos_bench [--jobs N] [--max-time S] [--transfers K] [--out PATH]"
+
+let run_leg ~jobs =
+  let base =
+    {
+      Workload.Chaos.base_config with
+      Workload.Experiment.transfers_per_user = !transfers;
+      max_time = !max_time;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Workload.Scenario.chaos_suite ~jobs ~base () in
+  let wall = Unix.gettimeofday () -. t0 in
+  (wall, outcomes, Stats.Table.render (Workload.Chaos.render outcomes))
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let jobs = max 1 !jobs in
+  let cells = List.length Workload.Chaos.default_suite in
+  Printf.printf "chaos_bench: %d fault scenarios, transfers=%d, max_time=%gs\n%!" cells
+    !transfers !max_time;
+  let seq_wall, outcomes, seq_table = run_leg ~jobs:1 in
+  Printf.printf "  -j 1:  %.2fs\n%!" seq_wall;
+  let par_wall, _, par_table = run_leg ~jobs in
+  Printf.printf "  -j %d:  %.2fs\n%!" jobs par_wall;
+  let identical = String.equal seq_table par_table in
+  let all_ok = Workload.Chaos.all_ok outcomes in
+  let latencies =
+    List.concat_map (fun o -> o.Workload.Chaos.oc_latencies) outcomes
+  in
+  let n_lat = List.length latencies in
+  let worst = List.fold_left Float.max 0. latencies in
+  let mean =
+    if n_lat = 0 then 0. else List.fold_left ( +. ) 0. latencies /. float_of_int n_lat
+  in
+  let injected =
+    List.fold_left
+      (fun acc o ->
+        acc + List.fold_left (fun a (_, n) -> a + n) 0 o.Workload.Chaos.oc_injected)
+      0 outcomes
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"benchmark\": \"stock chaos suite recovery time\",";
+        Printf.sprintf "  \"scenarios\": %d," cells;
+        Printf.sprintf "  \"transfers_per_user\": %d," !transfers;
+        Printf.sprintf "  \"max_time_s\": %g," !max_time;
+        Printf.sprintf "  \"jobs\": %d," jobs;
+        Printf.sprintf "  \"wall_seconds_j1\": %.3f," seq_wall;
+        Printf.sprintf "  \"wall_seconds_jN\": %.3f," par_wall;
+        Printf.sprintf "  \"speedup\": %.3f," (seq_wall /. par_wall);
+        Printf.sprintf "  \"faults_injected\": %d," injected;
+        Printf.sprintf "  \"reacquisitions\": %d," n_lat;
+        Printf.sprintf "  \"reacquire_mean_s\": %.4f," mean;
+        Printf.sprintf "  \"reacquire_worst_s\": %.4f," worst;
+        Printf.sprintf "  \"reacquire_bound_s\": %.4f," Workload.Chaos.reacquire_bound;
+        Printf.sprintf "  \"tables_identical\": %b," identical;
+        Printf.sprintf "  \"all_invariants_ok\": %b" all_ok;
+        "}";
+      ]
+  in
+  let oc = open_out !out_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "  %d injections, %d reacquisitions (mean %.3fs, worst %.3fs vs %.1fs bound)\n%!" injected
+    n_lat mean worst Workload.Chaos.reacquire_bound;
+  Printf.printf "  tables identical: %b, invariants ok: %b -> %s\n%!" identical all_ok
+    !out_path;
+  if not identical then begin
+    prerr_endline "FATAL: parallel chaos table differs from sequential table";
+    exit 1
+  end;
+  if not all_ok then begin
+    prerr_endline "FATAL: a recovery invariant failed (see tva_sim chaos for details)";
+    exit 1
+  end

@@ -367,6 +367,99 @@ let dashboard_cmd =
       const run $ scheme_arg $ nattackers_arg $ attack_arg $ transfers_arg $ max_time_arg
       $ seed_arg $ gauge_period_arg $ stats_arg)
 
+(* --- chaos: fault injection + recovery checking ---------------------- *)
+
+let chaos_stats_json outcomes =
+  Obs.Export.to_string_pretty
+    (Obs.Export.List
+       (List.map
+          (fun (o : Workload.Chaos.outcome) ->
+            Obs.Export.Obj
+              [
+                ("scenario", Obs.Export.String o.Workload.Chaos.oc_label);
+                ("spec", Obs.Export.String o.oc_spec);
+                ("fraction_completed", Obs.Export.number_or_null o.oc_fraction);
+                ("avg_transfer_time_s", Obs.Export.number_or_null o.oc_avg_time);
+                ( "injected",
+                  Obs.Export.Obj
+                    (List.map (fun (clause, n) -> (clause, Obs.Export.Int n)) o.oc_injected) );
+                ( "reacquire_latencies_s",
+                  Obs.Export.List (List.map (fun l -> Obs.Export.Float l) o.oc_latencies) );
+                ( "verdict",
+                  Obs.Export.Obj
+                    [
+                      ("ok", Obs.Export.Bool o.oc_verdict.Faults.Invariants.ok);
+                      ( "checks",
+                        Obs.Export.List
+                          (List.map
+                             (fun (c : Faults.Invariants.check) ->
+                               Obs.Export.Obj
+                                 [
+                                   ("name", Obs.Export.String c.Faults.Invariants.ck_name);
+                                   ("ok", Obs.Export.Bool c.ck_ok);
+                                   ("detail", Obs.Export.String c.ck_detail);
+                                 ])
+                             o.oc_verdict.Faults.Invariants.checks) );
+                    ] );
+                ("report", Obs.Report.to_json o.oc_report);
+              ])
+          outcomes))
+
+let chaos_cmd =
+  let doc =
+    "Fault-injection runs with recovery checking (paper Sec. 3.8).  Without $(b,--faults), \
+     the stock eight-scenario suite; with it, one run under the given spec.  Exits non-zero \
+     if any recovery invariant fails."
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ]
+          ~doc:
+            "Fault spec: semicolon-separated $(i,kind:target\\[:k=v,...\\]) clauses, e.g. \
+             'loss:bottleneck:p=0.01;wipe:all:at=10'.  Kinds: loss, burst, corrupt, dup, \
+             reorder, down, flap (link targets: bottleneck, rbottleneck, access, all); wipe, \
+             rotate, restart (router targets: left, right, all)."
+          ~docv:"SPEC")
+  in
+  (* Unlike [run], chaos defaults to a clean workload — no attackers — so
+     every degradation in the table is the injected fault's doing. *)
+  let chaos_nattackers_arg =
+    Arg.(value & opt int 0 & info [ "n" ] ~doc:"Number of attackers (default 0).")
+  in
+  let chaos_attack_arg =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "attack" ] ~doc:"none | legacy | request | authorized | imprecise")
+  in
+  let run faults scheme_name n attack transfers max_time seed csv jobs stats =
+    let base = single_config scheme_name n attack transfers max_time seed in
+    let outcomes =
+      match faults with
+      | None -> Workload.Scenario.chaos_suite ~jobs ~base ()
+      | Some spec_str -> (
+          match Faults.Spec.parse spec_str with
+          | Error e ->
+              prerr_endline ("tva_sim chaos: bad --faults spec: " ^ e);
+              exit 2
+          | Ok spec -> [ Workload.Scenario.chaos_single ~base spec ])
+    in
+    print_table csv (Workload.Chaos.render outcomes);
+    List.iter
+      (fun (o : Workload.Chaos.outcome) ->
+        Format.printf "@.%s (%s)@.%a" o.Workload.Chaos.oc_label o.oc_spec
+          Faults.Invariants.pp_verdict o.oc_verdict)
+      outcomes;
+    Option.iter (fun path -> write_file path (chaos_stats_json outcomes)) stats;
+    if not (Workload.Chaos.all_ok outcomes) then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ faults_arg $ scheme_arg $ chaos_nattackers_arg $ chaos_attack_arg
+      $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ jobs_arg $ stats_arg)
+
 let ablation_cmd name ~doc ~run_comparison =
   let run transfers max_time seed csv jobs =
     print_table csv
@@ -415,6 +508,7 @@ let () =
             table1_cmd;
             fig12_cmd;
             run_cmd;
+            chaos_cmd;
             dashboard_cmd;
             ablation_queueing_cmd;
             ablation_state_cmd;

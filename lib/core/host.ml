@@ -11,6 +11,13 @@ type grant = {
 type dest_state = {
   mutable grant : grant option;
   mutable renewal_sent_at : float option;
+  mutable lost_at : float option;
+      (* when a demotion echo (or refusal after one) cancelled the grant;
+         cleared on reacquisition.  The earliest loss time is kept. *)
+  mutable reacquire_request_at : float option;
+      (* first request sent after [lost_at] — the reacquisition latency is
+         measured from here, so request-channel queueing counts and the
+         time we merely sat without traffic to send does not. *)
 }
 
 type counters = {
@@ -22,6 +29,8 @@ type counters = {
   mutable demotion_echoes_sent : int;
   mutable grants_issued : int;
   mutable requests_refused : int;
+  mutable reacquired : int;
+  mutable demoted_recovered : int;
 }
 
 type t = {
@@ -36,8 +45,14 @@ type t = {
   dests : dest_state Wire.Addr.Tbl.t;
   pending_return : Wire.Cap_shim.return_info Wire.Addr.Tbl.t;
   pending_demotion_echo : unit Wire.Addr.Tbl.t;
+  demoted_srcs : unit Wire.Addr.Tbl.t;
+      (* sources whose last capability-bearing packet arrived demoted;
+         cleared (counting [Demoted_recovered]) on the next clean regular
+         packet from them *)
   mutable on_segment : src:Wire.Addr.t -> Wire.Tcp_segment.t -> unit;
   counters : counters;
+  obs : Obs.Counters.t;
+  mutable rev_reacquire_latencies : float list;
 }
 
 let addr t = t.addr
@@ -51,12 +66,15 @@ let dest_state t dst =
   match Wire.Addr.Tbl.find_opt t.dests dst with
   | Some ds -> ds
   | None ->
-      let ds = { grant = None; renewal_sent_at = None } in
+      let ds =
+        { grant = None; renewal_sent_at = None; lost_at = None; reacquire_request_at = None }
+      in
       Wire.Addr.Tbl.add t.dests dst ds;
       ds
 
 let grant_for t ~dst = (dest_state t dst).grant
 let invalidate_grant t ~dst = (dest_state t dst).grant <- None
+let reacquire_latencies t = List.rev t.rev_reacquire_latencies
 
 let fresh_nonce t = Int64.logand (Rng.bits64 t.rng) 0xffffffffffffL
 
@@ -73,6 +91,9 @@ let choose_shim t ~dst =
   | Some _ | None -> ());
   match ds.grant with
   | None ->
+      (match (ds.lost_at, ds.reacquire_request_at) with
+      | Some _, None -> ds.reacquire_request_at <- Some now
+      | _, _ -> ());
       Policy.note_outgoing_request t.policy ~now ~dst;
       t.counters.requests_sent <- t.counters.requests_sent + 1;
       Wire.Cap_shim.request ()
@@ -161,13 +182,29 @@ let handle_return_info t ~src info =
   match info with
   | Wire.Cap_shim.Demotion_notice ->
       (* Our packets were demoted somewhere en route: drop the grant and
-         bootstrap again (Sec. 3.8). *)
-      ds.grant <- None
+         bootstrap again (Sec. 3.8).  Start the reacquisition clock at the
+         first echo of an episode. *)
+      ds.grant <- None;
+      if ds.lost_at = None then begin
+        ds.lost_at <- Some now;
+        ds.reacquire_request_at <- None
+      end
   | Wire.Cap_shim.Grant { caps = []; _ } ->
       t.counters.refusals_received <- t.counters.refusals_received + 1;
       ds.grant <- None
   | Wire.Cap_shim.Grant { n_kb; t_sec; caps } ->
       t.counters.grants_received <- t.counters.grants_received + 1;
+      (match ds.lost_at with
+      | Some _ ->
+          (* End of a demotion episode: measure from the first re-request
+             (grant piggybacked with no request in flight measures 0). *)
+          let from = match ds.reacquire_request_at with Some at -> at | None -> now in
+          t.counters.reacquired <- t.counters.reacquired + 1;
+          Obs.Counters.incr t.obs Obs.Event.Reacquired;
+          t.rev_reacquire_latencies <- (now -. from) :: t.rev_reacquire_latencies;
+          ds.lost_at <- None;
+          ds.reacquire_request_at <- None
+      | None -> ());
       ds.grant <-
         Some
           {
@@ -188,10 +225,20 @@ let handle_packet t _node ~in_link:_ (p : Wire.Packet.t) =
     (match p.Wire.Packet.shim with
     | None -> Policy.note_traffic t.policy ~now ~src ~bytes:(Wire.Packet.size p) ~demoted:false
     | Some shim ->
-        if shim.Wire.Cap_shim.demoted then begin
-          t.counters.demotions_seen <- t.counters.demotions_seen + 1;
-          Wire.Addr.Tbl.replace t.pending_demotion_echo src ()
-        end;
+        (if shim.Wire.Cap_shim.demoted then begin
+           t.counters.demotions_seen <- t.counters.demotions_seen + 1;
+           Wire.Addr.Tbl.replace t.pending_demotion_echo src ();
+           Wire.Addr.Tbl.replace t.demoted_srcs src ()
+         end
+         else
+           match shim.Wire.Cap_shim.kind with
+           | Wire.Cap_shim.Regular _ when Wire.Addr.Tbl.mem t.demoted_srcs src ->
+               (* The source's traffic validates again: its demotion episode
+                  at this receiver is over. *)
+               Wire.Addr.Tbl.remove t.demoted_srcs src;
+               t.counters.demoted_recovered <- t.counters.demoted_recovered + 1;
+               Obs.Counters.incr t.obs Obs.Event.Demoted_recovered
+           | _ -> ());
         (match shim.Wire.Cap_shim.kind with
         | Wire.Cap_shim.Request req ->
             handle_request t ~src ~renewal:false (Wire.Cap_shim.precaps req)
@@ -216,7 +263,7 @@ let handle_packet t _node ~in_link:_ (p : Wire.Packet.t) =
   end
 
 let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S))
-    ?(auto_reply = false) ~policy ~node ~rng () =
+    ?(auto_reply = false) ?(obs = Obs.Counters.nop) ~policy ~node ~rng () =
   let addr =
     match Net.node_addr node with
     | Some a -> a
@@ -235,6 +282,7 @@ let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : 
       dests = Wire.Addr.Tbl.create 16;
       pending_return = Wire.Addr.Tbl.create 16;
       pending_demotion_echo = Wire.Addr.Tbl.create 16;
+      demoted_srcs = Wire.Addr.Tbl.create 16;
       on_segment = (fun ~src:_ _ -> ());
       counters =
         {
@@ -246,7 +294,11 @@ let create ?(params = Params.default) ?(hash = (module Crypto.Keyed_hash.Fast : 
           demotion_echoes_sent = 0;
           grants_issued = 0;
           requests_refused = 0;
+          reacquired = 0;
+          demoted_recovered = 0;
         };
+      obs;
+      rev_reacquire_latencies = [];
     }
   in
   Net.set_handler node (handle_packet t);

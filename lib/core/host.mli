@@ -37,12 +37,19 @@ type counters = {
   mutable demotion_echoes_sent : int;
   mutable grants_issued : int;
   mutable requests_refused : int;
+  mutable reacquired : int;
+      (** grants received that ended a demotion episode (the grant was
+          previously cancelled by a demotion echo) *)
+  mutable demoted_recovered : int;
+      (** receive side: sources whose traffic was arriving demoted and then
+          validated again *)
 }
 
 val create :
   ?params:Params.t ->
   ?hash:Capability.keyed ->
   ?auto_reply:bool ->
+  ?obs:Obs.Counters.t ->
   policy:Policy.t ->
   node:Net.node ->
   rng:Rng.t ->
@@ -55,7 +62,10 @@ val create :
     packet whenever it owes return information to a peer and has no
     transport traffic to piggyback it on — how a colluder answers raw
     request floods with grants.  TCP-based hosts leave it off; their
-    SYN/ACKs and ACKs carry the return channel. *)
+    SYN/ACKs and ACKs carry the return channel.
+
+    [obs] (default {!Obs.Counters.nop}) receives the recovery events
+    [Reacquired] and [Demoted_recovered]. *)
 
 val addr : t -> Wire.Addr.t
 val node : t -> Net.node
@@ -84,3 +94,9 @@ val grant_for : t -> dst:Wire.Addr.t -> grant option
 
 val invalidate_grant : t -> dst:Wire.Addr.t -> unit
 (** Forget the grant (the sender will re-request). *)
+
+val reacquire_latencies : t -> float list
+(** One entry per reacquisition, in order: seconds from the first request
+    sent after a demotion echo cancelled the grant until the replacement
+    grant arrived.  The paper's Sec. 3.8 bound is one round trip plus the
+    request-channel queueing delay; {!Faults.Invariants} checks it. *)

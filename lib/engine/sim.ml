@@ -24,7 +24,8 @@ module Kind = struct
   let tcp_timer = 4
   let agent = 5
   let obs = 6
-  let count = 7
+  let fault = 7
+  let count = 8
 
   let name = function
     | 0 -> "other"
@@ -34,6 +35,7 @@ module Kind = struct
     | 4 -> "tcp.timer"
     | 5 -> "agent"
     | 6 -> "obs"
+    | 7 -> "fault"
     | _ -> "?"
 end
 

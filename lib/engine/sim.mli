@@ -23,6 +23,11 @@ module Kind : sig
   val tcp_timer : int
   val agent : int
   val obs : int
+
+  val fault : int
+  (** scheduled fault-injection control events (link down/up, flap edges,
+      cache wipes, secret rotations, restarts) *)
+
   val count : int
   val name : int -> string
 end

@@ -1,0 +1,67 @@
+(** The injector: resolves a parsed {!Spec.t} against a live simulation —
+    link fault hooks for the packet-level models, [Sim]-scheduled control
+    events (tagged {!Sim.Kind.fault}) for link failures, flaps, cache
+    wipes, secret rotations and restarts — and counts what actually fired.
+
+    Determinism contract: [install] splits one child stream off [env_rng]
+    per (clause, link) in spec order at install time, and every later draw
+    happens inside the simulation's own event order, so a fault schedule
+    is a pure function of the seed.  Runs are bit-identical across
+    repeats and across [Pool] worker counts (each run owns its env).
+
+    Injection deliberately lives here, against {!Net} hooks, and not
+    inside [Tva.Router]: the router implements the paper's mechanisms and
+    must not know it is being tested, and the same injector then exercises
+    every comparison scheme unchanged (DESIGN.md §11). *)
+
+type link_site = {
+  ls_label : string;  (** e.g. ["bottleneck"], ["user0->left-router"] *)
+  ls_class : Spec.link_target;
+      (** which spec target selects it: [Bottleneck], [Bottleneck_rev] or
+          [Access_links] (never [All_links], which selects every site) *)
+  ls_link : Net.link;
+}
+
+type router_site = {
+  rs_name : string;  (** node name, e.g. ["left-router"] *)
+  rs_node : Net.node;
+  rs_wipe_cache : unit -> unit;
+      (** forget all per-flow state (models a route change or crash) *)
+  rs_rotate_secret : unit -> unit;
+      (** roll the pre-capability secret with no warning: outstanding
+          capabilities stop validating here *)
+}
+
+val link_sites : Topology.t -> link_site list
+(** {!Topology.labeled_links} classified for spec targeting. *)
+
+type env = {
+  env_sim : Sim.t;
+  env_rng : Rng.t;  (** the injector's private stream; split per clause *)
+  env_links : link_site list;
+  env_routers : router_site list;
+      (** capability routers in creation order ([\[\]] for schemes with no
+          wipe/rotate notion — router clauses then no-op) *)
+  env_obs : Obs.Counters.t;
+      (** counts [Fault_injected] for scheduled control events; per-packet
+          link faults are counted by the {!Obs.Bridge} off the
+          [Net.Link_fault] trace event instead, so nothing double-counts *)
+}
+
+type t
+(** An installed fault schedule with its per-clause fire counters. *)
+
+val install : env -> Spec.t -> t
+(** Installs every clause.  Link-model clauses targeting the same link
+    compose (each model sees every packet; the earliest non-pass decision
+    per packet is applied).  A clause whose target matches no site — e.g.
+    [wipe:left] under a scheme with no routers — installs nothing and
+    keeps a zero count. *)
+
+val injected : t -> (string * int) list
+(** Per clause, in spec order: the canonical clause string and how many
+    times it fired (packets hit for link models, control firings — one per
+    failure window, wipe, rotation or restart — for scheduled clauses). *)
+
+val total_injected : t -> int
+(** Sum of {!injected} over all clauses. *)

@@ -1,0 +1,167 @@
+type expectation = {
+  exp_injected : bool;
+  exp_demotions : bool;
+  exp_reacquire : bool;
+  exp_latency_bound : float;
+  exp_min_fraction : float;
+}
+
+let relaxed =
+  {
+    exp_injected = false;
+    exp_demotions = false;
+    exp_reacquire = false;
+    exp_latency_bound = infinity;
+    exp_min_fraction = 0.;
+  }
+
+type check = { ck_name : string; ck_ok : bool; ck_detail : string }
+type verdict = { ok : bool; checks : check list }
+
+let zeros = lazy (Array.make Obs.Event.count 0)
+
+let row counters name =
+  match List.assoc_opt name counters with Some arr -> arr | None -> Lazy.force zeros
+
+let get arr ev = arr.(Obs.Event.to_int ev)
+
+let demotion_reasons =
+  [
+    Obs.Event.Demoted_header_full;
+    Obs.Event.Demoted_bad_cap;
+    Obs.Event.Demoted_cap_expired;
+    Obs.Event.Demoted_no_cap;
+    Obs.Event.Demoted_bytes_exhausted;
+    Obs.Event.Demoted_cache_full;
+    Obs.Event.Demoted_over_limit;
+  ]
+
+(* Run [per_router] over every named router row; the check fails on the
+   first violation, whose detail names the router and the numbers. *)
+let per_router_check ~name counters router_names per_router =
+  let rec go = function
+    | [] -> { ck_name = name; ck_ok = true; ck_detail = "all routers" }
+    | r :: rest -> (
+        match per_router r (row counters r) with
+        | None -> go rest
+        | Some detail -> { ck_name = name; ck_ok = false; ck_detail = detail })
+  in
+  go router_names
+
+let check exp ~counters ~router_names ~injected ~reacquire_latencies ~fraction =
+  let fault_fired =
+    if not exp.exp_injected then
+      { ck_name = "fault-fired"; ck_ok = true; ck_detail = "not required" }
+    else
+      {
+        ck_name = "fault-fired";
+        ck_ok = injected > 0;
+        ck_detail =
+          (if injected > 0 then Printf.sprintf "%d injections" injected
+           else "spec installed but nothing fired (check timing vs run length)");
+      }
+  in
+  let sum_over ev =
+    List.fold_left (fun acc r -> acc + get (row counters r) ev) 0 router_names
+  in
+  let class_partition =
+    per_router_check ~name:"class-partition" counters router_names (fun r arr ->
+        let inp = get arr Obs.Event.Packets_in in
+        let parts =
+          get arr Obs.Event.Legacy_in + get arr Obs.Event.Request_in
+          + get arr Obs.Event.Regular_in
+        in
+        if inp = parts then None
+        else Some (Printf.sprintf "%s: packets_in=%d but class sum=%d" r inp parts))
+  in
+  let regular_partition =
+    per_router_check ~name:"regular-partition" counters router_names (fun r arr ->
+        let reg = get arr Obs.Event.Regular_in in
+        let parts = get arr Obs.Event.Nonce_hit + get arr Obs.Event.Nonce_miss in
+        if reg = parts then None
+        else Some (Printf.sprintf "%s: regular_in=%d but hit+miss=%d" r reg parts))
+  in
+  let demotion_reasons_check =
+    per_router_check ~name:"demotion-reasons" counters router_names (fun r arr ->
+        let demoted = get arr Obs.Event.Demoted in
+        let reasons = List.fold_left (fun acc ev -> acc + get arr ev) 0 demotion_reasons in
+        if demoted = reasons then None
+        else Some (Printf.sprintf "%s: demoted=%d but reason sum=%d" r demoted reasons))
+  in
+  let demote_not_drop =
+    per_router_check ~name:"demote-not-drop" counters router_names (fun r arr ->
+        let miss = get arr Obs.Event.Nonce_miss in
+        let accounted = get arr Obs.Event.Regular_validated + get arr Obs.Event.Demoted in
+        if miss <= accounted then None
+        else
+          Some
+            (Printf.sprintf "%s: %d nonce misses but only %d validated+demoted" r miss
+               accounted))
+  in
+  let demotions_observed =
+    let demoted = sum_over Obs.Event.Demoted in
+    if not exp.exp_demotions then
+      { ck_name = "demotions-observed"; ck_ok = true; ck_detail = "not required" }
+    else
+      {
+        ck_name = "demotions-observed";
+        ck_ok = demoted > 0;
+        ck_detail =
+          (if demoted > 0 then Printf.sprintf "%d demotions" demoted
+           else "expected demotions, saw none");
+      }
+  in
+  let reacquire =
+    let n = List.length reacquire_latencies in
+    let worst = List.fold_left Float.max 0. reacquire_latencies in
+    if exp.exp_reacquire && n = 0 then
+      {
+        ck_name = "reacquire-latency";
+        ck_ok = false;
+        ck_detail = "expected reacquisition, saw none";
+      }
+    else if n > 0 && worst > exp.exp_latency_bound then
+      {
+        ck_name = "reacquire-latency";
+        ck_ok = false;
+        ck_detail =
+          Printf.sprintf "worst %.3fs over the %.3fs bound (%d reacquisitions)" worst
+            exp.exp_latency_bound n;
+      }
+    else
+      {
+        ck_name = "reacquire-latency";
+        ck_ok = true;
+        ck_detail =
+          (if n = 0 then "not required"
+           else Printf.sprintf "%d reacquisitions, worst %.3fs" n worst);
+      }
+  in
+  let degradation =
+    {
+      ck_name = "smooth-degradation";
+      ck_ok = fraction >= exp.exp_min_fraction;
+      ck_detail =
+        Printf.sprintf "completion %.3f vs floor %.3f" fraction exp.exp_min_fraction;
+    }
+  in
+  let checks =
+    [
+      fault_fired;
+      class_partition;
+      regular_partition;
+      demotion_reasons_check;
+      demote_not_drop;
+      demotions_observed;
+      reacquire;
+      degradation;
+    ]
+  in
+  { ok = List.for_all (fun c -> c.ck_ok) checks; checks }
+
+let pp_verdict fmt v =
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%s %-19s %s@." (if c.ck_ok then "  ok" else "FAIL") c.ck_name
+        c.ck_detail)
+    v.checks

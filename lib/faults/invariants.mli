@@ -1,0 +1,65 @@
+(** The recovery-property checker: asserts, over one chaos run's
+    observability output, the robustness claims of paper Sec. 3.8
+    (DESIGN.md §11, EXPERIMENTS.md "Robustness").
+
+    Accounting invariants (always checked, per router):
+    - [class-partition]: packets_in = legacy_in + request_in + regular_in;
+    - [regular-partition]: regular_in = nonce_hit + nonce_miss;
+    - [demotion-reasons]: demoted = the sum of the reason-coded demotions;
+    - [demote-not-drop]: nonce_miss <= regular_validated + demoted — every
+      regular packet that missed the flow cache (after a wipe, rotation or
+      restart) was re-validated or {e demoted}, never dropped by the
+      router.  A router that answered state loss with a drop would leak
+      packets here.
+
+    Expectation-driven checks (per fault scenario):
+    - [fault-fired]: the spec actually injected something;
+    - [demotions-observed]: the injected fault actually exercised the
+      demotion path;
+    - [reacquire-latency]: every sender that lost its grant to a demotion
+      echo re-acquired, within the documented bound (one RTT plus request
+      queueing; the harness passes the scenario's bound);
+    - [smooth-degradation]: the completion fraction stayed above the
+      scenario's floor — degraded, not collapsed. *)
+
+type expectation = {
+  exp_injected : bool;
+      (** the spec must actually fire at least once — catches scenarios
+          whose scheduled times fall past the end of the run *)
+  exp_demotions : bool;
+      (** the fault must produce demotions (cache/secret faults do; pure
+          link loss need not) *)
+  exp_reacquire : bool;  (** at least one sender must re-acquire a grant *)
+  exp_latency_bound : float;
+      (** max allowed reacquisition latency in seconds; checked whenever
+          any reacquisition happened, [infinity] disables *)
+  exp_min_fraction : float;
+      (** completion-fraction floor in [0, 1]; [0.] disables *)
+}
+
+val relaxed : expectation
+(** Accounting invariants only: no demotions or reacquisitions required,
+    no latency bound, no fraction floor. *)
+
+type check = { ck_name : string; ck_ok : bool; ck_detail : string }
+
+type verdict = { ok : bool; checks : check list }
+(** [ok] iff every check passed. *)
+
+val check :
+  expectation ->
+  counters:(string * int array) list ->
+  router_names:string list ->
+  injected:int ->
+  reacquire_latencies:float list ->
+  fraction:float ->
+  verdict
+(** [counters] is an {!Obs.Counters} snapshot (registry keyed by node
+    name); rows named in [router_names] are held to the router accounting
+    invariants.  A missing row counts as all zeroes.  [injected] is
+    {!Inject.total_injected}; [reacquire_latencies] aggregates
+    {!Tva.Host.reacquire_latencies} over the senders; [fraction] is the
+    run's completion fraction. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** One line per check: [" ok demote-not-drop ..."] / ["FAIL ..."]. *)

@@ -1,0 +1,27 @@
+let bernoulli ~rng ~p ~action _packet =
+  if p > 0. && Rng.float rng 1.0 < p then action else Net.Fault_pass
+
+let gilbert_elliott ~rng ~p_gb ~p_bg ~p_bad ~p_good =
+  let bad = ref false in
+  fun _packet ->
+    (* Advance the chain first, then draw the loss: the packet sees the
+       state it arrives in transition to. *)
+    (if !bad then begin
+       if Rng.float rng 1.0 < p_bg then bad := false
+     end
+     else if Rng.float rng 1.0 < p_gb then bad := true);
+    let p = if !bad then p_bad else p_good in
+    if p > 0. && Rng.float rng 1.0 < p then Net.Fault_lose else Net.Fault_pass
+
+let reorder ~rng ~p ~delay _packet =
+  if p > 0. && Rng.float rng 1.0 < p then Net.Fault_delay delay else Net.Fault_pass
+
+(* Every model runs on every packet (keeping each model's own state and
+   rng consumption independent of the others); the earliest non-pass
+   decision is the one applied. *)
+let compose models packet =
+  List.fold_left
+    (fun acc m ->
+      let d = m packet in
+      match acc with Net.Fault_pass -> d | _ -> acc)
+    Net.Fault_pass models

@@ -1,0 +1,41 @@
+(** Per-packet link fault models, as stateful decision closures suitable
+    for {!Net.link_set_fault}.
+
+    Every model draws from the {!Rng.t} it was built with — one dedicated
+    stream per installed clause, split from the injector's stream at
+    install time — so a fault schedule is a pure function of the seed and
+    the packet sequence, and reruns (at any [--jobs]) are bit-identical.
+    Each call consumes a bounded number of draws, and the models share no
+    global state. *)
+
+val bernoulli :
+  rng:Rng.t -> p:float -> action:Net.fault_action -> Wire.Packet.t -> Net.fault_action
+(** Independently with probability [p], return [action]; otherwise pass.
+    Loss, corruption and duplication are all Bernoulli models over
+    different actions. *)
+
+val gilbert_elliott :
+  rng:Rng.t ->
+  p_gb:float ->
+  p_bg:float ->
+  p_bad:float ->
+  p_good:float ->
+  Wire.Packet.t ->
+  Net.fault_action
+(** The classic two-state burst-loss chain.  The state advances once per
+    transmitted packet: from good to bad with probability [p_gb], back
+    with [p_bg]; the packet is then lost with [p_bad] in the bad state and
+    [p_good] in the good one.  Expected sojourn in the bad state is
+    [1 / p_bg] packets — losses cluster, which is what defeats protocols
+    that only tolerate independent loss. *)
+
+val reorder : rng:Rng.t -> p:float -> delay:float -> Wire.Packet.t -> Net.fault_action
+(** With probability [p], hold the packet for [delay] extra seconds of
+    propagation so later packets overtake it. *)
+
+val compose :
+  (Wire.Packet.t -> Net.fault_action) list -> Wire.Packet.t -> Net.fault_action
+(** Consult the models in order; the first non-pass decision wins.  Every
+    model still advances its own state on every packet (a Gilbert-Elliott
+    chain keeps ticking while a loss model ahead of it fires), keeping
+    each model's schedule independent of the others. *)

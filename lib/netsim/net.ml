@@ -36,11 +36,15 @@ and link = {
   delay : float;
   qdisc : Qdisc.t;
   mutable busy : bool;
+  mutable up : bool;
   mutable poll : Sim.handle option;
   mutable limiter : (Wire.Packet.t -> bool) option;
+  mutable fault : (Wire.Packet.t -> fault_action) option;
   mutable tx_packets : int;
   mutable tx_bytes : int;
 }
+
+and fault_action = Fault_pass | Fault_lose | Fault_dup | Fault_delay of float
 
 and event =
   | Queue_drop of link * Wire.Packet.t
@@ -48,6 +52,7 @@ and event =
   | No_route of node * Wire.Packet.t
   | Transmit of link * Wire.Packet.t
   | Deliver of node * Wire.Packet.t
+  | Link_fault of link * Wire.Packet.t
 
 let create sim =
   {
@@ -116,8 +121,10 @@ let link_oneway t ~src ~dst ~bandwidth_bps ~delay ~qdisc =
       delay;
       qdisc;
       busy = false;
+      up = true;
       poll = None;
       limiter = None;
+      fault = None;
       tx_packets = 0;
       tx_bytes = 0;
     }
@@ -142,10 +149,16 @@ let duplex t a b ~bandwidth_bps ~delay ~qdisc =
 let min_poll_delay = 1e-6
 
 (* The transmitter: serialize the head packet, then propagate.  [kick]
-   starts service if the link is idle; when the qdisc is unready it arms a
-   single poll timer at [next_ready]. *)
+   starts service if the link is idle and administratively up; when the
+   qdisc is unready it arms a single poll timer at [next_ready].
+
+   The per-link fault hook is consulted once per packet, after the packet
+   has been dequeued and charged serialization time (a lost or duplicated
+   packet still occupied the wire).  When [fault = None] the match reduces
+   to the pass branch, which is the exact pre-fault code path — figure
+   output with no injector installed is byte-identical. *)
 let rec kick link =
-  if not link.busy then begin
+  if (not link.busy) && link.up then begin
     let net = link.src.net in
     let time = Sim.now net.sim in
     (match link.poll with
@@ -160,14 +173,47 @@ let rec kick link =
         link.tx_bytes <- link.tx_bytes + Wire.Packet.size p;
         emit net (Transmit (link, p));
         let tx_time = float_of_int (Wire.Packet.size p) *. 8. /. link.bandwidth in
-        ignore
-          (Sim.schedule ~kind:Sim.Kind.net_transmit net.sim ~delay:tx_time (fun () ->
-               link.busy <- false;
-               ignore
-                 (Sim.schedule ~kind:Sim.Kind.net_deliver net.sim ~delay:link.delay (fun () ->
-                      emit net (Deliver (link.dst, p));
-                      link.dst.handler link.dst ~in_link:(Some link) p));
-               kick link))
+        match (match link.fault with None -> Fault_pass | Some f -> f p) with
+        | Fault_pass ->
+            ignore
+              (Sim.schedule ~kind:Sim.Kind.net_transmit net.sim ~delay:tx_time (fun () ->
+                   link.busy <- false;
+                   ignore
+                     (Sim.schedule ~kind:Sim.Kind.net_deliver net.sim ~delay:link.delay (fun () ->
+                          emit net (Deliver (link.dst, p));
+                          link.dst.handler link.dst ~in_link:(Some link) p));
+                   kick link))
+        | Fault_lose ->
+            emit net (Link_fault (link, p));
+            ignore
+              (Sim.schedule ~kind:Sim.Kind.net_transmit net.sim ~delay:tx_time (fun () ->
+                   link.busy <- false;
+                   kick link))
+        | Fault_dup ->
+            emit net (Link_fault (link, p));
+            let p2 = Wire.Packet.copy p in
+            ignore
+              (Sim.schedule ~kind:Sim.Kind.net_transmit net.sim ~delay:tx_time (fun () ->
+                   link.busy <- false;
+                   ignore
+                     (Sim.schedule ~kind:Sim.Kind.net_deliver net.sim ~delay:link.delay (fun () ->
+                          emit net (Deliver (link.dst, p));
+                          link.dst.handler link.dst ~in_link:(Some link) p;
+                          emit net (Deliver (link.dst, p2));
+                          link.dst.handler link.dst ~in_link:(Some link) p2));
+                   kick link))
+        | Fault_delay extra ->
+            emit net (Link_fault (link, p));
+            let extra = Float.max 0. extra in
+            ignore
+              (Sim.schedule ~kind:Sim.Kind.net_transmit net.sim ~delay:tx_time (fun () ->
+                   link.busy <- false;
+                   ignore
+                     (Sim.schedule ~kind:Sim.Kind.net_deliver net.sim
+                        ~delay:(link.delay +. extra) (fun () ->
+                          emit net (Deliver (link.dst, p));
+                          link.dst.handler link.dst ~in_link:(Some link) p));
+                   kick link))
     end
     else begin
       let at = Qdisc.next_ready link.qdisc ~now:time in
@@ -281,6 +327,21 @@ let link_delay link = link.delay
 let link_tx_packets link = link.tx_packets
 let link_tx_bytes link = link.tx_bytes
 let link_set_limiter link f = link.limiter <- f
+let link_set_fault link f = link.fault <- f
+let link_is_up link = link.up
+
+let link_set_up link v =
+  if link.up <> v then begin
+    link.up <- v;
+    if v then kick link
+    else
+      match link.poll with
+      | Some h ->
+          Sim.cancel h;
+          link.poll <- None
+      | None -> ()
+  end
 
 let nodes t = List.rev t.node_list
+let links t = List.rev t.link_list
 let find_node_by_addr t addr = Wire.Addr.Tbl.find_opt t.by_addr addr

@@ -61,6 +61,15 @@ let dumbbell ?(bottleneck_bps = 10e6) ?(bottleneck_delay = 0.010) ?(access_bps =
   Net.compute_routes net;
   { net; left; right; users; attackers; destination; colluder; bottleneck; bottleneck_reverse }
 
+let labeled_links t =
+  let label l = Net.node_name (Net.link_src l) ^ "->" ^ Net.node_name (Net.link_dst l) in
+  ("bottleneck", t.bottleneck)
+  :: ("rbottleneck", t.bottleneck_reverse)
+  :: List.filter_map
+       (fun l ->
+         if l == t.bottleneck || l == t.bottleneck_reverse then None else Some (label l, l))
+       (Net.links t.net)
+
 type chain = {
   chain_net : Net.t;
   chain_routers : Net.node array;

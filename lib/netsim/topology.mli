@@ -8,20 +8,29 @@
 
 type t = {
   net : Net.t;
-  left : Net.node; (* bottleneck ingress router *)
-  right : Net.node; (* bottleneck egress router *)
+  left : Net.node;  (** bottleneck ingress router *)
+  right : Net.node;  (** bottleneck egress router *)
   users : Net.node array;
   attackers : Net.node array;
   destination : Net.node;
   colluder : Net.node option;
-  bottleneck : Net.link; (* left -> right, the congested direction *)
+  bottleneck : Net.link;  (** left -> right, the congested direction *)
   bottleneck_reverse : Net.link;
 }
+(** A built dumbbell: both routers, every endpoint node, and the two
+    bottleneck directions, ready for handler installation. *)
 
 val user_addr : int -> Wire.Addr.t
+(** Address of legitimate user [i] (0-based). *)
+
 val attacker_addr : int -> Wire.Addr.t
+(** Address of attacker [i] (0-based); disjoint from the user range. *)
+
 val destination_addr : Wire.Addr.t
+(** Address of the shared destination behind the bottleneck. *)
+
 val colluder_addr : Wire.Addr.t
+(** Address of the optional colluder co-located with the destination. *)
 
 val dumbbell :
   ?bottleneck_bps:float ->
@@ -39,6 +48,12 @@ val dumbbell :
     unidirectional link (rate limits inside schemes are fractions of the
     given bandwidth).  Routes are computed before returning. *)
 
+val labeled_links : t -> (string * Net.link) list
+(** Deterministic fault-targeting labels: [("bottleneck", _)] and
+    [("rbottleneck", _)] first, then every access link as ["src->dst"] in
+    creation order.  The fault layer ({!module:Faults}) resolves spec
+    targets against these labels. *)
+
 type chain = {
   chain_net : Net.t;
   chain_routers : Net.node array;
@@ -46,10 +61,17 @@ type chain = {
   chain_attacker : Net.node;
   chain_destination : Net.node;
 }
+(** A built linear chain (see {!chain}): routers in path order plus the
+    three endpoints hanging off it. *)
 
 val chain_source_addr : Wire.Addr.t
+(** Address of the chain's legitimate source. *)
+
 val chain_attacker_addr : Wire.Addr.t
+(** Address of the chain's attacker. *)
+
 val chain_destination_addr : Wire.Addr.t
+(** Address of the chain's destination. *)
 
 val chain :
   ?hops:int ->

@@ -33,6 +33,7 @@ let install ?(trace = Trace.nop) ~counters_for net =
          | Net.Hops_exceeded (node, p) -> record node Event.Hops_exceeded p
          | Net.No_route (node, p) -> record node Event.No_route p
          | Net.Transmit (link, p) -> record (Net.link_src link) Event.Transmitted p
-         | Net.Deliver (node, p) -> record node Event.Delivered p))
+         | Net.Deliver (node, p) -> record node Event.Delivered p
+         | Net.Link_fault (link, p) -> record (Net.link_src link) Event.Fault_injected p))
 
 let remove net = Net.set_trace net None

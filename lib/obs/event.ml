@@ -36,6 +36,10 @@ type t =
   | Hops_exceeded
   | Transmitted
   | Delivered
+  (* fault injection / recovery (lib/faults + Host) *)
+  | Fault_injected
+  | Demoted_recovered
+  | Reacquired
 
 let to_int = function
   | Packets_in -> 0
@@ -65,8 +69,11 @@ let to_int = function
   | Hops_exceeded -> 24
   | Transmitted -> 25
   | Delivered -> 26
+  | Fault_injected -> 27
+  | Demoted_recovered -> 28
+  | Reacquired -> 29
 
-let count = 27
+let count = 30
 
 let all =
   [
@@ -97,6 +104,9 @@ let all =
     Hops_exceeded;
     Transmitted;
     Delivered;
+    Fault_injected;
+    Demoted_recovered;
+    Reacquired;
   ]
 
 let name = function
@@ -127,6 +137,9 @@ let name = function
   | Hops_exceeded -> "hops_exceeded"
   | Transmitted -> "transmitted"
   | Delivered -> "delivered"
+  | Fault_injected -> "fault_injected"
+  | Demoted_recovered -> "demoted_recovered"
+  | Reacquired -> "reacquired"
 
 let names = Array.of_list (List.map name all)
 

@@ -32,6 +32,16 @@ type t =
   | Hops_exceeded
   | Transmitted  (** packet began serialization on an out-link *)
   | Delivered  (** packet handed to a node's handler after propagation *)
+  | Fault_injected
+      (** one injected fault took effect: a link-level loss/corrupt/dup/
+          reorder decision, or a scheduled control event (down, flap edge,
+          cache wipe, secret rotation, restart) firing (DESIGN.md §11) *)
+  | Demoted_recovered
+      (** a destination saw a previously-demoted source deliver a
+          non-demoted regular packet again — end of its demotion episode *)
+  | Reacquired
+      (** a sender whose grant was cancelled by a demotion echo received a
+          fresh grant; {!Tva.Host.reacquire_latencies} records the delay *)
 
 val count : int
 (** Number of constructors; the length of every counter array. *)

@@ -62,6 +62,14 @@ let regular ?(fresh_precaps = []) ~nonce ~caps ~n_kb ~t_sec ~renewal () =
 
 let fresh_precap = { ts = 0; hash = 0L }
 
+let copy t =
+  let kind =
+    match t.kind with
+    | Request r -> Request { rev_path_ids = r.rev_path_ids; rev_precaps = r.rev_precaps }
+    | Regular r -> Regular { r with caps = Array.copy r.caps }
+  in
+  { kind; demoted = t.demoted; return_info = t.return_info; ptr = t.ptr }
+
 let upper_protocol = 6
 
 (* Sizes in bits, per Fig. 5. *)

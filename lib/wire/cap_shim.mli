@@ -98,6 +98,12 @@ val regular :
 val fresh_precap : cap
 (** Placeholder for renewal: routers replace the pre-capability in place. *)
 
+val copy : t -> t
+(** A shim whose mutable state (kind record, capability array, pointer) is
+    independent of the original, so a duplicated packet's hop-by-hop
+    mutations do not leak into the other copy.  The immutable list spines
+    are shared. *)
+
 val wire_size : t -> int
 (** The encoded size in bytes (what links charge for the shim). *)
 

@@ -23,6 +23,15 @@ let make ?shim ?siff ~src ~dst ~created body =
   let id = Atomic.fetch_and_add counter 1 + 1 in
   { id; src; dst; created; body; shim; siff; hops = default_hops }
 
+let copy t =
+  let id = Atomic.fetch_and_add counter 1 + 1 in
+  {
+    t with
+    id;
+    shim = (match t.shim with None -> None | Some s -> Some (Cap_shim.copy s));
+    siff = (match t.siff with None -> None | Some s -> Some (Siff_marking.copy s));
+  }
+
 let body_size = function Raw n -> n | Tcp seg -> Tcp_segment.wire_size seg
 
 let size t =

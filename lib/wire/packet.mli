@@ -33,6 +33,12 @@ val make :
 val size : t -> int
 (** Current wire size in bytes. *)
 
+val copy : t -> t
+(** A physically distinct packet with the same content: fresh [id], deep
+    copies of the mutable shims, so the fault layer's duplication delivers
+    two packets whose hop counts and header mutations evolve
+    independently. *)
+
 val is_tcp : t -> bool
 val tcp : t -> Tcp_segment.t option
 

@@ -5,6 +5,8 @@ type t = { flavor : flavor; mutable markings : (int * int) list; mutable returne
 let exp_packet () = { flavor = Exp; markings = []; returned = None }
 let dta ~markings = { flavor = Dta; markings; returned = None }
 
+let copy t = { t with flavor = t.flavor }
+
 let marking_of t ~router = List.assoc_opt router t.markings
 
 let add_marking t ~router ~bits = t.markings <- t.markings @ [ (router, bits) ]

@@ -23,6 +23,10 @@ type t = {
 val exp_packet : unit -> t
 val dta : markings:(int * int) list -> t
 
+val copy : t -> t
+(** A marking whose mutable fields are independent of the original (the
+    association lists themselves are immutable and shared). *)
+
 val marking_of : t -> router:int -> int option
 
 val add_marking : t -> router:int -> bits:int -> unit

@@ -1,0 +1,188 @@
+(* The chaos harness: one experiment run per fault scenario, with the
+   injector installed through [Experiment.run ?faults] and the recovery
+   invariants checked against the run's observability output. *)
+
+type cell = {
+  cl_label : string;
+  cl_spec : Faults.Spec.t;
+  cl_expect : Faults.Invariants.expectation;
+}
+
+type outcome = {
+  oc_label : string;
+  oc_spec : string;
+  oc_fraction : float;
+  oc_avg_time : float;
+  oc_injected : (string * int) list;
+  oc_latencies : float list;
+  oc_verdict : Faults.Invariants.verdict;
+  oc_report : Obs.Report.t;
+}
+
+let sim_params = { Tva.Params.default with Tva.Params.request_fraction = 0.01 }
+
+let base_config =
+  { Experiment.default with Experiment.scheme = Scheme.tva ~params:sim_params () }
+
+(* One cell = one independent deterministic simulation: the cell carries
+   pure data (spec + expectation), [Experiment.run] builds a private
+   sim/rng, and the injector's stream splits off it at install time — so
+   cells fan out over [Pool.map] and come back bit-identical whatever
+   [jobs] is. *)
+let run_cell ?(obs = Experiment.obs_default) ?(base = base_config) cell =
+  let injector = ref None in
+  let fault_env = ref None in
+  let r =
+    Experiment.run ~obs
+      ~faults:(fun env ->
+        fault_env := Some env;
+        injector :=
+          Some
+            (Faults.Inject.install
+               {
+                 Faults.Inject.env_sim = env.Experiment.fe_sim;
+                 env_rng = env.Experiment.fe_rng;
+                 env_links = env.Experiment.fe_links;
+                 env_routers = env.Experiment.fe_routers;
+                 env_obs = env.Experiment.fe_obs;
+               }
+               cell.cl_spec))
+      base
+  in
+  let env = match !fault_env with Some e -> e | None -> assert false in
+  let inj = match !injector with Some i -> i | None -> assert false in
+  let latencies =
+    List.concat_map (fun ep -> ep.Scheme.ep_reacquire_latencies ()) env.Experiment.fe_users
+  in
+  let report = match r.Experiment.obs with Some o -> o | None -> Obs.Report.empty in
+  let router_names =
+    List.map (fun site -> site.Faults.Inject.rs_name) env.Experiment.fe_routers
+  in
+  let verdict =
+    Faults.Invariants.check cell.cl_expect ~counters:report.Obs.Report.counters
+      ~router_names
+      ~injected:(Faults.Inject.total_injected inj)
+      ~reacquire_latencies:latencies ~fraction:r.Experiment.fraction_completed
+  in
+  {
+    oc_label = cell.cl_label;
+    oc_spec = Faults.Spec.to_string cell.cl_spec;
+    oc_fraction = r.Experiment.fraction_completed;
+    oc_avg_time = r.Experiment.avg_transfer_time;
+    oc_injected = Faults.Inject.injected inj;
+    oc_latencies = latencies;
+    oc_verdict = verdict;
+    oc_report = report;
+  }
+
+let run_suite ?(jobs = 1) ?obs ?base cells =
+  Pool.map ~jobs (run_cell ?obs ?base) cells
+
+let parse_exn spec =
+  match Faults.Spec.parse spec with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Chaos.default_suite: " ^ e)
+
+(* The documented re-acquisition bound (EXPERIMENTS.md "Robustness"): one
+   RTT (63 ms) plus request-channel queueing.  A router-state fault hits
+   every sender at once, so the worst case queues the whole cohort's
+   re-requests behind each other on the 1% request channel (100 kb/s at
+   the 10 Mb/s bottleneck): 10 MTU-sized re-requests drain in ~1.2 s.
+   1.5 s is RTT + full-cohort drain with slack; restart adds its outage,
+   during which re-requests sit in access qdiscs until the links return. *)
+let reacquire_bound = 1.5
+
+let restart_outage = 0.5
+
+let expect_recovery ~bound ~floor =
+  {
+    Faults.Invariants.exp_injected = true;
+    exp_demotions = true;
+    exp_reacquire = true;
+    exp_latency_bound = bound;
+    exp_min_fraction = floor;
+  }
+
+let degrade_only floor =
+  {
+    Faults.Invariants.relaxed with
+    Faults.Invariants.exp_injected = true;
+    exp_min_fraction = floor;
+  }
+
+(* Scheduled faults hit at t = 2 s: the staggered transfer clients are all
+   active by t = 0.13 and even the shortest sensible workload (10 users x
+   10 x 20 KB over the 10 Mb/s bottleneck) runs past 2 s, so every
+   scenario fires inside the run whatever [--transfers] says. *)
+let default_suite =
+  [
+    {
+      cl_label = "loss";
+      cl_spec = parse_exn "loss:bottleneck:p=0.01";
+      cl_expect = degrade_only 0.5;
+    };
+    {
+      cl_label = "burst";
+      cl_spec = parse_exn "burst:bottleneck:pgb=0.02,pbg=0.3,pbad=0.5";
+      cl_expect = degrade_only 0.2;
+    };
+    {
+      cl_label = "dup-reorder";
+      cl_spec = parse_exn "dup:bottleneck:p=0.01;reorder:bottleneck:p=0.02,delay=0.05";
+      cl_expect = degrade_only 0.5;
+    };
+    {
+      cl_label = "down";
+      cl_spec = parse_exn "down:bottleneck:at=2,for=1";
+      cl_expect = degrade_only 0.3;
+    };
+    {
+      cl_label = "flap";
+      cl_spec = parse_exn "flap:bottleneck:at=2,until=8,period=3,down=0.5";
+      cl_expect = degrade_only 0.2;
+    };
+    {
+      cl_label = "wipe";
+      cl_spec = parse_exn "wipe:all:at=2,every=10";
+      cl_expect = expect_recovery ~bound:reacquire_bound ~floor:0.5;
+    };
+    {
+      cl_label = "rotate";
+      cl_spec = parse_exn "rotate:all:at=2,every=10";
+      (* Rotation alone barely shows: established flows validate by cached
+         nonce, not by pre-capability, so only flows arriving with fresh
+         capabilities notice.  Accounting invariants still apply. *)
+      cl_expect = degrade_only 0.5;
+    };
+    {
+      cl_label = "restart";
+      cl_spec = parse_exn "restart:left:at=2,for=0.5";
+      cl_expect =
+        expect_recovery ~bound:(reacquire_bound +. restart_outage) ~floor:0.3;
+    };
+  ]
+
+let all_ok outcomes = List.for_all (fun o -> o.oc_verdict.Faults.Invariants.ok) outcomes
+
+let worst_latency o = List.fold_left Float.max 0. o.oc_latencies
+
+let render outcomes =
+  let table =
+    Stats.Table.create
+      ~columns:
+        [ "scenario"; "spec"; "fraction"; "injected"; "reacq"; "worst_reacq_s"; "verdict" ]
+  in
+  List.iter
+    (fun o ->
+      Stats.Table.add_row table
+        [
+          o.oc_label;
+          o.oc_spec;
+          Printf.sprintf "%.3f" o.oc_fraction;
+          string_of_int (List.fold_left (fun acc (_, n) -> acc + n) 0 o.oc_injected);
+          string_of_int (List.length o.oc_latencies);
+          (if o.oc_latencies = [] then "-" else Printf.sprintf "%.3f" (worst_latency o));
+          (if o.oc_verdict.Faults.Invariants.ok then "ok" else "FAIL");
+        ])
+    outcomes;
+  table

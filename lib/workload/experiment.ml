@@ -62,6 +62,20 @@ type obs_state = {
   st_profile : Obs.Profile.t option;
 }
 
+(* Everything a fault-injection hook needs, handed over after the topology,
+   routers, endpoints and attack are wired but before the clock starts.
+   The rng is split off the simulation stream only when a hook is present,
+   so unfaulted runs consume exactly the draws they always did. *)
+type fault_env = {
+  fe_sim : Sim.t;
+  fe_rng : Rng.t;
+  fe_links : Faults.Inject.link_site list;
+  fe_routers : Faults.Inject.router_site list;
+  fe_users : Scheme.endpoint list;
+  fe_destination : Scheme.endpoint;
+  fe_obs : Obs.Counters.t;
+}
+
 let attacker_oracle a = Wire.Addr.to_int a lsr 24 = 0x0b
 
 let destination_policy cfg =
@@ -127,7 +141,7 @@ let install_attack cfg sim (topo : Topology.t) attacker_endpoints =
             ~mode:Agents.Flooder.Misbehaving ())
         attacker_endpoints
 
-let run ?obs cfg =
+let run ?obs ?faults cfg =
   let sim = Sim.create ~seed:cfg.seed () in
   let scheme = cfg.scheme sim in
   let with_colluder = match cfg.attack with Authorized_flood _ -> true | _ -> false in
@@ -194,27 +208,32 @@ let run ?obs cfg =
       scheme.Scheme.install_router
         ~obs:(st.st_counters_for topo.Topology.right)
         topo.Topology.right ~link_bps:cfg.bottleneck_bps);
+  let ep_obs node =
+    match obs_state with None -> None | Some st -> Some (st.st_counters_for node)
+  in
   let dest_endpoint =
-    scheme.Scheme.make_endpoint topo.Topology.destination ~role:Scheme.Destination
-      ~policy:(destination_policy cfg)
+    scheme.Scheme.make_endpoint
+      ?obs:(ep_obs topo.Topology.destination)
+      topo.Topology.destination ~role:Scheme.Destination ~policy:(destination_policy cfg)
   in
   let _server = Agents.Transfer_server.create ~sim ~endpoint:dest_endpoint () in
   (match topo.Topology.colluder with
   | Some c ->
       let colluder_endpoint =
-        scheme.Scheme.make_endpoint c ~role:Scheme.Colluder
+        scheme.Scheme.make_endpoint ?obs:(ep_obs c) c ~role:Scheme.Colluder
           ~policy:(Tva.Policy.allow_all ~n_kb:1023 ~t_sec:63 ())
       in
       ignore colluder_endpoint
   | None -> ());
   let metrics = Metrics.create () in
   let users_left = ref cfg.n_users in
-  let per_user_metrics =
+  let per_user =
     Array.to_list
       (Array.mapi
          (fun i user ->
            let endpoint =
-             scheme.Scheme.make_endpoint user ~role:Scheme.User ~policy:(Tva.Policy.client ())
+             scheme.Scheme.make_endpoint ?obs:(ep_obs user) user ~role:Scheme.User
+               ~policy:(Tva.Policy.client ())
            in
            let m = Metrics.create () in
            let _client =
@@ -228,17 +247,41 @@ let run ?obs cfg =
                  if !users_left = 0 then Sim.stop sim)
                ()
            in
-           m)
+           (endpoint, m))
          topo.Topology.users)
   in
+  let user_endpoints = List.map fst per_user in
+  let per_user_metrics = List.map snd per_user in
   let attacker_endpoints =
     Array.to_list
       (Array.map
          (fun a ->
-           scheme.Scheme.make_endpoint a ~role:Scheme.Attacker ~policy:(Tva.Policy.client ()))
+           scheme.Scheme.make_endpoint ?obs:(ep_obs a) a ~role:Scheme.Attacker
+             ~policy:(Tva.Policy.client ()))
          topo.Topology.attackers)
   in
   install_attack cfg sim topo attacker_endpoints;
+  (match faults with
+  | None -> ()
+  | Some hook ->
+      let fe_obs =
+        match obs_state with
+        | None -> Obs.Counters.nop
+        | Some st -> (
+            match Obs.Counters.find st.st_registry ~name:"faults" with
+            | Some c -> c
+            | None -> Obs.Counters.register st.st_registry ~name:"faults")
+      in
+      hook
+        {
+          fe_sim = sim;
+          fe_rng = Rng.split (Sim.rng sim);
+          fe_links = Faults.Inject.link_sites topo;
+          fe_routers = scheme.Scheme.fault_targets ();
+          fe_users = user_endpoints;
+          fe_destination = dest_endpoint;
+          fe_obs;
+        });
   Sim.run ~until:cfg.max_time sim;
   List.iter (Metrics.merge_into metrics) per_user_metrics;
   let obs_report =

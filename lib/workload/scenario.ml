@@ -151,6 +151,13 @@ let fig11 ?(jobs = 1) ?(base = Experiment.default) ?(duration = 60.) () =
       { label; timeline = Metrics.timeline r.Experiment.metrics })
     runs
 
+(* --- Chaos scenarios (Sec. 3.8 robustness; DESIGN.md §11) ------------- *)
+
+let chaos_suite ?jobs ?base () = Chaos.run_suite ?jobs ?base Chaos.default_suite
+
+let chaos_single ?base ?(expect = Faults.Invariants.relaxed) spec =
+  Chaos.run_cell ?base { Chaos.cl_label = "custom"; cl_spec = spec; cl_expect = expect }
+
 let render series_list =
   let table =
     Stats.Table.create ~columns:[ "attackers"; "scheme"; "fraction_completed"; "avg_time_s" ]

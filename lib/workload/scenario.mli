@@ -84,6 +84,21 @@ val fig11 :
     100-attacker flood and a 10-groups-of-10 staggered flood starting at
     t = 10 s. *)
 
+val chaos_suite :
+  ?jobs:int -> ?base:Experiment.config -> unit -> Chaos.outcome list
+(** {!Chaos.default_suite} over {!Chaos.run_suite}: the eight stock fault
+    scenarios against the TVA dumbbell, each an independent deterministic
+    run.  [tva_sim chaos] without [--faults]. *)
+
+val chaos_single :
+  ?base:Experiment.config ->
+  ?expect:Faults.Invariants.expectation ->
+  Faults.Spec.t ->
+  Chaos.outcome
+(** One custom fault spec under {!Faults.Invariants.relaxed} expectations
+    (accounting invariants only) unless [expect] says otherwise.
+    [tva_sim chaos --faults <spec>]. *)
+
 val render : series list -> Stats.Table.t
 (** One row per (attackers, scheme): completion fraction and mean time. *)
 

@@ -8,14 +8,16 @@ type endpoint = {
   ep_send_legacy : dst:Wire.Addr.t -> bytes:int -> unit;
   ep_send_request : dst:Wire.Addr.t -> bytes:int -> unit;
   ep_flood_misbehaving : dst:Wire.Addr.t -> bytes:int -> unit;
+  ep_reacquire_latencies : unit -> float list;
 }
 
 type t = {
   name : string;
   make_qdisc : bandwidth_bps:float -> Qdisc.t;
   install_router : ?obs:Obs.Counters.t -> Net.node -> link_bps:float -> unit;
-  make_endpoint : Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
+  make_endpoint : ?obs:Obs.Counters.t -> Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
   report_caches : unit -> Obs.Report.cache_row list;
+  fault_targets : unit -> Faults.Inject.router_site list;
 }
 
 type factory = Sim.t -> t
@@ -69,8 +71,8 @@ let tva_misbehaving_flood host sim =
 let tva ?(params = Tva.Params.default) () : factory =
  fun sim ->
   (* Routers created this run, in creation order, so the flow-cache report
-     is deterministic. *)
-  let routers : (string * Tva.Router.t) list ref = ref [] in
+     (and the fault-target list) is deterministic. *)
+  let routers : (string * Net.node * Tva.Router.t) list ref = ref [] in
   {
     name = "tva";
     make_qdisc = (fun ~bandwidth_bps -> Tva.Qdiscs.make ~params ~bandwidth_bps ());
@@ -81,12 +83,12 @@ let tva ?(params = Tva.Params.default) () : factory =
             ~secret_master:("tva-secret-" ^ string_of_int (Net.node_id node))
             ~router_id:(Net.node_id node) ~sim ~link_bps ()
         in
-        routers := (Net.node_name node, router) :: !routers;
+        routers := (Net.node_name node, node, router) :: !routers;
         Net.set_handler node (Tva.Router.handler router));
     report_caches =
       (fun () ->
         List.rev_map
-          (fun (name, router) ->
+          (fun (name, _node, router) ->
             let cache = Tva.Router.cache router in
             {
               Obs.Report.c_router = name;
@@ -96,11 +98,23 @@ let tva ?(params = Tva.Params.default) () : factory =
               c_hwm = Tva.Flow_cache.hwm cache;
             })
           !routers);
+    fault_targets =
+      (fun () ->
+        List.rev_map
+          (fun (name, node, router) ->
+            {
+              Faults.Inject.rs_name = name;
+              rs_node = node;
+              rs_wipe_cache = (fun () -> Tva.Router.flush_cache router);
+              rs_rotate_secret = (fun () -> Tva.Router.rotate_secret router);
+            })
+          !routers);
     make_endpoint =
-      (fun node ~role ~policy ->
+      (fun ?obs node ~role ~policy ->
         let auto_reply = match role with Destination | Colluder -> true | User | Attacker -> false in
         let host =
-          Tva.Host.create ~params ~auto_reply ~policy ~node ~rng:(Rng.split (Sim.rng sim)) ()
+          Tva.Host.create ~params ~auto_reply ?obs ~policy ~node ~rng:(Rng.split (Sim.rng sim))
+            ()
         in
         {
           ep_addr = Tva.Host.addr host;
@@ -110,6 +124,7 @@ let tva ?(params = Tva.Params.default) () : factory =
           ep_send_legacy = Tva.Host.send_legacy host;
           ep_send_request = Tva.Host.send_request_flood_packet host;
           ep_flood_misbehaving = tva_misbehaving_flood host sim;
+          ep_reacquire_latencies = (fun () -> Tva.Host.reacquire_latencies host);
         });
   }
 
@@ -156,8 +171,9 @@ let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
             ~router_id:(Net.node_id node) ~sim ()
         in
         Net.set_handler node (Siff.Router.handler router));
+    fault_targets = (fun () -> []);
     make_endpoint =
-      (fun node ~role ~policy ->
+      (fun ?obs:_ node ~role ~policy ->
         let auto_reply = match role with Destination | Colluder -> true | User | Attacker -> false in
         let host = Siff.Host.create ~rotation_period ~auto_reply ~policy ~node () in
         {
@@ -173,6 +189,7 @@ let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
                 (Wire.Packet.make ~siff ~src:(Siff.Host.addr host) ~dst
                    ~created:(Sim.now sim) (Wire.Packet.Raw bytes)));
           ep_flood_misbehaving = siff_misbehaving_flood host sim rotation_period;
+          ep_reacquire_latencies = (fun () -> []);
         });
   }
 
@@ -189,6 +206,7 @@ let plain_endpoint node =
     ep_send_legacy = send_raw;
     ep_send_request = send_raw;
     ep_flood_misbehaving = send_raw;
+    ep_reacquire_latencies = (fun () -> []);
   }
 
 let pushback ?(interval = 1.0) () : factory =
@@ -199,7 +217,8 @@ let pushback ?(interval = 1.0) () : factory =
     make_qdisc = (fun ~bandwidth_bps -> Pushback.make_qdisc controller ~bandwidth_bps);
     install_router = (fun ?obs:_ node ~link_bps:_ -> Pushback.install controller node);
     report_caches = (fun () -> []);
-    make_endpoint = (fun node ~role:_ ~policy:_ -> plain_endpoint node);
+    fault_targets = (fun () -> []);
+    make_endpoint = (fun ?obs:_ node ~role:_ ~policy:_ -> plain_endpoint node);
   }
 
 let internet () : factory =
@@ -210,7 +229,8 @@ let internet () : factory =
     install_router =
       (fun ?obs:_ node ~link_bps:_ -> Net.set_handler node Baseline.Internet.router_handler);
     report_caches = (fun () -> []);
-    make_endpoint = (fun node ~role:_ ~policy:_ -> plain_endpoint node);
+    fault_targets = (fun () -> []);
+    make_endpoint = (fun ?obs:_ node ~role:_ ~policy:_ -> plain_endpoint node);
   }
 
 let all =

@@ -23,6 +23,10 @@ type endpoint = {
       (** The Fig. 11 attacker: obtain an authorization once, then hammer
           with it regardless of budgets or revocation, falling to whatever
           priority the network then assigns. *)
+  ep_reacquire_latencies : unit -> float list;
+      (** {!Tva.Host.reacquire_latencies} for TVA endpoints (how long each
+          recovery from a demotion echo took); [\[\]] for schemes without
+          the demote/re-request cycle. *)
 }
 
 type t = {
@@ -33,11 +37,19 @@ type t = {
           node; call after links exist.  [obs] threads a counter instance
           into the router's processing path (TVA only; the other schemes
           ignore it). *)
-  make_endpoint : Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
+  make_endpoint : ?obs:Obs.Counters.t -> Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
+      (** [obs] threads a counter instance into the host protocol layer
+          (recovery events; TVA only). *)
   report_caches : unit -> Obs.Report.cache_row list;
       (** Flow-cache statistics for every router this scheme instance has
           installed, in creation order (empty for schemes without
           per-flow state). *)
+  fault_targets : unit -> Faults.Inject.router_site list;
+      (** Router-level fault surfaces (cache wipe, secret rotation) for
+          every router this scheme instance has installed, in creation
+          order — what the chaos harness hands to {!Faults.Inject}.  Empty
+          for schemes without wipeable/rotatable router state; link-level
+          faults still apply to them. *)
 }
 
 type factory = Sim.t -> t

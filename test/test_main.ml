@@ -13,5 +13,6 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite);
       ("forwarder", Test_forwarder.suite);
     ]
