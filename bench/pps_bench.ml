@@ -28,8 +28,12 @@ let passes = ref 512
 let budget = ref 32.
 let validate_budget = ref 56.
 let request_budget = ref 32.
+let batch_budget = ref 11.
+let batch_speedup_min = ref 2.
+let shards = ref 4
 let obs_overhead_pct = ref 5.
 let out_path = ref "BENCH_pps.json"
+let profile_out = ref ""
 
 let spec =
   [
@@ -44,15 +48,28 @@ let spec =
     ( "--request-budget",
       Arg.Set_float request_budget,
       "W  max minor words/packet on the request path (default 32)" );
+    ( "--batch-budget",
+      Arg.Set_float batch_budget,
+      "W  max amortized minor words/packet on the batched cached-nonce path (default 11)" );
+    ( "--batch-speedup-min",
+      Arg.Set_float batch_speedup_min,
+      "X  min cached_nonce_batch pps as a multiple of same-run cached_nonce pps (default 2)" );
+    ( "--shards",
+      Arg.Set_int shards,
+      "K  flow-hash shards for the cached_nonce_sharded row (default 4)" );
     ( "--obs-overhead-pct",
       Arg.Set_float obs_overhead_pct,
       "P  max cached-nonce pps loss with obs counters attached (default 5)" );
     ("--out", Arg.Set_string out_path, "PATH  where to write the JSON report");
+    ( "--profile-out",
+      Arg.Set_string profile_out,
+      "PATH  also write the per-stage ns budget report (Obs.Profile gauges)" );
   ]
 
 let usage =
   "pps_bench [--flows N] [--passes K] [--budget W] [--validate-budget W] [--request-budget W] \
-   [--obs-overhead-pct P] [--out PATH]"
+   [--batch-budget W] [--batch-speedup-min X] [--shards K] [--obs-overhead-pct P] [--out PATH] \
+   [--profile-out PATH]"
 
 let n_kb = 1023
 let t_sec = 32
@@ -324,6 +341,64 @@ let () =
     obs_cached_m.minor_words_per_packet -. bare_duel_m.minor_words_per_packet
   in
 
+  (* --- cached-nonce path, batched --------------------------------------- *)
+  (* Same router, same packets: [Router.process_batch] against the
+     sequential loop, head-to-head in alternating chunks.  The speedup gate
+     is a ratio inside one report, so it holds on any machine — the batch
+     path must beat the sequential path by [--batch-speedup-min] on the
+     strength of its hoisted epoch stamp, sentinel-based cache probe and
+     batch-local counter flush alone. *)
+  let batch_pass _pass = Tva.Router.process_batch router ~in_interface:0 cached_packets in
+  batch_pass 0 (* warmup *);
+  let before = snapshot (Tva.Router.counters router) in
+  let seq_ref_m, batch_m = measure_duel ~flows ~passes cached_pass batch_pass in
+  check_counters ~label:"cached-nonce (batch duel)" ~before ~after:(Tva.Router.counters router)
+    ~expect_field:(fun c -> c.Tva.Router.regular_cached)
+    ~expected:(2 * flows * passes);
+  let batch_speedup = batch_m.pps /. seq_ref_m.pps in
+
+  (* --- cached-nonce path, sharded ---------------------------------------- *)
+  (* K shard routers sharing the bench router's secret and id (the caps
+     minted above validate on every shard), packets partitioned once by
+     flow hash, each shard's stream processed on its own domain.  Minor
+     words are a per-domain counter, so the row reports pps/ns only. *)
+  let shards = max 1 !shards in
+  let sp =
+    Forwarder.Shardpath.create ~k:shards ~secret_master:"pps-bench" ~router_id:1 ~sim
+      ~link_bps:1e9 ()
+  in
+  let shard_nonce = 4L in
+  Array.iteri
+    (fun f (cap : Wire.Cap_shim.cap) ->
+      let shim =
+        Wire.Cap_shim.regular ~nonce:shard_nonce ~caps:[ cap ] ~n_kb ~t_sec ~renewal:false ()
+      in
+      let p = Wire.Packet.make ~shim ~src:(src f) ~dst ~created:0. (Wire.Packet.Raw 64) in
+      Forwarder.Shardpath.process sp ~in_interface:0 p)
+    caps;
+  let shard_packets =
+    Array.init flows (fun f ->
+        let shim =
+          Wire.Cap_shim.regular ~nonce:shard_nonce ~caps:[] ~n_kb ~t_sec ~renewal:false ()
+        in
+        Wire.Packet.make ~shim ~src:(src f) ~dst ~created:0. (Wire.Packet.Raw 64))
+  in
+  Forwarder.Shardpath.repeat_staged sp ~in_interface:0 ~passes:1 shard_packets (* warmup *);
+  let before_shard = Forwarder.Shardpath.merged_counters sp in
+  let t0 = Unix.gettimeofday () in
+  Forwarder.Shardpath.repeat_staged sp ~in_interface:0 ~passes shard_packets;
+  let shard_wall = Unix.gettimeofday () -. t0 in
+  let after_shard = Forwarder.Shardpath.merged_counters sp in
+  if after_shard.Tva.Router.regular_cached - before_shard.Tva.Router.regular_cached
+     <> flows * passes
+     || after_shard.Tva.Router.demotions <> before_shard.Tva.Router.demotions
+  then begin
+    Printf.eprintf "FATAL: sharded cached-nonce path strayed off the cached branch\n";
+    exit 1
+  end;
+  let sharded_pps = float_of_int (flows * passes) /. shard_wall in
+  let sharded_ns = shard_wall *. 1e9 /. float_of_int (flows * passes) in
+
   (* --- report ---------------------------------------------------------- *)
   let pp_path name m =
     Printf.printf "  %-13s %10.0f pps  %8.1f ns/pkt  %6.2f minor words/pkt\n%!" name m.pps
@@ -336,9 +411,16 @@ let () =
   pp_path "cached+obs" obs_cached_m;
   Printf.printf "  obs counters: %+.2f%% pps, %+.3f minor words/pkt vs bare cached-nonce\n%!"
     obs_overhead obs_extra_words;
+  pp_path "cached+batch" batch_m;
+  Printf.printf "  batch speedup: %.2fx over same-run sequential cached-nonce (gate: >= %gx)\n%!"
+    batch_speedup !batch_speedup_min;
+  Printf.printf "  %-13s %10.0f pps  %8.1f ns/pkt  (%d shards, per-domain words not comparable)\n%!"
+    "cached+shard" sharded_pps sharded_ns shards;
   let budget_ok = cached_m.minor_words_per_packet <= !budget in
   let validate_ok = validate_m.minor_words_per_packet <= !validate_budget in
   let request_ok = request_m.minor_words_per_packet <= !request_budget in
+  let batch_budget_ok = batch_m.minor_words_per_packet <= !batch_budget in
+  let batch_speedup_ok = batch_speedup >= !batch_speedup_min in
   let json_path name m =
     String.concat "\n"
       [
@@ -362,6 +444,15 @@ let () =
         json_path "request" request_m ^ ",";
         json_path "legacy" legacy_m ^ ",";
         json_path "cached_nonce_obs" obs_cached_m ^ ",";
+        json_path "cached_nonce_batch" batch_m ^ ",";
+        "  \"cached_nonce_sharded\": {";
+        Printf.sprintf "    \"pps\": %.0f," sharded_pps;
+        Printf.sprintf "    \"ns_per_packet\": %.2f," sharded_ns;
+        Printf.sprintf "    \"shards\": %d" shards;
+        "  },";
+        Printf.sprintf "  \"batch_speedup\": %.2f," batch_speedup;
+        Printf.sprintf "  \"batch_speedup_min\": %g," !batch_speedup_min;
+        Printf.sprintf "  \"batch_speedup_ok\": %b," batch_speedup_ok;
         Printf.sprintf "  \"obs_overhead_pct\": %.2f," obs_overhead;
         Printf.sprintf "  \"obs_overhead_budget_pct\": %g," !obs_overhead_pct;
         Printf.sprintf "  \"obs_extra_minor_words\": %.3f," obs_extra_words;
@@ -370,7 +461,9 @@ let () =
         Printf.sprintf "  \"validate_budget_words\": %g," !validate_budget;
         Printf.sprintf "  \"validate_budget_ok\": %b," validate_ok;
         Printf.sprintf "  \"request_budget_words\": %g," !request_budget;
-        Printf.sprintf "  \"request_budget_ok\": %b" request_ok;
+        Printf.sprintf "  \"request_budget_ok\": %b," request_ok;
+        Printf.sprintf "  \"batch_budget_words\": %g," !batch_budget;
+        Printf.sprintf "  \"batch_budget_ok\": %b" batch_budget_ok;
         "}";
       ]
   in
@@ -390,6 +483,77 @@ let () =
   check_budget "cached-nonce" cached_m.minor_words_per_packet !budget;
   check_budget "validate" validate_m.minor_words_per_packet !validate_budget;
   check_budget "request" request_m.minor_words_per_packet !request_budget;
+  check_budget "cached-nonce batch" batch_m.minor_words_per_packet !batch_budget;
+  if not batch_speedup_ok then begin
+    Printf.eprintf "FATAL: process_batch is only %.2fx the sequential cached-nonce pps (gate %gx)\n"
+      batch_speedup !batch_speedup_min;
+    failed := true
+  end;
+  (* --- per-stage ns budgets (Obs.Profile gauges) ------------------------- *)
+  (* Each stage's ns/packet goes through a [Obs.Profile] gauge and is
+     gated as a multiple of the same report's legacy ns — the legacy path
+     does no TVA work, so the ratio cancels machine speed and the budgets
+     hold on slow CI runners.  Multipliers leave about 2x headroom over
+     the committed ratios. *)
+  let profile = Obs.Profile.create ~clock:Unix.gettimeofday () in
+  let stages =
+    [
+      ("cached_nonce", cached_m.ns_per_packet, 10.);
+      ("cached_nonce_batch", batch_m.ns_per_packet, 6.);
+      ("validate", validate_m.ns_per_packet, 25.);
+      ("request", request_m.ns_per_packet, 20.);
+    ]
+  in
+  let stage_rows =
+    List.map
+      (fun (name, ns, mult) ->
+        let g =
+          Obs.Profile.gauge profile ~name:("ns_per_packet/" ^ name) ~lo:1. ~hi:1e5 ~bins:40
+        in
+        Obs.Profile.observe g ns;
+        let ratio = ns /. legacy_m.ns_per_packet in
+        let ok = ratio <= mult in
+        if not ok then begin
+          Printf.eprintf "FATAL: %s stage costs %.1fx legacy ns (budget %gx)\n" name ratio mult;
+          failed := true
+        end;
+        (name, ns, ratio, mult, ok))
+      stages
+  in
+  if !profile_out <> "" then begin
+    (* Gauge means come back out of the profile so the export is what the
+       observability layer saw, not a re-derivation. *)
+    let by_gauge =
+      List.map (fun r -> (r.Obs.Report.g_name, r.Obs.Report.g_mean)) (Obs.Report.gauge_rows profile)
+    in
+    let stage_json (name, _, ratio, mult, ok) =
+      let ns = List.assoc ("ns_per_packet/" ^ name) by_gauge in
+      String.concat "\n"
+        [
+          Printf.sprintf "  \"%s\": {" name;
+          Printf.sprintf "    \"ns_per_packet\": %.2f," ns;
+          Printf.sprintf "    \"x_legacy\": %.2f," ratio;
+          Printf.sprintf "    \"budget_x_legacy\": %g," mult;
+          Printf.sprintf "    \"ok\": %b" ok;
+          "  },";
+        ]
+    in
+    let pj =
+      String.concat "\n"
+        ([
+           "{";
+           "  \"benchmark\": \"router per-stage ns budgets\",";
+           Printf.sprintf "  \"legacy_ns_per_packet\": %.2f," legacy_m.ns_per_packet;
+         ]
+        @ List.map stage_json stage_rows
+        @ [ Printf.sprintf "  \"all_ok\": %b" (List.for_all (fun (_, _, _, _, ok) -> ok) stage_rows); "}" ])
+    in
+    let oc = open_out !profile_out in
+    output_string oc pj;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "  -> %s\n%!" !profile_out
+  end;
   if obs_overhead > !obs_overhead_pct then begin
     Printf.eprintf "FATAL: obs counters cost %.2f%% cached-nonce pps (budget %g%%)\n" obs_overhead
       !obs_overhead_pct;

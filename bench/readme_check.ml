@@ -1,0 +1,154 @@
+(* Guard against metadata drift between BENCH_pps.json and the README §6.1
+   table: both are regenerated in lockstep on the same host, so the ns and
+   words/pkt figures quoted in the README's "Committed" column must match
+   the JSON within a small tolerance.
+
+     dune exec bench/readme_check.exe -- \
+       [--readme README.md] [--json BENCH_pps.json] \
+       [--ns-tol 0.05] [--words-tol 1.0]
+
+   Exit 1 on any row that drifted, exit 2 on a malformed table or report.
+   The check is content-only — it never runs the benchmark — so it is
+   cheap enough for every CI run. *)
+
+let readme = ref "README.md"
+let json = ref "BENCH_pps.json"
+let ns_tol = ref 0.05
+let words_tol = ref 1.0
+
+let spec =
+  [
+    ("--readme", Arg.Set_string readme, "FILE  the README carrying the §6.1 table");
+    ("--json", Arg.Set_string json, "FILE  the committed per-packet report");
+    ( "--ns-tol",
+      Arg.Set_float ns_tol,
+      "F  max fractional ns drift between table and JSON (default 0.05)" );
+    ( "--words-tol",
+      Arg.Set_float words_tol,
+      "W  max absolute words/pkt drift between table and JSON (default 1.0)" );
+  ]
+
+let usage = "readme_check [--readme FILE] [--json FILE] [--ns-tol F] [--words-tol W]"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Same scan-for-quoted-key parsing as compare_bench: our benches write one
+   "key": value per line. *)
+let find_number ?(from = 0) text key =
+  let needle = "\"" ^ key ^ "\":" in
+  let rec search i =
+    if i + String.length needle > String.length text then None
+    else if String.sub text i (String.length needle) = needle then Some i
+    else search (i + 1)
+  in
+  match search from with
+  | None -> None
+  | Some i ->
+      let j = i + String.length needle in
+      let k = ref j in
+      while
+        !k < String.length text
+        && (match text.[!k] with '0' .. '9' | '.' | '-' | 'e' | '+' | ' ' -> true | _ -> false)
+      do
+        incr k
+      done;
+      float_of_string_opt (String.trim (String.sub text j (!k - j)))
+
+let section_field text name field =
+  let needle = "\"" ^ name ^ "\":" in
+  let rec search i =
+    if i + String.length needle > String.length text then None
+    else if String.sub text i (String.length needle) = needle then Some i
+    else search (i + 1)
+  in
+  match search 0 with None -> None | Some i -> find_number ~from:i text field
+
+(* The README row for a path looks like
+     | `cached_nonce` | ... | ... | 96.4 ns, 11 words/pkt |
+   The committed column is the last nonempty cell; the first float before
+   " ns" is the latency, an optional "<float> words" is the allocation. *)
+let split_cells line =
+  String.split_on_char '|' line |> List.map String.trim |> List.filter (fun c -> c <> "")
+
+let rec find_sub text needle from =
+  if from + String.length needle > String.length text then None
+  else if String.sub text from (String.length needle) = needle then Some from
+  else find_sub text needle (from + 1)
+
+(* Scan a committed-column cell for "<float> ns" and an optional
+   "<float> words". *)
+let parse_cell cell =
+  let num_ending_at j =
+    (* walk back over the float that ends just before index j *)
+    let i = ref j in
+    while !i > 0 && (match cell.[!i - 1] with '0' .. '9' | '.' -> true | _ -> false) do
+      decr i
+    done;
+    if !i = j then None else float_of_string_opt (String.sub cell !i (j - !i))
+  in
+  let before_unit unit =
+    match find_sub cell unit 0 with
+    | None -> None
+    | Some j -> num_ending_at j
+  in
+  (before_unit " ns", before_unit " words")
+
+let row_cell readme_text key =
+  let marker = "| `" ^ key ^ "` |" in
+  let lines = String.split_on_char '\n' readme_text in
+  match List.find_opt (fun l -> find_sub l marker 0 <> None) lines with
+  | None -> None
+  | Some line -> (
+      match List.rev (split_cells line) with cell :: _ -> Some cell | [] -> None)
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let readme_text = read_file !readme and json_text = read_file !json in
+  let failed = ref false and checked = ref 0 in
+  let fatal fmt = Printf.ksprintf (fun s -> prerr_endline ("readme_check: " ^ s); exit 2) fmt in
+  let check ~key ~words_expected =
+    match row_cell readme_text key with
+    | None -> fatal "README has no table row for `%s`" key
+    | Some cell ->
+        let table_ns, table_words = parse_cell cell in
+        let json_ns = section_field json_text key "ns_per_packet" in
+        let json_words = section_field json_text key "minor_words_per_packet" in
+        (match (table_ns, json_ns) with
+        | Some t, Some j ->
+            incr checked;
+            if Float.abs (t -. j) > (!ns_tol *. j) +. 0.051 (* quantization of one decimal *)
+            then begin
+              Printf.eprintf "readme_check: `%s` ns drifted: README says %.1f, JSON says %.2f\n"
+                key t j;
+              failed := true
+            end
+        | None, _ -> fatal "no ns figure in README row `%s` (cell %S)" key cell
+        | _, None -> fatal "no \"%s\".ns_per_packet in %s" key !json);
+        if words_expected then
+          match (table_words, json_words) with
+          | Some t, Some j ->
+              incr checked;
+              if Float.abs (t -. j) > !words_tol then begin
+                Printf.eprintf
+                  "readme_check: `%s` words/pkt drifted: README says %g, JSON says %.3f\n" key t j;
+                failed := true
+              end
+          | None, _ -> fatal "no words figure in README row `%s` (cell %S)" key cell
+          | _, None -> fatal "no \"%s\".minor_words_per_packet in %s" key !json
+  in
+  List.iter
+    (fun key -> check ~key ~words_expected:true)
+    [ "cached_nonce"; "validate"; "request"; "legacy"; "cached_nonce_batch" ];
+  check ~key:"cached_nonce_sharded" ~words_expected:false;
+  if !failed then begin
+    prerr_endline
+      "readme_check: regenerate both in lockstep: dune exec bench/pps_bench.exe, then update the \
+       README §6.1 table from the fresh BENCH_pps.json";
+    exit 1
+  end;
+  Printf.printf "readme_check: %d figures in the README §6.1 table match %s\n" !checked !json

@@ -27,10 +27,14 @@ type entry = {
   mutable ttl_expiry : float; (* absolute virtual time the ttl runs out *)
 }
 
-val create : ?obs:Obs.Counters.t -> max_entries:int -> unit -> t
+val create : ?obs:Obs.Counters.t -> ?presize:int -> max_entries:int -> unit -> t
 (** Raises [Invalid_argument] on a nonpositive bound.  [obs] (default
     {!Obs.Counters.nop}) receives a [Cache_evicted] increment per
-    reclaimed record. *)
+    reclaimed record.  [presize] is an expected-occupancy hint: the slot
+    table is allocated large enough up front that [presize] live records
+    (clamped to [max_entries]) trigger no incremental rehash — per-shard
+    caches sized [capacity / K] pass it to avoid rehash churn while they
+    warm up.  Without it, large caches start small and grow on demand. *)
 
 val size : t -> int
 val capacity : t -> int
@@ -45,6 +49,19 @@ val hwm : t -> int
     [records <= C/(N/T)_min] empirically. *)
 
 val lookup : t -> src:Wire.Addr.t -> dst:Wire.Addr.t -> entry option
+
+val no_entry : entry
+(** The miss sentinel returned by {!find}; compare by physical identity.
+    Never stored in any cache. *)
+
+val find : t -> src:Wire.Addr.t -> dst:Wire.Addr.t -> entry
+(** Allocation-free {!lookup}: returns {!no_entry} on a miss instead of
+    building an option.  This is the batch datapath's entry point. *)
+
+val presize : t -> int -> unit
+(** Grow (never shrink) the slot table so the given number of live records
+    fits without further rehashing.  Raises [Invalid_argument] on a
+    nonpositive hint. *)
 
 type insert_result =
   | Inserted of entry

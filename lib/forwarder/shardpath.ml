@@ -1,0 +1,149 @@
+type t = {
+  shards : Tva.Router.t array;
+  k : int;
+  registry : Obs.Counters.registry option;
+}
+
+(* The shard selector.  Deliberately NOT [Sfq.hash] (whose seed-perturbed
+   buckets must stay uncorrelated with shard placement so a queueing
+   collision never implies a shard collision) and NOT
+   [Flow_cache.slot_hash] (correlation there would funnel each shard's
+   flows into a narrow band of its private table).  Multipliers (MMIX LCG
+   and an xxHash-family prime, both fitting OCaml's 63-bit int) are shared
+   with neither. *)
+let[@inline] shard_hash src dst =
+  let h = (src * 0x27BB2EE687B0B0FD) lxor (dst * 0x2127599BF4325C37) in
+  let h = (h lxor (h lsr 31)) * 0x165667B19E3779F9 in
+  (h lxor (h lsr 29)) land max_int
+
+let create ?(params = Tva.Params.default) ?hash ?trust_boundary ?(observe = false) ?cache_entries
+    ~k ~secret_master ~router_id ~sim ~link_bps () =
+  if k < 1 then invalid_arg "Shardpath.create: k must be >= 1";
+  let total =
+    match cache_entries with
+    | Some n -> n
+    | None -> Tva.Params.flow_cache_entries params ~link_bps
+  in
+  if total < k then invalid_arg "Shardpath.create: fewer cache entries than shards";
+  let registry = if observe then Some (Obs.Counters.registry ()) else None in
+  let base = total / k and rem = total mod k in
+  let shards =
+    Array.init k (fun i ->
+        let obs =
+          match registry with
+          | Some r -> Obs.Counters.register r ~name:(Printf.sprintf "shard/%d" i)
+          | None -> Obs.Counters.nop
+        in
+        let entries = base + if i < rem then 1 else 0 in
+        (* K=1 must construct its cache exactly as an unsharded router
+           would (same initial table, same growth schedule) so the two are
+           bit-identical even where behavior depends on table layout
+           (eviction scan order); only genuine shards pre-size. *)
+        let cache_presize = if k = 1 then None else Some entries in
+        Tva.Router.create ~params ?hash ?trust_boundary ~obs ~cache_entries:entries
+          ?cache_presize ~secret_master ~router_id ~sim ~link_bps ())
+  in
+  { shards; k; registry }
+
+let k t = t.k
+let router t i = t.shards.(i)
+
+let[@inline] shard_of t ~src ~dst =
+  if t.k = 1 then 0 else shard_hash (Wire.Addr.to_int src) (Wire.Addr.to_int dst) mod t.k
+
+let process t ~in_interface (p : Wire.Packet.t) =
+  Tva.Router.process t.shards.(shard_of t ~src:p.Wire.Packet.src ~dst:p.Wire.Packet.dst)
+    ~in_interface p
+
+let partition t ?(off = 0) ?len (packets : Wire.Packet.t array) =
+  let len = match len with Some n -> n | None -> Array.length packets - off in
+  if off < 0 || len < 0 || off + len > Array.length packets then
+    invalid_arg "Shardpath.partition: window out of bounds";
+  let counts = Array.make t.k 0 in
+  for i = off to off + len - 1 do
+    let p = Array.unsafe_get packets i in
+    let s = shard_of t ~src:p.Wire.Packet.src ~dst:p.Wire.Packet.dst in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let out =
+    Array.map (fun c -> if c = 0 then [||] else Array.make c (Array.unsafe_get packets off)) counts
+  in
+  let fill = Array.make t.k 0 in
+  for i = off to off + len - 1 do
+    let p = Array.unsafe_get packets i in
+    let s = shard_of t ~src:p.Wire.Packet.src ~dst:p.Wire.Packet.dst in
+    out.(s).(fill.(s)) <- p;
+    fill.(s) <- fill.(s) + 1
+  done;
+  out
+
+let process_batch t ~in_interface ?off ?len packets =
+  let parts = partition t ?off ?len packets in
+  for s = 0 to t.k - 1 do
+    Tva.Router.process_batch t.shards.(s) ~in_interface parts.(s)
+  done
+
+(* Each [Pool] job owns exactly one shard — its router, flow cache,
+   counters and packets are touched by no other domain, so the fast path
+   runs without a single cross-shard lock or atomic.  Results equal
+   [process_batch] because the shard hash partitions flows: no two domains
+   ever race on a cache entry or a packet. *)
+let shard_ids t = List.init t.k Fun.id
+
+let process_staged ?jobs t ~in_interface ?off ?len packets =
+  let parts = partition t ?off ?len packets in
+  if t.k = 1 then Tva.Router.process_batch t.shards.(0) ~in_interface parts.(0)
+  else
+    ignore
+      (Pool.map ?jobs
+         (fun s -> Tva.Router.process_batch t.shards.(s) ~in_interface parts.(s))
+         (shard_ids t))
+
+let repeat_staged ?jobs t ~in_interface ~passes ?off ?len packets =
+  let parts = partition t ?off ?len packets in
+  let run s =
+    let mine = parts.(s) in
+    for _ = 1 to passes do
+      Tva.Router.process_batch t.shards.(s) ~in_interface mine
+    done
+  in
+  if t.k = 1 then run 0 else ignore (Pool.map ?jobs run (shard_ids t))
+
+let occupancy t =
+  Array.fold_left (fun acc r -> acc + Tva.Flow_cache.size (Tva.Router.cache r)) 0 t.shards
+
+let merged_counters t =
+  let acc =
+    {
+      Tva.Router.requests = 0;
+      regular_cached = 0;
+      regular_validated = 0;
+      renewals = 0;
+      demotions = 0;
+      legacy = 0;
+    }
+  in
+  Array.iter
+    (fun r ->
+      let c = Tva.Router.counters r in
+      acc.Tva.Router.requests <- acc.Tva.Router.requests + c.Tva.Router.requests;
+      acc.Tva.Router.regular_cached <- acc.Tva.Router.regular_cached + c.Tva.Router.regular_cached;
+      acc.Tva.Router.regular_validated <-
+        acc.Tva.Router.regular_validated + c.Tva.Router.regular_validated;
+      acc.Tva.Router.renewals <- acc.Tva.Router.renewals + c.Tva.Router.renewals;
+      acc.Tva.Router.demotions <- acc.Tva.Router.demotions + c.Tva.Router.demotions;
+      acc.Tva.Router.legacy <- acc.Tva.Router.legacy + c.Tva.Router.legacy)
+    t.shards;
+  acc
+
+(* Registry instances come back in creation order — shard order — so the
+   snapshot (and any fold over it) is deterministic regardless of how many
+   domains ran the shards. *)
+let counters_snapshot t =
+  match t.registry with None -> [] | Some r -> Obs.Counters.snapshot_all r
+
+let merged_events t =
+  List.fold_left
+    (fun acc (_, arr) -> Array.mapi (fun i v -> v + arr.(i)) acc)
+    (Array.make Obs.Event.count 0)
+    (counters_snapshot t)

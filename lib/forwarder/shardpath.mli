@@ -1,0 +1,98 @@
+(** RSS-style flow-hash sharding of the router datapath (DESIGN §12).
+
+    Hardware line-rate forwarders spread packets across queues by hashing
+    the flow tuple at the NIC; this module is that layer for the simulated
+    TVA router.  [create ~k] builds K routers ("shards") that share one
+    secret and router identity — a capability minted through any shard
+    validates on every other — but own private flow caches and counters.
+    Packets are partitioned by a dedicated flow hash, so a flow's packets
+    always land on the same shard and no lock or atomic is needed anywhere
+    on the fast path.
+
+    Determinism: the partition is a pure function of (src, dst), each
+    shard's packets stay in submission order, and per-shard observability
+    snapshots merge in fixed shard order — results are bit-identical
+    however many domains run the shards, and a K=1 instance is
+    bit-identical to a plain unsharded {!Tva.Router}. *)
+
+type t
+
+val create :
+  ?params:Tva.Params.t ->
+  ?hash:Tva.Capability.keyed ->
+  ?trust_boundary:bool ->
+  ?observe:bool ->
+  ?cache_entries:int ->
+  k:int ->
+  secret_master:string ->
+  router_id:int ->
+  sim:Sim.t ->
+  link_bps:float ->
+  unit ->
+  t
+(** [cache_entries] (default: the {!Tva.Params} provisioning for
+    [link_bps]) is the TOTAL flow-cache capacity, split [total / K] per
+    shard (remainder to the low shards) with each shard's table pre-sized
+    to its share, so the aggregate state bound matches an unsharded
+    router's.  [observe] (default false) gives every shard a private
+    counter registry; leave it off for the zero-overhead fast path.
+    Raises [Invalid_argument] if [k < 1] or there are fewer entries than
+    shards. *)
+
+val k : t -> int
+
+val router : t -> int -> Tva.Router.t
+(** The underlying shard, for inspection (cache, counters). *)
+
+val shard_of : t -> src:Wire.Addr.t -> dst:Wire.Addr.t -> int
+(** The shard a flow maps to.  The hash is deliberately independent of
+    both {!Sfq.hash} (queueing bucket choice) and the flow cache's slot
+    hash — see DESIGN §12. *)
+
+val process : t -> in_interface:int -> Wire.Packet.t -> unit
+(** Route one packet through its shard (sequential). *)
+
+val partition : t -> ?off:int -> ?len:int -> Wire.Packet.t array -> Wire.Packet.t array array
+(** Stable partition of a window into per-shard arrays (index = shard):
+    within a shard, packets keep their submission order. *)
+
+val process_batch : t -> in_interface:int -> ?off:int -> ?len:int -> Wire.Packet.t array -> unit
+(** Partition, then run every shard's batch sequentially in shard order —
+    the single-domain reference the staged runners must match. *)
+
+val process_staged :
+  ?jobs:int -> t -> in_interface:int -> ?off:int -> ?len:int -> Wire.Packet.t array -> unit
+(** {!process_batch} with the shards run on {!Pool} worker domains.  Each
+    job owns exactly one shard (router, cache, counters, packets), so no
+    cross-shard synchronization exists on the fast path and the results
+    are identical to the sequential reference for any [jobs]. *)
+
+val repeat_staged :
+  ?jobs:int ->
+  t ->
+  in_interface:int ->
+  passes:int ->
+  ?off:int ->
+  ?len:int ->
+  Wire.Packet.t array ->
+  unit
+(** Partition once, then have each shard's domain process its packets
+    [passes] times — the steady-state benchmark driver, amortizing both
+    the partition and the domain spawn across the whole run. *)
+
+val occupancy : t -> int
+(** Total live flow-cache records across shards.  Because the partition
+    assigns each flow to exactly one shard, this equals the occupancy an
+    unsharded router would have on the same trace (while under capacity) —
+    the conservation law the test suite checks. *)
+
+val merged_counters : t -> Tva.Router.counters
+(** Sum of the shard counters (a fresh record). *)
+
+val counters_snapshot : t -> Obs.Counters.snap
+(** Per-shard counter snapshots in shard order ([[]] unless [observe]);
+    deterministic regardless of domain scheduling. *)
+
+val merged_events : t -> int array
+(** The snapshot summed pointwise into one array indexed by
+    [Obs.Event.to_int]. *)

@@ -1,0 +1,547 @@
+(* The batched and sharded datapath (DESIGN §12): differential equivalence
+   of [Router.process_batch] against sequential [process], bit-identity of
+   K=1 sharding, occupancy conservation across shards, the size_fast and
+   paired-hash algebraic identities, and the batch allocation budget. *)
+
+let fast = (module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S)
+let dst = Wire.Addr.of_int 0x0B000001
+let flow_src f = Wire.Addr.of_int (0x0A000000 + f)
+let flow_nonce f = Int64.of_int (1000 + f)
+let flow_n_kb f = if f mod 4 = 0 then 1 else 1023
+let flow_t_sec f = if f mod 3 = 0 then 2 else 32
+
+(* Mint a capability valid for routers created with [master] — the secret
+   derivation is a pure function of the master string, so this never
+   touches the routers under test. *)
+let mint_cap ~master ~now ~src ~dst ~n_kb ~t_sec =
+  let secret = Crypto.Secret.create ~master in
+  let precap = Tva.Capability.mint_precap ~hash:fast ~secret ~now ~src ~dst in
+  Tva.Capability.cap_of_precap ~hash:fast ~precap ~n_kb ~t_sec
+
+(* One packet spec; [build] instantiates it fresh per router so the two
+   sides mutate physically distinct packets. *)
+type spec = { kind : int; flow : int; bytes : int }
+
+let n_kinds = 10
+
+let gen_specs st n ~flows =
+  List.init n (fun _ ->
+      {
+        kind = Random.State.int st n_kinds;
+        flow = Random.State.int st flows;
+        bytes = 20 + Random.State.int st 400;
+      })
+
+let build ~master ~now spec =
+  let f = spec.flow in
+  let src = flow_src f in
+  let n_kb = flow_n_kb f and t_sec = flow_t_sec f in
+  let nonce = flow_nonce f in
+  let valid () = mint_cap ~master ~now ~src ~dst ~n_kb ~t_sec in
+  let mk ?(nonce = nonce) ?(caps = []) ?(renewal = false) () =
+    Wire.Packet.make
+      ~shim:(Wire.Cap_shim.regular ~nonce ~caps ~n_kb ~t_sec ~renewal ())
+      ~src ~dst ~created:now
+      (Wire.Packet.Raw spec.bytes)
+  in
+  match spec.kind with
+  | 0 -> Wire.Packet.make ~src ~dst ~created:now (Wire.Packet.Raw spec.bytes) (* legacy *)
+  | 1 ->
+      let p = mk () in
+      (match p.Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted <- true | None -> ());
+      p (* pre-demoted: must pass through as legacy *)
+  | 2 ->
+      Wire.Packet.make ~shim:(Wire.Cap_shim.request ()) ~src ~dst ~created:now
+        (Wire.Packet.Raw spec.bytes)
+  | 3 -> mk () (* nonce only: hit if cached, Demoted_no_cap otherwise *)
+  | 4 -> mk ~caps:[ valid () ] () (* valid capability: insert / renew / hit *)
+  | 5 ->
+      let c = valid () in
+      mk ~caps:[ { c with Wire.Cap_shim.hash = Int64.logxor c.Wire.Cap_shim.hash 0x5aL } ] ()
+      (* bad hash *)
+  | 6 ->
+      let c = valid () in
+      let ts_old = (c.Wire.Cap_shim.ts - (t_sec + 5) + 256) land 255 in
+      mk ~caps:[ { c with Wire.Cap_shim.ts = ts_old } ] () (* expired on the modulo clock *)
+  | 7 -> mk ~caps:[ valid () ] ~renewal:true () (* renewal carrying a capability *)
+  | 8 -> mk ~renewal:true () (* renewal, nonce only *)
+  | _ -> mk ~nonce:(Int64.add nonce 7L) () (* wrong nonce, no caps: Demoted_no_cap *)
+
+let shim_repr (p : Wire.Packet.t) =
+  match p.Wire.Packet.shim with
+  | None -> "none"
+  | Some s -> Printf.sprintf "%b/%s" s.Wire.Cap_shim.demoted (Wire.Cap_shim.encode s)
+
+let check_packets_equal ~what ps_a ps_b =
+  List.iteri
+    (fun i (a, b) ->
+      let ra = shim_repr a and rb = shim_repr b in
+      if not (String.equal ra rb) then
+        Alcotest.failf "%s: packet %d diverged: %S vs %S" what i ra rb)
+    (List.combine ps_a ps_b)
+
+let check_counters_equal ~what (a : Tva.Router.counters) (b : Tva.Router.counters) =
+  let pairs =
+    [
+      ("requests", a.Tva.Router.requests, b.Tva.Router.requests);
+      ("regular_cached", a.Tva.Router.regular_cached, b.Tva.Router.regular_cached);
+      ("regular_validated", a.Tva.Router.regular_validated, b.Tva.Router.regular_validated);
+      ("renewals", a.Tva.Router.renewals, b.Tva.Router.renewals);
+      ("demotions", a.Tva.Router.demotions, b.Tva.Router.demotions);
+      ("legacy", a.Tva.Router.legacy, b.Tva.Router.legacy);
+    ]
+  in
+  List.iter
+    (fun (n, x, y) -> Alcotest.(check int) (Printf.sprintf "%s: %s" what n) x y)
+    pairs
+
+let check_events_equal ~what ea eb =
+  List.iter
+    (fun ev ->
+      let i = Obs.Event.to_int ev in
+      if ea.(i) <> eb.(i) then
+        Alcotest.failf "%s: event %s: %d vs %d" what (Obs.Event.name ev) ea.(i) eb.(i))
+    Obs.Event.all
+
+let snap_events obs = snd (Obs.Counters.snapshot obs)
+
+(* --- Differential: process_batch vs sequential process ------------------- *)
+
+let batch_differential () =
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let master = "batch-differential" in
+      let sim = Sim.create () in
+      let obs_a = Obs.Counters.create ~name:"seq" () in
+      let obs_b = Obs.Counters.create ~name:"batch" () in
+      (* Small cache so eviction, reclaim and Cache_full demotions are on
+         the menu; 16 flows over 8 entries guarantees pressure. *)
+      let mk_router obs =
+        Tva.Router.create ~obs ~cache_entries:8 ~secret_master:master ~router_id:1 ~sim
+          ~link_bps:10e6 ()
+      in
+      let r_seq = mk_router obs_a and r_batch = mk_router obs_b in
+      let run_phase ~now specs =
+        let ps_a = List.map (build ~master ~now) specs in
+        let ps_b = List.map (build ~master ~now) specs in
+        List.iter (fun p -> Tva.Router.process r_seq ~in_interface:2 p) ps_a;
+        Tva.Router.process_batch r_batch ~in_interface:2 (Array.of_list ps_b);
+        check_packets_equal ~what:(Printf.sprintf "seed %d" seed) ps_a ps_b
+      in
+      (* Phase 1 at t=0 populates caches; phase 2 after an advance past the
+         short T flows exercises expiry on cached entries and ttl reclaim. *)
+      run_phase ~now:0. (gen_specs st 400 ~flows:16);
+      ignore (Sim.schedule_at sim ~time:10. (fun () -> ()));
+      Sim.run sim;
+      run_phase ~now:10. (gen_specs st 400 ~flows:16);
+      let what = Printf.sprintf "seed %d" seed in
+      check_counters_equal ~what (Tva.Router.counters r_seq) (Tva.Router.counters r_batch);
+      check_events_equal ~what (snap_events obs_a) (snap_events obs_b);
+      let ca = Tva.Router.cache r_seq and cb = Tva.Router.cache r_batch in
+      Alcotest.(check int) (what ^ ": cache size") (Tva.Flow_cache.size ca)
+        (Tva.Flow_cache.size cb);
+      Alcotest.(check int) (what ^ ": evictions") (Tva.Flow_cache.evictions ca)
+        (Tva.Flow_cache.evictions cb);
+      Alcotest.(check int) (what ^ ": hwm") (Tva.Flow_cache.hwm ca) (Tva.Flow_cache.hwm cb))
+    [ 11; 42; 1234 ]
+
+(* Same-flow bursts inside one batch: the insert must be visible to the
+   packets behind it in the same call (in-order state mutation, not a
+   lookup pass followed by a process pass). *)
+let batch_intra_batch_same_flow () =
+  let master = "batch-intra" in
+  let sim = Sim.create () in
+  let mk_router () =
+    Tva.Router.create ~cache_entries:8 ~secret_master:master ~router_id:1 ~sim ~link_bps:10e6 ()
+  in
+  let r_seq = mk_router () and r_batch = mk_router () in
+  let specs =
+    [
+      { kind = 4; flow = 1; bytes = 100 };
+      (* insert... *)
+      { kind = 3; flow = 1; bytes = 100 };
+      (* ...nonce-only hit in the same batch *)
+      { kind = 3; flow = 1; bytes = 100 };
+      { kind = 4; flow = 2; bytes = 100 };
+      { kind = 3; flow = 2; bytes = 100 };
+    ]
+  in
+  let ps_a = List.map (build ~master ~now:0.) specs in
+  let ps_b = List.map (build ~master ~now:0.) specs in
+  List.iter (fun p -> Tva.Router.process r_seq ~in_interface:0 p) ps_a;
+  Tva.Router.process_batch r_batch ~in_interface:0 (Array.of_list ps_b);
+  check_packets_equal ~what:"intra-batch" ps_a ps_b;
+  let c = Tva.Router.counters r_batch in
+  Alcotest.(check int) "cached hits happened in-batch" 3 c.Tva.Router.regular_cached;
+  Alcotest.(check int) "no demotions" 0 c.Tva.Router.demotions
+
+let batch_window () =
+  (* ?off/?len must process exactly the window. *)
+  let master = "batch-window" in
+  let sim = Sim.create () in
+  let r = Tva.Router.create ~secret_master:master ~router_id:1 ~sim ~link_bps:10e6 () in
+  let specs = List.init 10 (fun i -> { kind = 0; flow = i; bytes = 50 }) in
+  let ps = Array.of_list (List.map (build ~master ~now:0.) specs) in
+  Tva.Router.process_batch r ~in_interface:0 ~off:2 ~len:5 ps;
+  Alcotest.(check int) "window length" 5 (Tva.Router.counters r).Tva.Router.legacy;
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Router.process_batch: window out of bounds") (fun () ->
+      Tva.Router.process_batch r ~in_interface:0 ~off:8 ~len:5 ps)
+
+(* --- Sharding ------------------------------------------------------------ *)
+
+let shard_k1_bit_identical () =
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let master = "shard-k1" in
+      let sim = Sim.create () in
+      let obs_a = Obs.Counters.create ~name:"unsharded" () in
+      let r_plain =
+        Tva.Router.create ~obs:obs_a ~cache_entries:8 ~secret_master:master ~router_id:1 ~sim
+          ~link_bps:10e6 ()
+      in
+      let sp =
+        Forwarder.Shardpath.create ~observe:true ~cache_entries:8 ~k:1 ~secret_master:master
+          ~router_id:1 ~sim ~link_bps:10e6 ()
+      in
+      let specs = gen_specs st 500 ~flows:16 in
+      let ps_a = List.map (build ~master ~now:0.) specs in
+      let ps_b = List.map (build ~master ~now:0.) specs in
+      List.iter (fun p -> Tva.Router.process r_plain ~in_interface:0 p) ps_a;
+      Forwarder.Shardpath.process_batch sp ~in_interface:0 (Array.of_list ps_b);
+      let what = Printf.sprintf "k1 seed %d" seed in
+      check_packets_equal ~what ps_a ps_b;
+      check_counters_equal ~what (Tva.Router.counters r_plain)
+        (Forwarder.Shardpath.merged_counters sp);
+      check_events_equal ~what (snap_events obs_a) (Forwarder.Shardpath.merged_events sp);
+      let ca = Tva.Router.cache r_plain in
+      let cb = Tva.Router.cache (Forwarder.Shardpath.router sp 0) in
+      Alcotest.(check int) (what ^ ": cache size") (Tva.Flow_cache.size ca)
+        (Tva.Flow_cache.size cb);
+      Alcotest.(check int) (what ^ ": evictions") (Tva.Flow_cache.evictions ca)
+        (Tva.Flow_cache.evictions cb))
+    [ 7; 99 ]
+
+let shard_occupancy_conservation () =
+  let st = Random.State.make [| 5 |] in
+  let master = "shard-occ" in
+  let sim = Sim.create () in
+  let r_plain =
+    Tva.Router.create ~cache_entries:64 ~secret_master:master ~router_id:1 ~sim ~link_bps:10e6 ()
+  in
+  let sp =
+    Forwarder.Shardpath.create ~cache_entries:64 ~k:4 ~secret_master:master ~router_id:1 ~sim
+      ~link_bps:10e6 ()
+  in
+  let specs = gen_specs st 600 ~flows:24 in
+  let ps_a = List.map (build ~master ~now:0.) specs in
+  let ps_b = List.map (build ~master ~now:0.) specs in
+  List.iter (fun p -> Tva.Router.process r_plain ~in_interface:0 p) ps_a;
+  Forwarder.Shardpath.process_batch sp ~in_interface:0 (Array.of_list ps_b);
+  (* Flows partition across shards, so while under capacity the occupancy
+     and the counter totals are conserved exactly. *)
+  Alcotest.(check int) "occupancy conserved"
+    (Tva.Flow_cache.size (Tva.Router.cache r_plain))
+    (Forwarder.Shardpath.occupancy sp);
+  check_counters_equal ~what:"k4 totals" (Tva.Router.counters r_plain)
+    (Forwarder.Shardpath.merged_counters sp)
+
+let shard_staged_matches_sequential () =
+  let st = Random.State.make [| 21 |] in
+  let master = "shard-staged" in
+  let sim = Sim.create () in
+  let mk () =
+    Forwarder.Shardpath.create ~observe:true ~cache_entries:64 ~k:4 ~secret_master:master
+      ~router_id:1 ~sim ~link_bps:10e6 ()
+  in
+  let sp_seq = mk () and sp_par = mk () in
+  let specs = gen_specs st 600 ~flows:24 in
+  let ps_a = List.map (build ~master ~now:0.) specs in
+  let ps_b = List.map (build ~master ~now:0.) specs in
+  Forwarder.Shardpath.process_batch sp_seq ~in_interface:0 (Array.of_list ps_a);
+  Forwarder.Shardpath.process_staged ~jobs:4 sp_par ~in_interface:0 (Array.of_list ps_b);
+  check_packets_equal ~what:"staged" ps_a ps_b;
+  check_counters_equal ~what:"staged totals"
+    (Forwarder.Shardpath.merged_counters sp_seq)
+    (Forwarder.Shardpath.merged_counters sp_par);
+  check_events_equal ~what:"staged events"
+    (Forwarder.Shardpath.merged_events sp_seq)
+    (Forwarder.Shardpath.merged_events sp_par);
+  (* Per-shard (not just total) state must agree: same partition, same
+     per-shard processing, whatever the domain count. *)
+  for s = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "shard %d occupancy" s)
+      (Tva.Flow_cache.size (Tva.Router.cache (Forwarder.Shardpath.router sp_seq s)))
+      (Tva.Flow_cache.size (Tva.Router.cache (Forwarder.Shardpath.router sp_par s)))
+  done
+
+let shard_partition_is_stable () =
+  let sp =
+    Forwarder.Shardpath.create ~cache_entries:64 ~k:4 ~secret_master:"part" ~router_id:1
+      ~sim:(Sim.create ()) ~link_bps:10e6 ()
+  in
+  let packets =
+    Array.init 100 (fun i ->
+        Wire.Packet.make ~src:(flow_src (i mod 13)) ~dst ~created:0. (Wire.Packet.Raw 40))
+  in
+  let parts = Forwarder.Shardpath.partition sp packets in
+  Alcotest.(check int) "partition covers everything" 100
+    (Array.fold_left (fun acc a -> acc + Array.length a) 0 parts);
+  (* Stability: within a shard, packets keep submission order. *)
+  Array.iter
+    (fun part ->
+      let ids = Array.map (fun (p : Wire.Packet.t) -> p.Wire.Packet.id) part in
+      let sorted = Array.copy ids in
+      Array.sort compare sorted;
+      Alcotest.(check bool) "submission order" true (ids = sorted))
+    parts;
+  (* Placement is per-flow: each flow's packets land on one shard. *)
+  Array.iteri
+    (fun s part ->
+      Array.iter
+        (fun (p : Wire.Packet.t) ->
+          Alcotest.(check int) "flow maps to its shard" s
+            (Forwarder.Shardpath.shard_of sp ~src:p.Wire.Packet.src ~dst:p.Wire.Packet.dst))
+        part)
+    parts
+
+(* --- Flow_cache presize --------------------------------------------------- *)
+
+let presize_semantics_unchanged () =
+  (* A presized cache must behave identically to an organically grown one
+     (hint affects layout, not semantics): same inserts, same lookups. *)
+  let mk presize = Tva.Flow_cache.create ?presize ~max_entries:256 () in
+  let a = mk None and b = mk (Some 256) in
+  for f = 0 to 199 do
+    let src = flow_src f in
+    List.iter
+      (fun c ->
+        match
+          Tva.Flow_cache.insert c ~now:0. ~src ~dst ~nonce:(flow_nonce f) ~n_kb:8 ~t_sec:10
+            ~cap_ts:0 ~packet_bytes:100
+        with
+        | Tva.Flow_cache.Inserted _ -> ()
+        | _ -> Alcotest.fail "insert failed")
+      [ a; b ]
+  done;
+  Alcotest.(check int) "same size" (Tva.Flow_cache.size a) (Tva.Flow_cache.size b);
+  for f = 0 to 199 do
+    let src = flow_src f in
+    let la = Tva.Flow_cache.lookup a ~src ~dst and lb = Tva.Flow_cache.lookup b ~src ~dst in
+    Alcotest.(check bool) "same hit" (la <> None) (lb <> None)
+  done;
+  Alcotest.check_raises "nonpositive presize"
+    (Invalid_argument "Flow_cache.create: presize must be positive") (fun () ->
+      ignore (Tva.Flow_cache.create ~presize:0 ~max_entries:16 ()));
+  let c = mk None in
+  Tva.Flow_cache.presize c 256;
+  Tva.Flow_cache.presize c 256;
+  (* idempotent *)
+  Alcotest.check_raises "nonpositive presize (grow)"
+    (Invalid_argument "Flow_cache.presize: hint must be positive") (fun () ->
+      Tva.Flow_cache.presize c 0)
+
+(* --- size_fast and the paired hashes -------------------------------------- *)
+
+let size_fast_matches_size () =
+  let cap = mint_cap ~master:"sz" ~now:0. ~src:(flow_src 1) ~dst ~n_kb:32 ~t_sec:10 in
+  let shims =
+    [
+      None;
+      Some (Wire.Cap_shim.request ());
+      Some (Wire.Cap_shim.regular ~nonce:5L ~caps:[] ~n_kb:32 ~t_sec:10 ~renewal:false ());
+      Some (Wire.Cap_shim.regular ~nonce:5L ~caps:[ cap ] ~n_kb:32 ~t_sec:10 ~renewal:false ());
+      Some (Wire.Cap_shim.regular ~nonce:5L ~caps:[] ~n_kb:32 ~t_sec:10 ~renewal:true ());
+      Some
+        (Wire.Cap_shim.regular ~fresh_precaps:[ cap; cap ] ~nonce:5L ~caps:[ cap ] ~n_kb:32
+           ~t_sec:10 ~renewal:true ());
+    ]
+  in
+  List.iteri
+    (fun i shim ->
+      List.iter
+        (fun demote ->
+          let p = Wire.Packet.make ?shim ~src:(flow_src 1) ~dst ~created:0. (Wire.Packet.Raw 77) in
+          if demote then
+            (match p.Wire.Packet.shim with
+            | Some s -> s.Wire.Cap_shim.demoted <- true
+            | None -> ());
+          Alcotest.(check int)
+            (Printf.sprintf "shape %d demoted=%b" i demote)
+            (Wire.Packet.size p) (Wire.Packet.size_fast p))
+        [ false; true ])
+    shims;
+  (* And with return info set, the nonce-only shape must fall back. *)
+  let p =
+    Wire.Packet.make
+      ~shim:(Wire.Cap_shim.regular ~nonce:5L ~caps:[] ~n_kb:32 ~t_sec:10 ~renewal:false ())
+      ~src:(flow_src 1) ~dst ~created:0. (Wire.Packet.Raw 77)
+  in
+  (match p.Wire.Packet.shim with
+  | Some s -> s.Wire.Cap_shim.return_info <- Some Wire.Cap_shim.Demotion_notice
+  | None -> ());
+  Alcotest.(check int) "return info falls back" (Wire.Packet.size p) (Wire.Packet.size_fast p)
+
+let pair_hash_matches_two_calls () =
+  let st = Random.State.make [| 3 |] in
+  for _ = 1 to 2000 do
+    let k0 = Random.State.int64 st Int64.max_int and k1 = Random.State.int64 st Int64.max_int in
+    let len = 8 + Random.State.int st 8 in
+    let w0a = Random.State.int64 st Int64.max_int
+    and w0b = Random.State.int64 st Int64.max_int in
+    let taila = Int64.of_int (Random.State.int st 0xFFFFFF)
+    and tailb = Int64.of_int (Random.State.int st 0xFFFFFF) in
+    let da, db = Crypto.Siphash.mac_short_k2 ~k0 ~k1 ~len ~w0a ~taila ~w0b ~tailb in
+    let ea = Crypto.Siphash.mac_short_k ~k0 ~k1 ~len ~w0:w0a ~tail:taila in
+    let eb = Crypto.Siphash.mac_short_k ~k0 ~k1 ~len ~w0:w0b ~tail:tailb in
+    if not (Int64.equal da ea && Int64.equal db eb) then
+      Alcotest.failf "mac_short_k2 diverged from mac_short_k at len %d" len
+  done
+
+let keyed_pair_matches_two_calls () =
+  List.iter
+    (fun (module H : Crypto.Keyed_hash.S) ->
+      let prep = H.prepare "pair-entry-point-key" in
+      let st = Random.State.make [| 9 |] in
+      for _ = 1 to 200 do
+        let src_a = Random.State.int st 0x3FFFFFFF
+        and dst_a = Random.State.int st 0x3FFFFFFF
+        and src_b = Random.State.int st 0x3FFFFFFF
+        and dst_b = Random.State.int st 0x3FFFFFFF in
+        let ts_a = Random.State.int st 256 and ts_b = Random.State.int st 256 in
+        let pa, pb = H.mac56_precap_p2 ~prep ~src_a ~dst_a ~ts_a ~src_b ~dst_b ~ts_b in
+        Alcotest.(check int64)
+          (H.name ^ " precap pair a")
+          (H.mac56_precap_p ~prep ~src:src_a ~dst:dst_a ~ts:ts_a)
+          pa;
+        Alcotest.(check int64)
+          (H.name ^ " precap pair b")
+          (H.mac56_precap_p ~prep ~src:src_b ~dst:dst_b ~ts:ts_b)
+          pb;
+        let n_kb_a = Random.State.int st 1024 and n_kb_b = Random.State.int st 1024 in
+        let t_sec_a = Random.State.int st 64 and t_sec_b = Random.State.int st 64 in
+        let ca, cb =
+          H.mac56_cap_p2 ~prep ~precap_ts_a:ts_a ~precap_hash_a:pa ~n_kb_a ~t_sec_a
+            ~precap_ts_b:ts_b ~precap_hash_b:pb ~n_kb_b ~t_sec_b
+        in
+        Alcotest.(check int64)
+          (H.name ^ " cap pair a")
+          (H.mac56_cap_p ~prep ~precap_ts:ts_a ~precap_hash:pa ~n_kb:n_kb_a ~t_sec:t_sec_a)
+          ca;
+        Alcotest.(check int64)
+          (H.name ^ " cap pair b")
+          (H.mac56_cap_p ~prep ~precap_ts:ts_b ~precap_hash:pb ~n_kb:n_kb_b ~t_sec:t_sec_b)
+          cb
+      done)
+    [
+      (module Crypto.Keyed_hash.Fast : Crypto.Keyed_hash.S);
+      (module Crypto.Keyed_hash.Aes : Crypto.Keyed_hash.S);
+      (module Crypto.Keyed_hash.Sha : Crypto.Keyed_hash.S);
+    ]
+
+let expired_ts_matches_expired () =
+  for now_i = 0 to 600 do
+    let now = float_of_int now_i *. 0.7 in
+    let now_ts = Crypto.Secret.timestamp ~now in
+    for ts = 0 to 255 do
+      List.iter
+        (fun t_sec ->
+          if
+            Bool.not
+              (Bool.equal
+                 (Tva.Capability.expired ~now ~ts ~t_sec)
+                 (Tva.Capability.expired_ts ~now_ts ~ts ~t_sec))
+          then Alcotest.failf "expired_ts diverged at now=%f ts=%d t=%d" now ts t_sec)
+        [ 0; 1; 10; 63 ]
+    done
+  done
+
+(* --- Fastpath batching ---------------------------------------------------- *)
+
+let fastpath_validate_batch_counts () =
+  let fp = Forwarder.Fastpath.create () in
+  List.iter
+    (fun n -> Alcotest.(check int) (Printf.sprintf "all %d valid" n) n
+        (Forwarder.Fastpath.validate_batch fp n))
+    [ 0; 1; 2; 7; 64 ];
+  let fp_fast =
+    Forwarder.Fastpath.create
+      ~hash_precap:(module Crypto.Keyed_hash.Fast)
+      ~hash_cap:(module Crypto.Keyed_hash.Fast)
+      ()
+  in
+  Alcotest.(check int) "siphash pairing agrees" 33 (Forwarder.Fastpath.validate_batch fp_fast 33)
+
+let fastpath_run_batch_smoke () =
+  let fp = Forwarder.Fastpath.create () in
+  let ops = Array.of_list Forwarder.Fastpath.all_ops in
+  for _ = 1 to 50 do
+    Forwarder.Fastpath.run_batch fp (Array.append ops ops)
+  done;
+  List.iter
+    (fun op ->
+      ignore (Forwarder.Fastpath.op_class op);
+      ignore (Forwarder.Fastpath.class_name (Forwarder.Fastpath.op_class op)))
+    Forwarder.Fastpath.all_ops
+
+(* --- The batch allocation budget ------------------------------------------ *)
+
+let batch_allocation_budget () =
+  let budget = 11. in
+  let master = "batch-budget" in
+  let sim = Sim.create () in
+  let router = Tva.Router.create ~secret_master:master ~router_id:1 ~sim ~link_bps:10e6 () in
+  let src = flow_src 1 in
+  let cap = mint_cap ~master ~now:0. ~src ~dst ~n_kb:1023 ~t_sec:32 in
+  let first =
+    Wire.Packet.make
+      ~shim:(Wire.Cap_shim.regular ~nonce:3L ~caps:[ cap ] ~n_kb:1023 ~t_sec:32 ~renewal:false ())
+      ~src ~dst ~created:0. (Wire.Packet.Raw 100)
+  in
+  Tva.Router.process router ~in_interface:0 first;
+  let batch =
+    Array.init 64 (fun _ ->
+        Wire.Packet.make
+          ~shim:(Wire.Cap_shim.regular ~nonce:3L ~caps:[] ~n_kb:1023 ~t_sec:32 ~renewal:false ())
+          ~src ~dst ~created:0. (Wire.Packet.Raw 10))
+  in
+  for _ = 1 to 20 do
+    Tva.Router.process_batch router ~in_interface:0 batch
+  done;
+  let passes = 400 in
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  for _ = 1 to passes do
+    Tva.Router.process_batch router ~in_interface:0 batch
+  done;
+  let per_packet = (Gc.minor_words () -. words0) /. float_of_int (passes * 64) in
+  Alcotest.(check bool) "stayed on the cached path" false
+    (match batch.(0).Wire.Packet.shim with Some s -> s.Wire.Cap_shim.demoted | None -> true);
+  if per_packet > budget then
+    Alcotest.failf "batch path allocates %.2f minor words/packet (budget %g)" per_packet budget
+
+let suite =
+  [
+    Alcotest.test_case "process_batch ≡ sequential process (differential)" `Quick
+      batch_differential;
+    Alcotest.test_case "in-batch insert visible to later packets" `Quick
+      batch_intra_batch_same_flow;
+    Alcotest.test_case "process_batch window handling" `Quick batch_window;
+    Alcotest.test_case "sharded K=1 bit-identical to unsharded" `Quick shard_k1_bit_identical;
+    Alcotest.test_case "K=4 occupancy and counter conservation" `Quick
+      shard_occupancy_conservation;
+    Alcotest.test_case "staged shards match sequential reference" `Quick
+      shard_staged_matches_sequential;
+    Alcotest.test_case "partition is stable and per-flow" `Quick shard_partition_is_stable;
+    Alcotest.test_case "presize changes layout, not semantics" `Quick presize_semantics_unchanged;
+    Alcotest.test_case "size_fast = size on all shim shapes" `Quick size_fast_matches_size;
+    Alcotest.test_case "mac_short_k2 = two mac_short_k" `Quick pair_hash_matches_two_calls;
+    Alcotest.test_case "keyed pair entry points = two calls" `Quick keyed_pair_matches_two_calls;
+    Alcotest.test_case "expired_ts = expired" `Quick expired_ts_matches_expired;
+    Alcotest.test_case "fastpath validate_batch verdicts" `Quick fastpath_validate_batch_counts;
+    Alcotest.test_case "fastpath run_batch smoke" `Quick fastpath_run_batch_smoke;
+    Alcotest.test_case "batch path allocation budget" `Quick batch_allocation_budget;
+  ]

@@ -15,4 +15,5 @@ let () =
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
       ("forwarder", Test_forwarder.suite);
+      ("batch", Test_batch.suite);
     ]
