@@ -25,10 +25,10 @@
 
 let flows = ref 1024
 let passes = ref 512
-let budget = ref 32.
-let validate_budget = ref 56.
-let request_budget = ref 32.
-let batch_budget = ref 11.
+let budget = ref 12.
+let validate_budget = ref 42.
+let request_budget = ref 24.
+let batch_budget = ref 2.
 let batch_speedup_min = ref 2.
 let shards = ref 4
 let obs_overhead_pct = ref 5.
@@ -41,16 +41,16 @@ let spec =
     ("--passes", Arg.Set_int passes, "K  timed passes over all flows per path (default 512)");
     ( "--budget",
       Arg.Set_float budget,
-      "W  max minor words/packet on the cached-nonce path (default 32)" );
+      "W  max minor words/packet on the cached-nonce path (default 12)" );
     ( "--validate-budget",
       Arg.Set_float validate_budget,
-      "W  max minor words/packet on the validate path (default 56)" );
+      "W  max minor words/packet on the validate path (default 42)" );
     ( "--request-budget",
       Arg.Set_float request_budget,
-      "W  max minor words/packet on the request path (default 32)" );
+      "W  max minor words/packet on the request path (default 24)" );
     ( "--batch-budget",
       Arg.Set_float batch_budget,
-      "W  max amortized minor words/packet on the batched cached-nonce path (default 11)" );
+      "W  max amortized minor words/packet on the batched cached-nonce path (default 2)" );
     ( "--batch-speedup-min",
       Arg.Set_float batch_speedup_min,
       "X  min cached_nonce_batch pps as a multiple of same-run cached_nonce pps (default 2)" );

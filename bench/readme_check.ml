@@ -1,20 +1,25 @@
-(* Guard against metadata drift between BENCH_pps.json and the README §6.1
-   table: both are regenerated in lockstep on the same host, so the ns and
-   words/pkt figures quoted in the README's "Committed" column must match
-   the JSON within a small tolerance.
+(* Guard against metadata drift between the committed bench reports and
+   the README tables: both are regenerated in lockstep on the same host,
+   so the figures quoted in the README's "Committed" columns must match
+   the JSON within a small tolerance.  Two tables are covered: the §6.1
+   per-packet table against BENCH_pps.json, and the million-sender scale
+   table against BENCH_scale.json's "gates" object.
 
      dune exec bench/readme_check.exe -- \
        [--readme README.md] [--json BENCH_pps.json] \
-       [--ns-tol 0.05] [--words-tol 1.0]
+       [--ns-tol 0.05] [--words-tol 1.0] \
+       [--scale-json BENCH_scale.json] [--scale-tol 0.05]
 
    Exit 1 on any row that drifted, exit 2 on a malformed table or report.
-   The check is content-only — it never runs the benchmark — so it is
+   The check is content-only — it never runs the benchmarks — so it is
    cheap enough for every CI run. *)
 
 let readme = ref "README.md"
 let json = ref "BENCH_pps.json"
 let ns_tol = ref 0.05
 let words_tol = ref 1.0
+let scale_json = ref "BENCH_scale.json"
+let scale_tol = ref 0.05
 
 let spec =
   [
@@ -26,9 +31,17 @@ let spec =
     ( "--words-tol",
       Arg.Set_float words_tol,
       "W  max absolute words/pkt drift between table and JSON (default 1.0)" );
+    ( "--scale-json",
+      Arg.Set_string scale_json,
+      "FILE  the committed scale-sweep report (default BENCH_scale.json)" );
+    ( "--scale-tol",
+      Arg.Set_float scale_tol,
+      "F  max fractional drift between the scale table and its JSON (default 0.05)" );
   ]
 
-let usage = "readme_check [--readme FILE] [--json FILE] [--ns-tol F] [--words-tol W]"
+let usage =
+  "readme_check [--readme FILE] [--json FILE] [--ns-tol F] [--words-tol W] [--scale-json FILE] \
+   [--scale-tol F]"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -80,9 +93,8 @@ let rec find_sub text needle from =
   else if String.sub text from (String.length needle) = needle then Some from
   else find_sub text needle (from + 1)
 
-(* Scan a committed-column cell for "<float> ns" and an optional
-   "<float> words". *)
-let parse_cell cell =
+(* The float that ends just before [unit] in a committed-column cell. *)
+let cell_figure cell unit =
   let num_ending_at j =
     (* walk back over the float that ends just before index j *)
     let i = ref j in
@@ -91,12 +103,11 @@ let parse_cell cell =
     done;
     if !i = j then None else float_of_string_opt (String.sub cell !i (j - !i))
   in
-  let before_unit unit =
-    match find_sub cell unit 0 with
-    | None -> None
-    | Some j -> num_ending_at j
-  in
-  (before_unit " ns", before_unit " words")
+  match find_sub cell unit 0 with None -> None | Some j -> num_ending_at j
+
+(* Scan a committed-column cell for "<float> ns" and an optional
+   "<float> words". *)
+let parse_cell cell = (cell_figure cell " ns", cell_figure cell " words")
 
 let row_cell readme_text key =
   let marker = "| `" ^ key ^ "` |" in
@@ -145,10 +156,36 @@ let () =
     (fun key -> check ~key ~words_expected:true)
     [ "cached_nonce"; "validate"; "request"; "legacy"; "cached_nonce_batch" ];
   check ~key:"cached_nonce_sharded" ~words_expected:false;
+  let pps_checked = !checked in
+  (* The README's million-sender scale table quotes the "gates" object of
+     BENCH_scale.json; [section_field] scoped to "gates" skips the same
+     field names inside the per-leg objects that precede it. *)
+  let scale_text = read_file !scale_json in
+  let check_scale ~key ~unit =
+    match row_cell readme_text key with
+    | None -> fatal "README has no scale-table row for `%s`" key
+    | Some cell -> (
+        match (cell_figure cell unit, section_field scale_text "gates" key) with
+        | Some t, Some j ->
+            incr checked;
+            if Float.abs (t -. j) > (!scale_tol *. Float.abs j) +. 0.051 then begin
+              Printf.eprintf
+                "readme_check: `%s` drifted: README says %g%s, JSON says %g\n" key t unit j;
+              failed := true
+            end
+        | None, _ -> fatal "no \"%s\" figure in README scale row (cell %S)" key cell
+        | _, None -> fatal "no gates.%s in %s" key !scale_json)
+  in
+  check_scale ~key:"heap_events_per_s" ~unit:" ev/s";
+  check_scale ~key:"wheel_events_per_s" ~unit:" ev/s";
+  check_scale ~key:"wall_s" ~unit:" s";
+  check_scale ~key:"peak_heap_mb" ~unit:" MB";
   if !failed then begin
     prerr_endline
-      "readme_check: regenerate both in lockstep: dune exec bench/pps_bench.exe, then update the \
-       README §6.1 table from the fresh BENCH_pps.json";
+      "readme_check: regenerate in lockstep: dune exec bench/pps_bench.exe (§6.1 table) or dune \
+       exec bench/scale_bench.exe (scale table), then update the README from the fresh JSON";
     exit 1
   end;
-  Printf.printf "readme_check: %d figures in the README §6.1 table match %s\n" !checked !json
+  Printf.printf "readme_check: %d figures in the README §6.1 table match %s, %d in the scale \
+                 table match %s\n"
+    pps_checked !json (!checked - pps_checked) !scale_json

@@ -492,6 +492,137 @@ let ablation_sfq_cmd =
     ~run_comparison:(fun ~jobs ~transfers ~max_time ~seed () ->
       Workload.Ablation.request_queueing ~jobs ~transfers ~max_time ~seed ())
 
+
+(* --- scale ------------------------------------------------------------- *)
+
+let scale_cmd =
+  let doc = "Aggregate-attacker scale run: swarms of spoofed flood members on generated topologies." in
+  let run scheme_name topology senders aggregates mode sched batch_window attack_mbps users
+      transfers max_time seed stats =
+    let scheme =
+      match List.assoc_opt scheme_name Workload.Scenario.schemes with
+      | Some s -> s
+      | None -> failwith ("unknown scheme " ^ scheme_name)
+    in
+    let topology =
+      match Workload.Scale.topology_kind_of_string topology with
+      | Ok t -> t
+      | Error e -> failwith e
+    in
+    let mode =
+      match Workload.Swarm.mode_of_string mode with Ok m -> m | Error e -> failwith e
+    in
+    let sched =
+      match sched with
+      | "auto" -> None
+      | s -> (
+          match Sim.sched_of_string s with
+          | Ok s -> Some s
+          | Error e -> failwith e)
+    in
+    let cfg =
+      {
+        Workload.Scale.default with
+        Workload.Scale.sc_scheme = scheme;
+        sc_topology = topology;
+        sc_senders = senders;
+        sc_aggregates = aggregates;
+        sc_swarm_mode = mode;
+        sc_batch_window = batch_window;
+        sc_attack_bps = attack_mbps *. 1e6;
+        sc_n_users = users;
+        sc_transfers_per_user = transfers;
+        sc_max_time = max_time;
+        sc_seed = seed;
+        sc_sched = sched;
+      }
+    in
+    let obs =
+      match stats with
+      | None -> None
+      | Some _ ->
+          Some
+            {
+              Workload.Experiment.obs_default with
+              Workload.Experiment.obs_profile = true;
+              obs_gauge_period = 0.1;
+            }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Workload.Scale.run ?obs cfg in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "scheme=%s topology=%s senders=%d sched=%s fraction_completed=%.4f \
+       avg_transfer_time=%.4fs\n"
+      r.Workload.Scale.sr_scheme r.sr_topology r.sr_senders
+      (Sim.sched_to_string r.sr_sched)
+      r.sr_fraction_completed r.sr_avg_transfer_time;
+    Printf.printf "events=%d attack_packets=%d routers=%d sim_end=%.2fs wall=%.2fs (%.0f ev/s)\n"
+      r.sr_events r.sr_attack_packets r.sr_routers r.sr_sim_end wall
+      (float_of_int r.sr_events /. wall);
+    match (stats, r.Workload.Scale.sr_obs) with
+    | Some path, Some report ->
+        let json =
+          Obs.Export.to_string_pretty
+            (Obs.Export.Obj
+               [
+                 ( "scale",
+                   Obs.Export.Obj
+                     [
+                       ("scheme", Obs.Export.String r.Workload.Scale.sr_scheme);
+                       ("topology", Obs.Export.String r.sr_topology);
+                       ("senders", Obs.Export.Int r.sr_senders);
+                       ("sched", Obs.Export.String (Sim.sched_to_string r.sr_sched));
+                       ( "fraction_completed",
+                         Obs.Export.number_or_null r.sr_fraction_completed );
+                       ("events", Obs.Export.Int r.sr_events);
+                       ("attack_packets", Obs.Export.Int r.sr_attack_packets);
+                       ("wall_s", Obs.Export.Float wall);
+                     ] );
+                 ("report", Obs.Report.to_json report);
+               ])
+        in
+        write_file path json
+    | _ -> ()
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt string "fanin"
+      & info [ "topology" ]
+          ~doc:"dumbbell | fanin[:depth:fanout] | parking-lot[:segments] | power-law[:n:m]")
+  in
+  let senders_arg =
+    Arg.(value & opt int 10_000 & info [ "senders" ] ~doc:"Total flood members.")
+  in
+  let aggregates_arg =
+    Arg.(value & opt int 8 & info [ "aggregates" ] ~doc:"Swarm objects the members fold into.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "coalesced"
+      & info [ "mode" ] ~doc:"coalesced (one event per swarm) | independent (one timer per member)")
+  in
+  let sched_arg =
+    Arg.(value & opt string "auto" & info [ "sched" ] ~doc:"auto | heap | wheel")
+  in
+  let batch_window_arg =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "batch-window" ] ~doc:"Coalesce members due within this many seconds (0 = exact).")
+  in
+  let attack_mbps_arg =
+    Arg.(value & opt float 40. & info [ "attack-mbps" ] ~doc:"Aggregate attack rate, Mb/s.")
+  in
+  let users_arg = Arg.(value & opt int 10 & info [ "users" ] ~doc:"Legitimate users.") in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(
+      const run $ scheme_arg $ topology_arg $ senders_arg $ aggregates_arg $ mode_arg $ sched_arg
+      $ batch_window_arg $ attack_mbps_arg $ users_arg $ transfers_arg $ max_time_arg $ seed_arg
+      $ stats_arg)
+
 let default_info =
   Cmd.info "tva_sim" ~version:"1.0.0"
     ~doc:"Reproduce the evaluation of 'A DoS-limiting Network Architecture' (SIGCOMM 2005)."
@@ -508,6 +639,7 @@ let () =
             table1_cmd;
             fig12_cmd;
             run_cmd;
+            scale_cmd;
             chaos_cmd;
             dashboard_cmd;
             ablation_queueing_cmd;

@@ -6,7 +6,7 @@ type entry = {
   mutable t_sec : int;
   mutable cap_ts : int;
   mutable bytes_used : int;
-  mutable ttl_expiry : float;
+  mutable slot : int;
 }
 
 (* Open addressing with linear probing instead of a Hashtbl keyed on a
@@ -14,11 +14,20 @@ type entry = {
    nothing but the final [Some].  [Tomb] marks a deleted slot so probe
    chains stay intact; tombs are recycled by [rehash].  The invariant
    live + tombs <= length/2 guarantees every probe terminates at an
-   [Empty] slot. *)
+   [Empty] slot.
+
+   The ttl lives outside the entry record, in an unboxed float array
+   parallel to [slots] ([ttls.(e.slot)] is [e]'s expiry).  A [mutable
+   float] field in a mixed record is a pointer to a boxed float, so every
+   ttl update used to allocate 2 minor words — the last avoidable
+   allocation on the cached-nonce path (ROADMAP item 2).  Storing it SoA
+   makes the charge path allocation-free and keeps every entry record
+   all-scalar. *)
 type slot = Empty | Tomb | Used of entry
 
 type t = {
   mutable slots : slot array; (* length always a power of two *)
+  mutable ttls : float array; (* unboxed; parallel to [slots] by index *)
   mutable live : int;
   mutable tombs : int;
   mutable cursor : int; (* incremental-sweep position, see [reclaim_one] *)
@@ -45,6 +54,7 @@ let create ?(obs = Obs.Counters.nop) ?presize ~max_entries () =
   in
   {
     slots = Array.make len Empty;
+    ttls = Array.make len neg_infinity;
     live = 0;
     tombs = 0;
     cursor = 0;
@@ -58,6 +68,7 @@ let size t = t.live
 let capacity t = t.max_entries
 let evictions t = t.evictions
 let hwm t = t.hwm
+let ttls t = t.ttls
 
 (* Deterministic multiplicative mix of the two 32-bit addresses; OCaml int
    multiplication wraps, which is exactly what we want here. *)
@@ -71,7 +82,8 @@ let[@inline] home t ~src ~dst =
 
 (* Physical-identity miss sentinel for the allocation-free [find]: the
    batch fast path compares [find ... != no_entry] instead of matching an
-   allocated option.  Nothing ever inserts it, so identity is decisive. *)
+   allocated option.  Nothing ever inserts it; [slot = -1] makes any
+   accidental ttl access fail fast on the bounds check. *)
 let no_entry =
   {
     e_src = Wire.Addr.of_int 0;
@@ -81,7 +93,7 @@ let no_entry =
     t_sec = 0;
     cap_ts = 0;
     bytes_used = 0;
-    ttl_expiry = neg_infinity;
+    slot = -1;
   }
 
 (* A top-level tail-recursive probe on purpose: the natural local [rec go]
@@ -109,15 +121,16 @@ let lookup t ~src ~dst =
   in
   go (home t ~src ~dst)
 
-let ttl_remaining entry ~now = entry.ttl_expiry -. now
+let ttl_remaining t entry ~now = t.ttls.(entry.slot) -. now
 
 (* The byte->time conversion at the heart of the bound: a packet of L bytes
    under a grant of N bytes / T seconds extends the ttl by L*T/N. *)
 let time_value ~bytes ~n_bytes ~t_sec =
   float_of_int bytes *. float_of_int t_sec /. float_of_int n_bytes
 
-let reclaimable entry ~now =
-  ttl_remaining entry ~now <= 0. || Capability.expired ~now ~ts:entry.cap_ts ~t_sec:entry.t_sec
+let[@inline] reclaimable_at t i entry ~now =
+  t.ttls.(i) -. now <= 0.
+  || Capability.expired ~now ~ts:entry.cap_ts ~t_sec:entry.t_sec
 
 let[@inline] kill t i =
   t.slots.(i) <- Tomb;
@@ -136,7 +149,7 @@ let sweep t ~now =
   let reclaimed = ref 0 in
   for i = 0 to Array.length slots - 1 do
     match slots.(i) with
-    | Used e when reclaimable e ~now ->
+    | Used e when reclaimable_at t i e ~now ->
         evict t i;
         incr reclaimed
     | Used _ | Empty | Tomb -> ()
@@ -155,7 +168,7 @@ let reclaim_one t ~now =
     if remaining = 0 then false
     else
       match slots.(i) with
-      | Used e when reclaimable e ~now ->
+      | Used e when reclaimable_at t i e ~now ->
           evict t i;
           t.cursor <- (i + 1) land mask;
           true
@@ -165,17 +178,24 @@ let reclaim_one t ~now =
 
 let rehash t new_len =
   let old = t.slots in
+  let old_ttls = t.ttls in
   let slots = Array.make new_len Empty in
+  let ttls = Array.make new_len neg_infinity in
   let mask = new_len - 1 in
   t.slots <- slots;
+  t.ttls <- ttls;
   t.tombs <- 0;
   t.cursor <- 0;
   Array.iter
     (function
       | Used e ->
+          let ttl = old_ttls.(e.slot) in
           let rec place i =
             match slots.(i) with
-            | Empty -> slots.(i) <- Used e
+            | Empty ->
+                slots.(i) <- Used e;
+                ttls.(i) <- ttl;
+                e.slot <- i
             | Used _ | Tomb -> place ((i + 1) land mask)
           in
           place (slot_hash (Wire.Addr.to_int e.e_src) (Wire.Addr.to_int e.e_dst) land mask)
@@ -200,6 +220,7 @@ let insert t ~now ~src ~dst ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
     let len = Array.length t.slots in
     if (t.live + t.tombs + 1) * 2 > len then
       rehash t (if (t.live + 1) * 2 > len then 2 * len else len);
+    let ttl = now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec in
     let entry =
       {
         e_src = src;
@@ -209,7 +230,7 @@ let insert t ~now ~src ~dst ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
         t_sec;
         cap_ts;
         bytes_used = packet_bytes;
-        ttl_expiry = now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec;
+        slot = -1;
       }
     in
     let slots = t.slots in
@@ -222,10 +243,14 @@ let insert t ~now ~src ~dst ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
           let dest = if tomb >= 0 then tomb else i in
           if tomb >= 0 then t.tombs <- t.tombs - 1;
           slots.(dest) <- Used entry;
+          entry.slot <- dest;
+          t.ttls.(dest) <- ttl;
           t.live <- t.live + 1;
           if t.live > t.hwm then t.hwm <- t.live
       | Used e when Wire.Addr.equal e.e_src src && Wire.Addr.equal e.e_dst dst ->
-          slots.(i) <- Used entry
+          slots.(i) <- Used entry;
+          entry.slot <- i;
+          t.ttls.(i) <- ttl
       | Tomb -> place ((i + 1) land mask) (if tomb >= 0 then tomb else i)
       | Used _ -> place ((i + 1) land mask) tomb
     in
@@ -235,18 +260,18 @@ let insert t ~now ~src ~dst ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
 
 type charge_result = Charged | Byte_limit
 
-let charge entry ~now:_ ~bytes =
+let charge t entry ~now:_ ~bytes =
   if entry.bytes_used + bytes > entry.n_bytes then Byte_limit
   else begin
     entry.bytes_used <- entry.bytes_used + bytes;
     (* ttl grows by the packet's time value; deliberately no clamping to
        [now] — the 2N bound's proof needs total ttl = bytes * T/N. *)
-    entry.ttl_expiry <-
-      entry.ttl_expiry +. time_value ~bytes ~n_bytes:entry.n_bytes ~t_sec:entry.t_sec;
+    t.ttls.(entry.slot) <-
+      t.ttls.(entry.slot) +. time_value ~bytes ~n_bytes:entry.n_bytes ~t_sec:entry.t_sec;
     Charged
   end
 
-let renew entry ~now ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
+let renew t entry ~now ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
   let n_bytes = n_kb * 1024 in
   if packet_bytes > n_bytes then Byte_limit
   else begin
@@ -257,8 +282,8 @@ let renew entry ~now ~nonce ~n_kb ~t_sec ~cap_ts ~packet_bytes =
     entry.bytes_used <- packet_bytes;
     (* A fresh capability's clock starts now; stale credit from the old
        grant must not carry over. *)
-    entry.ttl_expiry <-
-      Float.max entry.ttl_expiry now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec;
+    t.ttls.(entry.slot) <-
+      Float.max t.ttls.(entry.slot) now +. time_value ~bytes:packet_bytes ~n_bytes ~t_sec;
     Charged
   end
 

@@ -24,8 +24,12 @@ type entry = {
   mutable t_sec : int;
   mutable cap_ts : int; (* router timestamp inside the validated capability *)
   mutable bytes_used : int;
-  mutable ttl_expiry : float; (* absolute virtual time the ttl runs out *)
+  mutable slot : int; (* index of this record in the table; see {!ttls} *)
 }
+(** All-scalar on purpose: the ttl expiry lives in the table's unboxed
+    float store ([ttls t].(slot)), not in the record — a [mutable float]
+    in a mixed record is boxed, and updating it costs 2 minor words per
+    charged packet. *)
 
 val create : ?obs:Obs.Counters.t -> ?presize:int -> max_entries:int -> unit -> t
 (** Raises [Invalid_argument] on a nonpositive bound.  [obs] (default
@@ -58,6 +62,13 @@ val find : t -> src:Wire.Addr.t -> dst:Wire.Addr.t -> entry
 (** Allocation-free {!lookup}: returns {!no_entry} on a miss instead of
     building an option.  This is the batch datapath's entry point. *)
 
+val ttls : t -> float array
+(** The SoA ttl store: [(ttls t).(e.slot)] is the absolute virtual time
+    entry [e]'s ttl runs out.  The array is replaced wholesale when the
+    table rehashes, so never cache it across a call that may {!insert} or
+    {!presize} — re-read it per packet (one field load).  The batch
+    datapath charges through this array directly. *)
+
 val presize : t -> int -> unit
 (** Grow (never shrink) the slot table so the given number of live records
     fits without further rehashing.  Raises [Invalid_argument] on a
@@ -86,17 +97,19 @@ type charge_result =
   | Charged
   | Byte_limit  (** would exceed N: demote, no state change *)
 
-val charge : entry -> now:float -> bytes:int -> charge_result
+val charge : t -> entry -> now:float -> bytes:int -> charge_result
+(** The table parameter locates the SoA ttl store the entry charges into
+    ([entry] must belong to [t]). *)
 
 val renew :
-  entry -> now:float -> nonce:int64 -> n_kb:int -> t_sec:int -> cap_ts:int -> packet_bytes:int ->
-  charge_result
+  t -> entry -> now:float -> nonce:int64 -> n_kb:int -> t_sec:int -> cap_ts:int ->
+  packet_bytes:int -> charge_result
 (** Replace the entry's capability with a freshly validated one (first
     packet of a renewed grant): byte accounting restarts for the new N. *)
 
 val remove : t -> entry -> unit
 
-val ttl_remaining : entry -> now:float -> float
+val ttl_remaining : t -> entry -> now:float -> float
 (** Negative values mean the record is reclaimable. *)
 
 val sweep : t -> now:float -> int

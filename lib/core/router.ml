@@ -155,7 +155,7 @@ let process_regular t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~nonce ~caps 
         if Capability.expired ~now ~ts:entry.Flow_cache.cap_ts ~t_sec:entry.Flow_cache.t_sec then
           Obs.Event.Demoted_cap_expired
         else begin
-          match Flow_cache.charge entry ~now ~bytes:size with
+          match Flow_cache.charge t.cache entry ~now ~bytes:size with
           | Flow_cache.Charged ->
               t.counters.regular_cached <- t.counters.regular_cached + 1;
               no_demotion
@@ -169,7 +169,7 @@ let process_regular t (p : Wire.Packet.t) (shim : Wire.Cap_shim.t) ~nonce ~caps 
         | (L_no_cap | L_expired | L_bad) as fail -> listed_failure fail
         | L_ok cap -> begin
             match
-              Flow_cache.renew entry ~now ~nonce ~n_kb ~t_sec ~cap_ts:cap.Wire.Cap_shim.ts
+              Flow_cache.renew t.cache entry ~now ~nonce ~n_kb ~t_sec ~cap_ts:cap.Wire.Cap_shim.ts
                 ~packet_bytes:size
             with
             | Flow_cache.Charged ->
@@ -281,11 +281,16 @@ let process_batch t ~in_interface ?(off = 0) ?len (packets : Wire.Packet.t array
                   demote t shim ~reason:Obs.Event.Demoted_bytes_exhausted
                 else begin
                     entry.Flow_cache.bytes_used <- entry.Flow_cache.bytes_used + bytes;
-                    entry.Flow_cache.ttl_expiry <-
-                      entry.Flow_cache.ttl_expiry
+                    (* The ttl lives in the cache's SoA float store; re-read
+                       the array here because a cold-shape fallback earlier
+                       in this batch may have inserted and rehashed. *)
+                    let ttls = Flow_cache.ttls cache in
+                    let slot = entry.Flow_cache.slot in
+                    Array.unsafe_set ttls slot
+                      (Array.unsafe_get ttls slot
                       +. float_of_int bytes
                          *. float_of_int entry.Flow_cache.t_sec
-                         /. float_of_int entry.Flow_cache.n_bytes;
+                         /. float_of_int entry.Flow_cache.n_bytes);
                     incr n_cached;
                     if Array.length caps > 0 then
                       shim.Wire.Cap_shim.ptr <- shim.Wire.Cap_shim.ptr + 1;

@@ -64,3 +64,65 @@ let bytes t n =
     Bytes.set b i (Char.chr (Int64.to_int (Int64.logand (bits64 t) 0xffL)))
   done;
   Bytes.unsafe_to_string b
+
+(* Per-lane derivation for aggregate senders: lane [i] of [seed] is a
+   SplitMix64 expansion of a golden-ratio mix of the two, so any lane can
+   be materialized independently ([lane]) or held packed in a bank.  The
+   two must stay bit-identical — the aggregate-vs-real-senders equivalence
+   test depends on it. *)
+let lane_seed_state ~seed i =
+  ref (Int64.logxor (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L) (Int64.of_int seed))
+
+let lane ~seed i =
+  let st = lane_seed_state ~seed i in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+module Bank = struct
+  (* Structure-of-arrays xoshiro: four flat int64 Bigarrays hold the state
+     of [n] lanes.  Bigarray storage is unboxed and invisible to the GC, so
+     a million-member bank costs 32 MB flat and adds nothing to the marking
+     load — the point of the layout at aggregate-sender scale. *)
+  type lanes = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = { b0 : lanes; b1 : lanes; b2 : lanes; b3 : lanes; n : int }
+
+  let mk n : lanes = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n
+
+  let create ~seed ~n =
+    if n <= 0 then invalid_arg "Rng.Bank.create: n must be positive";
+    let b = { b0 = mk n; b1 = mk n; b2 = mk n; b3 = mk n; n } in
+    for i = 0 to n - 1 do
+      let st = lane_seed_state ~seed i in
+      b.b0.{i} <- splitmix64 st;
+      b.b1.{i} <- splitmix64 st;
+      b.b2.{i} <- splitmix64 st;
+      b.b3.{i} <- splitmix64 st
+    done;
+    b
+
+  let n t = t.n
+
+  let bits64 t i =
+    let s0 = t.b0.{i} and s1 = t.b1.{i} and s2 = t.b2.{i} and s3 = t.b3.{i} in
+    let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+    let tt = Int64.shift_left s1 17 in
+    let s2 = Int64.logxor s2 s0 in
+    let s3 = Int64.logxor s3 s1 in
+    let s1 = Int64.logxor s1 s2 in
+    let s0 = Int64.logxor s0 s3 in
+    let s2 = Int64.logxor s2 tt in
+    let s3 = rotl s3 45 in
+    t.b0.{i} <- s0;
+    t.b1.{i} <- s1;
+    t.b2.{i} <- s2;
+    t.b3.{i} <- s3;
+    result
+
+  let float t i bound =
+    let u = Int64.shift_right_logical (bits64 t i) 11 in
+    Int64.to_float u /. 9007199254740992. *. bound
+end

@@ -1,11 +1,36 @@
 (** The discrete-event simulation core.
 
-    A simulator owns a virtual clock and a pending-event heap.  Events fire
-    in nondecreasing time order; ties break by scheduling order, which makes
-    runs deterministic.  All network components (links, hosts, routers) hang
-    their behaviour off this module. *)
+    A simulator owns a virtual clock and a pending-event queue.  Events
+    fire in nondecreasing time order; ties break by scheduling order, which
+    makes runs deterministic.  All network components (links, hosts,
+    routers) hang their behaviour off this module.
+
+    Two queue implementations sit behind the same API and fire events in
+    {e identical} order (differential-tested): the reference 4-ary heap,
+    and a hierarchical timing wheel for runs with very large pending sets
+    (hundreds of thousands of concurrent timers), where O(1) insert beats
+    the heap's O(log n) sift. *)
 
 type t
+
+type sched = Heap | Wheel
+(** The pending-event queue implementation.  [Heap] is the reference 4-ary
+    (time, seq) min-heap — the default, and what every committed figure is
+    pinned to.  [Wheel] is a 4-level, 256-slot hierarchical timing wheel at
+    1 us resolution whose reached ticks drain through a small (time, seq)
+    heap, so its firing order is identical to [Heap]'s. *)
+
+val sched : t -> sched
+
+val sched_of_string : string -> (sched, string) result
+(** ["heap"] or ["wheel"]. *)
+
+val sched_to_string : sched -> string
+
+val recommended_sched : expected_pending:int -> sched
+(** Scheduler auto-selection: [Wheel] once the expected steady-state
+    pending-event count is large enough (>= 8192) that heap sifts dominate,
+    [Heap] otherwise. *)
 
 type handle
 (** A scheduled event, usable for cancellation (e.g. retransmit timers). *)
@@ -41,8 +66,9 @@ type probe = {
     stays free of [Unix]; with no probe attached the per-event cost is one
     field load and branch. *)
 
-val create : ?seed:int -> unit -> t
-(** A fresh simulator at time 0.  [seed] (default 1) seeds {!rng}. *)
+val create : ?seed:int -> ?sched:sched -> unit -> t
+(** A fresh simulator at time 0.  [seed] (default 1) seeds {!rng}; [sched]
+    (default [Heap]) picks the pending-event queue. *)
 
 val now : t -> float
 (** Current virtual time, in seconds. *)

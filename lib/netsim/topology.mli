@@ -85,3 +85,106 @@ val chain :
     destination past the last router, and an attacker joining at router
     [attacker_entry].  Used by the incremental-deployment example: upgrade
     a prefix/suffix of the routers and observe attack localization. *)
+
+(** {1 Scale topologies}
+
+    Generators for the million-sender scale experiments (DESIGN.md
+    section 13).  Unlike {!dumbbell} and {!chain} they do {e not} compute
+    routes: attach host nodes first (e.g. with {!attach_host}), then run
+    {!Net.compute_routes} once, paying the O(V * E) relaxation a single
+    time. *)
+
+val attach_host :
+  ?bandwidth_bps:float ->
+  ?delay:float ->
+  make_qdisc:(bandwidth_bps:float -> Qdisc.t) ->
+  net:Net.t ->
+  router:Net.node ->
+  addr:Wire.Addr.t ->
+  name:string ->
+  unit ->
+  Net.node
+(** A host node duplex-linked to [router] (defaults: 10 Mb/s, 10 ms),
+    starting with a sink handler like every generator-made node. *)
+
+type fanin = {
+  fi_net : Net.t;
+  fi_routers : Net.node array;
+      (** BFS order; the children of router [i] are
+          [i * fanout + 1 .. i * fanout + fanout] *)
+  fi_leaves : Net.node array;  (** the deepest level — sender attach points *)
+  fi_root : Net.node;
+  fi_destination : Net.node;
+  fi_bottleneck : Net.link;  (** root -> destination, the congested hop *)
+}
+(** An ISP-style fan-in tree: edge routers aggregate through [depth]
+    levels into one root whose link to the destination is the bottleneck. *)
+
+val fanin_destination_addr : Wire.Addr.t
+
+val fanin :
+  ?depth:int ->
+  ?fanout:int ->
+  ?bottleneck_bps:float ->
+  ?link_bps:float ->
+  ?delay:float ->
+  make_qdisc:(bandwidth_bps:float -> Qdisc.t) ->
+  Sim.t ->
+  fanin
+(** Defaults: 3 levels of 4-way fan-in (21 routers, 16 leaves), 100 Mb/s
+    interior links, a 10 Mb/s bottleneck, 5 ms per hop. *)
+
+type parking_lot = {
+  pl_net : Net.t;
+  pl_routers : Net.node array;  (** [segments + 1] routers in path order *)
+  pl_segments : Net.link array;
+      (** forward links [routers.(i) -> routers.(i+1)], each a bottleneck *)
+  pl_exits : Net.node array;
+      (** a sink host off [routers.(i + 1)]: traffic entering at router [i]
+          addressed to exit [i] crosses exactly segment [i] *)
+  pl_destination : Net.node;  (** past the last router — the full-path target *)
+}
+(** The multi-bottleneck parking lot: every segment link has the same
+    (bottleneck) capacity, so cross-traffic entering mid-chain congests
+    individual segments independently. *)
+
+val parking_exit_addr : int -> Wire.Addr.t
+val parking_destination_addr : Wire.Addr.t
+
+val parking_lot :
+  ?segments:int ->
+  ?bottleneck_bps:float ->
+  ?access_bps:float ->
+  ?delay:float ->
+  make_qdisc:(bandwidth_bps:float -> Qdisc.t) ->
+  Sim.t ->
+  parking_lot
+(** Defaults: 3 segments at 10 Mb/s, 100 Mb/s host access links, 5 ms per
+    hop. *)
+
+type power_law = {
+  pw_net : Net.t;
+  pw_routers : Net.node array;
+  pw_degrees : int array;  (** final degree of each router, same order *)
+  pw_core : Net.node;  (** the highest-degree router *)
+  pw_destination : Net.node;  (** host off the core *)
+  pw_bottleneck : Net.link;  (** core -> destination *)
+}
+(** An AS-like graph grown by preferential attachment (Barabasi-Albert),
+    so router degrees follow a power law; the destination hangs off the
+    emergent highest-degree core.  Deterministic under [seed]. *)
+
+val power_law_destination_addr : Wire.Addr.t
+
+val power_law :
+  ?routers:int ->
+  ?edges_per_node:int ->
+  ?link_bps:float ->
+  ?bottleneck_bps:float ->
+  ?delay:float ->
+  seed:int ->
+  make_qdisc:(bandwidth_bps:float -> Qdisc.t) ->
+  Sim.t ->
+  power_law
+(** Defaults: 64 routers, 2 edges per new node, 100 Mb/s interior links,
+    a 10 Mb/s bottleneck, 5 ms per hop. *)

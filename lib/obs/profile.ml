@@ -97,3 +97,17 @@ let kind_rows t =
         :: !rows
   done;
   !rows
+
+(* Footprint gauges: live major-heap words from the GC and the scheduler's
+   pending-event count, sampled on the same sim-time cadence as the queue
+   gauges.  The scale benchmark's peak-memory figures are the [g_max] of
+   these rows, so they flow through the exact snapshot machinery
+   (Report.gauge_rows -> Export) as every other number. *)
+let memory_gauges t sim ~period =
+  let heap = gauge t ~name:"live-heap-words" ~lo:1e4 ~hi:1e10 ~bins:28 in
+  let pend = gauge t ~name:"sim-pending-events" ~lo:1. ~hi:1e7 ~bins:28 in
+  sample_every t sim ~period
+    [
+      (heap, fun () -> float_of_int (Gc.quick_stat ()).Gc.heap_words);
+      (pend, fun () -> float_of_int (Sim.pending sim));
+    ]

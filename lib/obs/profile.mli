@@ -48,3 +48,11 @@ val gauges : t -> gauge list
 val gauge_name : gauge -> string
 val gauge_hist : gauge -> Stats.Histogram.t
 val gauge_summary : gauge -> Stats.Summary.t
+
+val memory_gauges : t -> Sim.t -> period:float -> unit
+(** Register and sample two footprint gauges every [period] sim seconds:
+    ["live-heap-words"] (major-heap words, [Gc.quick_stat]) and
+    ["sim-pending-events"] ({!Sim.pending}).  Their [g_max] in
+    {!Report.gauge_rows} is the peak-memory number the scale benchmark
+    reports, so BENCH_scale.json and the dashboard read the same
+    snapshots. *)

@@ -96,8 +96,8 @@ end
 module Flooder = struct
   type mode = Legacy | Request | Authorized | Misbehaving
 
-  let start ~sim ~endpoint ~dst ~rate_bps ?(pkt_bytes = 1000) ?(start_at = 0.) ?stop_at ~mode ()
-      =
+  let start ~sim ~endpoint ~dst ~rate_bps ?(pkt_bytes = 1000) ?(start_at = 0.) ?stop_at ?rng
+      ~mode () =
     if rate_bps <= 0. then invalid_arg "Flooder.start: rate must be positive";
     let interval = float_of_int pkt_bytes *. 8. /. rate_bps in
     let send =
@@ -107,7 +107,7 @@ module Flooder = struct
       | Authorized -> endpoint.Scheme.ep_send_raw
       | Misbehaving -> endpoint.Scheme.ep_flood_misbehaving
     in
-    let rng = Rng.split (Sim.rng sim) in
+    let rng = match rng with Some r -> r | None -> Rng.split (Sim.rng sim) in
     let rec tick () =
       let now = Sim.now sim in
       let stopped = match stop_at with Some s -> now >= s | None -> false in

@@ -50,10 +50,15 @@ module Flooder : sig
     ?pkt_bytes:int ->
     ?start_at:float ->
     ?stop_at:float ->
+    ?rng:Rng.t ->
     mode:mode ->
     unit ->
     unit
   (** Emits fixed-size packets at constant rate from [start_at] (default 0)
       until [stop_at] (default: forever).  Default packet size 1000 bytes,
-      matching the legitimate users' data packets. *)
+      matching the legitimate users' data packets.  [rng] (default
+      [Rng.split (Sim.rng sim)]) drives the start phase and per-packet
+      jitter; passing [Rng.lane ~seed i] makes flooder [i] reproduce member
+      [i] of a {!Swarm} bit-for-bit, which the aggregate-equivalence tests
+      rely on. *)
 end

@@ -490,7 +490,7 @@ let fastpath_run_batch_smoke () =
 (* --- The batch allocation budget ------------------------------------------ *)
 
 let batch_allocation_budget () =
-  let budget = 11. in
+  let budget = 2. in
   let master = "batch-budget" in
   let sim = Sim.create () in
   let router = Tva.Router.create ~secret_master:master ~router_id:1 ~sim ~link_bps:10e6 () in

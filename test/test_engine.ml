@@ -162,6 +162,108 @@ let heap_order_under_random_schedule_cancel =
       in
       nondecreasing fired)
 
+(* --- Timing wheel vs the reference heap -------------------------------- *)
+
+(* One command script, two simulators: the wheel must fire the exact same
+   (time, stamp) sequence as the reference heap — same-timestamp ties,
+   sub-tick time differences, cancels, single steps, and partial runs with
+   a horizon (which make the wheel advance its tick past events that are
+   then scheduled "behind" it). *)
+type cmd = Csched of float | Ccancel of int | Cstep | Cuntil of float
+
+let gen_script seed n =
+  let rng = Rng.create ~seed in
+  List.init n (fun _ ->
+      match Rng.int rng 12 with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+          let delay =
+            match Rng.int rng 4 with
+            | 0 -> float_of_int (Rng.int rng 20) (* whole seconds: heavy ties *)
+            | 1 -> float_of_int (Rng.int rng 50) /. 10.
+            | 2 -> float_of_int (Rng.int rng 1000) *. 1e-7 (* sub-tick offsets *)
+            | _ -> Rng.float rng 10.
+          in
+          Csched delay
+      | 6 | 7 -> Ccancel (Rng.int rng 1_000_000)
+      | 8 | 9 | 10 -> Cstep
+      | _ -> Cuntil (Rng.float rng 5.))
+
+let run_script ~sched cmds =
+  let sim = Sim.create ~sched () in
+  let fired = ref [] in
+  let stamp = ref 0 in
+  let handles = ref [] in
+  let n_handles = ref 0 in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | Csched delay ->
+          let k = !stamp in
+          incr stamp;
+          let h = Sim.schedule sim ~delay (fun () -> fired := (Sim.now sim, k) :: !fired) in
+          handles := h :: !handles;
+          incr n_handles
+      | Ccancel i -> if !n_handles > 0 then Sim.cancel (List.nth !handles (i mod !n_handles))
+      | Cstep -> ignore (Sim.step sim)
+      | Cuntil d -> Sim.run ~until:(Sim.now sim +. d) sim)
+    cmds;
+  Sim.run sim;
+  (List.rev !fired, Sim.now sim, Sim.pending sim)
+
+let wheel_matches_heap_differential =
+  QCheck.Test.make ~name:"sim: wheel fires identically to the 4-ary heap" ~count:15
+    QCheck.small_int (fun seed ->
+      let cmds = gen_script (seed + 1) 3000 in
+      run_script ~sched:Sim.Heap cmds = run_script ~sched:Sim.Wheel cmds)
+
+let wheel_overflow_far_future () =
+  (* Spans beyond the wheel's 2^32 us levels exercise the overflow list and
+     its reseeding jump. *)
+  let sim = Sim.create ~sched:Sim.Wheel () in
+  let log = ref [] in
+  let at t tag = ignore (Sim.schedule_at sim ~time:t (fun () -> log := tag :: !log)) in
+  at 9000. 3;
+  at 0.001 1;
+  at (9000. +. 1e-7) 4;
+  at 4000. 2;
+  at 50000. 5;
+  Sim.run sim;
+  Alcotest.(check (list int)) "overflow order" [ 1; 2; 3; 4; 5 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 50000. (Sim.now sim)
+
+let wheel_schedule_behind_advanced_tick () =
+  (* run ~until peeks the next event, advancing the wheel's tick to it;
+     an event scheduled after that, earlier than the peeked one, must
+     still fire first. *)
+  let sim = Sim.create ~sched:Sim.Wheel () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:1. (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule_at sim ~time:10. (fun () -> log := 10 :: !log));
+  Sim.run ~until:5. sim;
+  Alcotest.(check (list int)) "horizon respected" [ 1 ] !log;
+  ignore (Sim.schedule_at sim ~time:6. (fun () -> log := 6 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "behind-tick event first" [ 1; 6; 10 ] (List.rev !log)
+
+let wheel_tie_break_fifo () =
+  let sim = Sim.create ~sched:Sim.Wheel () in
+  let log = ref [] in
+  for i = 0 to 99 do
+    ignore (Sim.schedule_at sim ~time:1. (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo ties" (List.init 100 Fun.id) (List.rev !log)
+
+let sched_of_string_roundtrip () =
+  Alcotest.(check bool) "heap" true (Sim.sched_of_string "heap" = Ok Sim.Heap);
+  Alcotest.(check bool) "wheel" true (Sim.sched_of_string "wheel" = Ok Sim.Wheel);
+  (match Sim.sched_of_string "calendar" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error");
+  Alcotest.(check bool) "auto small" true (Sim.recommended_sched ~expected_pending:100 = Sim.Heap);
+  Alcotest.(check bool) "auto large" true
+    (Sim.recommended_sched ~expected_pending:100_000 = Sim.Wheel)
+
 (* --- Rng ------------------------------------------------------------- *)
 
 let rng_deterministic () =
@@ -217,6 +319,26 @@ let rng_bytes_length () =
   let rng = Rng.create ~seed:3 in
   Alcotest.(check int) "length" 33 (String.length (Rng.bytes rng 33))
 
+(* Bank lane [i] must replay [Rng.lane ~seed i] bit-for-bit: the
+   aggregate-sender equivalence (Swarm vs real flooders) rests on it. *)
+let bank_matches_lane () =
+  let seed = 77 and n = 5 in
+  let bank = Rng.Bank.create ~seed ~n in
+  for i = 0 to n - 1 do
+    let r = Rng.lane ~seed i in
+    for draw = 0 to 99 do
+      Alcotest.(check int64)
+        (Printf.sprintf "lane %d draw %d" i draw)
+        (Rng.bits64 r) (Rng.Bank.bits64 bank i)
+    done
+  done;
+  (* The float mapping matches the scalar one too. *)
+  let r = Rng.lane ~seed n in
+  let bank2 = Rng.Bank.create ~seed ~n:(n + 1) in
+  for _ = 0 to 49 do
+    Alcotest.(check (float 0.)) "float mapping" (Rng.float r 3.5) (Rng.Bank.float bank2 n 3.5)
+  done
+
 let suite =
   [
     Alcotest.test_case "time order" `Quick events_fire_in_time_order;
@@ -232,6 +354,11 @@ let suite =
     Alcotest.test_case "step" `Quick step_processes_one_event;
     QCheck_alcotest.to_alcotest heap_survives_many_events;
     QCheck_alcotest.to_alcotest heap_order_under_random_schedule_cancel;
+    QCheck_alcotest.to_alcotest wheel_matches_heap_differential;
+    Alcotest.test_case "wheel overflow order" `Quick wheel_overflow_far_future;
+    Alcotest.test_case "wheel behind-tick schedule" `Quick wheel_schedule_behind_advanced_tick;
+    Alcotest.test_case "wheel tie fifo" `Quick wheel_tie_break_fifo;
+    Alcotest.test_case "sched selection" `Quick sched_of_string_roundtrip;
     Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
     Alcotest.test_case "rng seeds differ" `Quick rng_seeds_differ;
     Alcotest.test_case "rng split" `Quick rng_split_independent;
@@ -240,4 +367,5 @@ let suite =
     Alcotest.test_case "rng exponential positive" `Quick rng_exponential_positive;
     Alcotest.test_case "rng exponential mean" `Quick rng_exponential_mean_approx;
     Alcotest.test_case "rng bytes" `Quick rng_bytes_length;
+    Alcotest.test_case "rng bank = rng lane" `Quick bank_matches_lane;
   ]

@@ -136,12 +136,12 @@ let cache_charges_and_limits () =
   | Tva.Flow_cache.Inserted entry ->
       Alcotest.(check int) "first packet charged" 1000 entry.Tva.Flow_cache.bytes_used;
       Alcotest.(check bool) "more fits" true
-        (Tva.Flow_cache.charge entry ~now:0.1 ~bytes:3000 = Tva.Flow_cache.Charged);
+        (Tva.Flow_cache.charge cache entry ~now:0.1 ~bytes:3000 = Tva.Flow_cache.Charged);
       (* 4 KB = 4096 B budget; 1000+3000+97 just exceeds it. *)
       Alcotest.(check bool) "over budget rejected" true
-        (Tva.Flow_cache.charge entry ~now:0.2 ~bytes:97 = Tva.Flow_cache.Byte_limit);
+        (Tva.Flow_cache.charge cache entry ~now:0.2 ~bytes:97 = Tva.Flow_cache.Byte_limit);
       Alcotest.(check bool) "96 still fits exactly" true
-        (Tva.Flow_cache.charge entry ~now:0.2 ~bytes:96 = Tva.Flow_cache.Charged)
+        (Tva.Flow_cache.charge cache entry ~now:0.2 ~bytes:96 = Tva.Flow_cache.Charged)
   | _ -> Alcotest.fail "insert failed"
 
 let cache_over_limit_first_packet () =
@@ -159,7 +159,7 @@ let cache_ttl_reclaim () =
    with
   | Tva.Flow_cache.Inserted entry ->
       (* ttl = L*T/N = 1024*10/10240 = 1 s. *)
-      Alcotest.(check (float 1e-9)) "initial ttl" 1. (Tva.Flow_cache.ttl_remaining entry ~now:0.);
+      Alcotest.(check (float 1e-9)) "initial ttl" 1. (Tva.Flow_cache.ttl_remaining cache entry ~now:0.);
       Alcotest.(check bool) "not reclaimable yet" true (Tva.Flow_cache.sweep cache ~now:0.5 = 0);
       Alcotest.(check int) "reclaimed when expired" 1 (Tva.Flow_cache.sweep cache ~now:1.5)
   | _ -> Alcotest.fail "insert failed");
@@ -220,9 +220,9 @@ let cache_renew_resets_budget () =
   with
   | Tva.Flow_cache.Inserted entry ->
       Alcotest.(check bool) "old budget nearly spent" true
-        (Tva.Flow_cache.charge entry ~now:0.1 ~bytes:1000 = Tva.Flow_cache.Byte_limit);
+        (Tva.Flow_cache.charge cache entry ~now:0.1 ~bytes:1000 = Tva.Flow_cache.Byte_limit);
       Alcotest.(check bool) "renewal accepted" true
-        (Tva.Flow_cache.renew entry ~now:0.2 ~nonce:2L ~n_kb:4 ~t_sec:10 ~cap_ts:0
+        (Tva.Flow_cache.renew cache entry ~now:0.2 ~nonce:2L ~n_kb:4 ~t_sec:10 ~cap_ts:0
            ~packet_bytes:1000
         = Tva.Flow_cache.Charged);
       Alcotest.(check int64) "new nonce" 2L entry.Tva.Flow_cache.nonce;
@@ -255,7 +255,7 @@ let two_n_byte_bound =
           | `Send size -> begin
               match Tva.Flow_cache.lookup cache ~src ~dst with
               | Some entry -> begin
-                  match Tva.Flow_cache.charge entry ~now ~bytes:size with
+                  match Tva.Flow_cache.charge cache entry ~now ~bytes:size with
                   | Tva.Flow_cache.Charged -> accepted := !accepted + size
                   | Tva.Flow_cache.Byte_limit -> ()
                 end
@@ -288,7 +288,7 @@ let no_eviction_means_exactly_n =
           now := !now +. 0.001;
           match Tva.Flow_cache.lookup cache ~src ~dst with
           | Some entry -> begin
-              match Tva.Flow_cache.charge entry ~now:!now ~bytes:size with
+              match Tva.Flow_cache.charge cache entry ~now:!now ~bytes:size with
               | Tva.Flow_cache.Charged -> accepted := !accepted + size
               | Tva.Flow_cache.Byte_limit -> ()
             end

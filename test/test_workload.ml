@@ -181,6 +181,144 @@ let scenario_render_shapes () =
   let t = Workload.Scenario.render series in
   Alcotest.(check int) "one row" 1 (List.length (Stats.Table.rows t))
 
+
+(* --- aggregate senders (DESIGN.md section 13) -------------------------- *)
+
+let null_endpoint ~on_legacy =
+  {
+    Workload.Scheme.ep_addr = Wire.Addr.of_int 7;
+    ep_send_segment = (fun ~dst:_ _ -> ());
+    ep_set_demux = (fun _ -> ());
+    ep_send_raw = (fun ~dst:_ ~bytes:_ -> ());
+    ep_send_legacy = on_legacy;
+    ep_send_request = (fun ~dst:_ ~bytes:_ -> ());
+    ep_flood_misbehaving = (fun ~dst:_ ~bytes:_ -> ());
+    ep_reacquire_latencies = (fun () -> []);
+  }
+
+(* 800 kb/s at 1000 B -> one packet per 10 ms per member. *)
+let swarm_stream ~mode ?(batch_window = 0.) ~n ~seed ~stop_at () =
+  let sim = Sim.create ~seed:99 () in
+  let log = ref [] in
+  let sw =
+    Workload.Swarm.start ~sim ~n ~seed ~rate_bps:800_000. ~start_at:0.25 ~stop_at ~batch_window
+      ~mode
+      ~emit:(fun ~member ~due -> log := (due, member) :: !log)
+      ()
+  in
+  Sim.run ~until:10. sim;
+  (List.rev !log, sw)
+
+let flooder_stream ~n ~seed ~stop_at () =
+  let sim = Sim.create ~seed:99 () in
+  let log = ref [] in
+  for i = 0 to n - 1 do
+    let ep =
+      null_endpoint ~on_legacy:(fun ~dst:_ ~bytes:_ -> log := (Sim.now sim, i) :: !log)
+    in
+    Workload.Agents.Flooder.start ~sim ~endpoint:ep ~dst:(Wire.Addr.of_int 1) ~rate_bps:800_000.
+      ~start_at:0.25 ~stop_at
+      ~rng:(Rng.lane ~seed i)
+      ~mode:Workload.Agents.Flooder.Legacy ()
+  done;
+  Sim.run ~until:10. sim;
+  List.rev !log
+
+let sorted s = List.sort compare s
+
+let check_streams name a b =
+  Alcotest.(check int) (name ^ " packet count") (List.length a) (List.length b);
+  Alcotest.(check bool) (name ^ " identical (time, member) stream") true (sorted a = sorted b)
+
+(* The tentpole equivalence: one Coalesced swarm emits bit-for-bit the
+   stream n real flooders driven by the matching Rng lanes would. *)
+let swarm_matches_real_flooders () =
+  let n = 7 and seed = 42 and stop_at = 2.0 in
+  let agg, sw = swarm_stream ~mode:Workload.Swarm.Coalesced ~n ~seed ~stop_at () in
+  let real = flooder_stream ~n ~seed ~stop_at () in
+  Alcotest.(check bool) "emitted something" true (List.length real > 1000);
+  check_streams "swarm vs flooders" agg real;
+  Alcotest.(check int) "sent counter" (List.length agg) (Workload.Swarm.packets_sent sw);
+  Alcotest.(check int) "all retired at stop_at" 0 (Workload.Swarm.live_members sw)
+
+let swarm_modes_agree () =
+  let n = 11 and seed = 5 and stop_at = 1.5 in
+  let a, _ = swarm_stream ~mode:Workload.Swarm.Coalesced ~n ~seed ~stop_at () in
+  let b, _ = swarm_stream ~mode:Workload.Swarm.Independent ~n ~seed ~stop_at () in
+  check_streams "coalesced vs independent" a b
+
+(* Batching coarsens only the injection instant: the nominal per-member
+   (due, member) stream is unchanged. *)
+let swarm_batching_preserves_stream () =
+  let n = 9 and seed = 3 and stop_at = 1.5 in
+  let exact, _ = swarm_stream ~mode:Workload.Swarm.Coalesced ~n ~seed ~stop_at () in
+  let batched, _ =
+    swarm_stream ~mode:Workload.Swarm.Coalesced ~batch_window:0.005 ~n ~seed ~stop_at ()
+  in
+  check_streams "batched vs exact" exact batched
+
+(* --- scale experiment --------------------------------------------------- *)
+
+let tiny_scale topology =
+  {
+    Workload.Scale.default with
+    Workload.Scale.sc_topology = topology;
+    sc_senders = 200;
+    sc_aggregates = 3;
+    sc_n_users = 4;
+    sc_transfers_per_user = 2;
+    sc_max_time = 8.;
+  }
+
+let scale_heap_wheel_identical () =
+  let cfg = tiny_scale (Workload.Scale.Fan_in { depth = 2; fanout = 3 }) in
+  let rh = Workload.Scale.run { cfg with Workload.Scale.sc_sched = Some Sim.Heap } in
+  let rw = Workload.Scale.run { cfg with Workload.Scale.sc_sched = Some Sim.Wheel } in
+  Alcotest.(check int) "events" rh.Workload.Scale.sr_events rw.Workload.Scale.sr_events;
+  Alcotest.(check int) "attack packets" rh.Workload.Scale.sr_attack_packets
+    rw.Workload.Scale.sr_attack_packets;
+  Alcotest.(check (float 0.)) "fraction" rh.Workload.Scale.sr_fraction_completed
+    rw.Workload.Scale.sr_fraction_completed;
+  Alcotest.(check (float 0.)) "sim end" rh.Workload.Scale.sr_sim_end
+    rw.Workload.Scale.sr_sim_end
+
+let scale_topologies_smoke () =
+  List.iter
+    (fun topology ->
+      let r = Workload.Scale.run (tiny_scale topology) in
+      let name = r.Workload.Scale.sr_topology in
+      Alcotest.(check bool) (name ^ " attack ran") true (r.Workload.Scale.sr_attack_packets > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s tva completes (%.2f)" name r.Workload.Scale.sr_fraction_completed)
+        true
+        (r.Workload.Scale.sr_fraction_completed > 0.9))
+    [
+      Workload.Scale.Scale_dumbbell;
+      Workload.Scale.Fan_in { depth = 2; fanout = 3 };
+      Workload.Scale.Parking_lot { segments = 2 };
+      Workload.Scale.Power_law { routers = 24; edges_per_node = 2 };
+    ]
+
+let scale_memory_gauges_reported () =
+  let obs =
+    { Workload.Experiment.obs_default with Workload.Experiment.obs_gauge_period = 0.05 }
+  in
+  let r =
+    Workload.Scale.run ~obs (tiny_scale (Workload.Scale.Fan_in { depth = 2; fanout = 3 }))
+  in
+  match r.Workload.Scale.sr_obs with
+  | None -> Alcotest.fail "expected an obs report"
+  | Some rep ->
+      let find name =
+        List.find_opt (fun g -> g.Obs.Report.g_name = name) rep.Obs.Report.gauges
+      in
+      (match find "live-heap-words" with
+      | Some g -> Alcotest.(check bool) "heap gauge sampled" true (g.Obs.Report.g_max > 1e4)
+      | None -> Alcotest.fail "live-heap-words gauge missing");
+      (match find "sim-pending-events" with
+      | Some g -> Alcotest.(check bool) "pending gauge sampled" true (g.Obs.Report.g_max >= 1.)
+      | None -> Alcotest.fail "sim-pending-events gauge missing")
+
 let suite =
   [
     Alcotest.test_case "all schemes healthy unattacked" `Slow baseline_all_schemes_healthy;
@@ -196,4 +334,10 @@ let suite =
     Alcotest.test_case "experiment deterministic" `Slow experiment_deterministic;
     Alcotest.test_case "parallel sweep = sequential sweep" `Slow parallel_sweep_matches_sequential;
     Alcotest.test_case "scenario render" `Quick scenario_render_shapes;
+    Alcotest.test_case "swarm = n real flooders" `Quick swarm_matches_real_flooders;
+    Alcotest.test_case "swarm coalesced = independent" `Quick swarm_modes_agree;
+    Alcotest.test_case "swarm batching preserves stream" `Quick swarm_batching_preserves_stream;
+    Alcotest.test_case "scale heap = wheel" `Slow scale_heap_wheel_identical;
+    Alcotest.test_case "scale topologies smoke" `Slow scale_topologies_smoke;
+    Alcotest.test_case "scale memory gauges" `Slow scale_memory_gauges_reported;
   ]
