@@ -4,6 +4,7 @@
      dune exec bench/compare_bench.exe -- \
        --old-pps BENCH_pps.json --new-pps /tmp/fresh_pps.json \
        [--old-sweep BENCH_sweep.json --new-sweep /tmp/fresh_sweep.json] \
+       [--old-scale BENCH_scale.json --new-scale /tmp/fresh_scale.json] \
        [--threshold 0.25] [--relative-to-legacy] [--summary $GITHUB_STEP_SUMMARY]
 
    The gate: each router path's pps in the new report must be within
@@ -15,6 +16,15 @@
    the committed numbers.  The sweep comparison is reported but never
    gates: its wall-clock depends on domain scheduling noise.
 
+   The scale comparison gates the wheel leg's events/s always normalized
+   by the same report's heap-leg events/s (the heap is the machine-speed
+   reference there, playing the role the legacy path plays for pps), and
+   peak live-heap — machine-independent at a fixed sweep size — gated on
+   growth.  Both only gate when the two reports ran the same largest
+   sweep point; a smoke report against a full baseline is informational.
+   The parallel-speedup ratio is informational here because core counts
+   differ across hosts — scale_bench itself gates it where enforced.
+
    The report is a markdown table on stdout; [--summary FILE] appends the
    same markdown there (pass $GITHUB_STEP_SUMMARY in CI). *)
 
@@ -22,6 +32,8 @@ let old_pps = ref "BENCH_pps.json"
 let new_pps = ref ""
 let old_sweep = ref ""
 let new_sweep = ref ""
+let old_scale = ref ""
+let new_scale = ref ""
 let threshold = ref 0.25
 let relative = ref false
 let summary = ref ""
@@ -32,6 +44,8 @@ let spec =
     ("--new-pps", Arg.Set_string new_pps, "FILE  freshly measured per-packet report (required)");
     ("--old-sweep", Arg.Set_string old_sweep, "FILE  committed sweep report (optional)");
     ("--new-sweep", Arg.Set_string new_sweep, "FILE  freshly measured sweep report (optional)");
+    ("--old-scale", Arg.Set_string old_scale, "FILE  committed scale report (optional)");
+    ("--new-scale", Arg.Set_string new_scale, "FILE  freshly measured scale report (optional)");
     ("--threshold", Arg.Set_float threshold, "F  max tolerated pps regression fraction (default 0.25)");
     ( "--relative-to-legacy",
       Arg.Set relative,
@@ -73,14 +87,22 @@ let find_number ?(from = 0) text key =
       done;
       float_of_string_opt (String.trim (String.sub text j (!k - j)))
 
-let section_pps text name =
+let section_start text name =
   let needle = "\"" ^ name ^ "\":" in
   let rec search i =
     if i + String.length needle > String.length text then None
     else if String.sub text i (String.length needle) = needle then Some i
     else search (i + 1)
   in
-  match search 0 with None -> None | Some i -> find_number ~from:i text "pps"
+  search 0
+
+let section_pps text name =
+  match section_start text name with None -> None | Some i -> find_number ~from:i text "pps"
+
+(* Scale-report gates live in the "gates" object; several of its keys
+   ("peak_heap_mb", "wall_s") also appear per leg, so scan from there. *)
+let scale_gate text key =
+  match section_start text "gates" with None -> None | Some i -> find_number ~from:i text key
 
 let paths = [ "cached_nonce"; "validate"; "request"; "legacy" ]
 
@@ -181,8 +203,60 @@ let () =
                    (100. *. ((n /. o) -. 1.)))
           | _ -> ())
         [ "events_per_sec_j1"; "events_per_sec_jN" ]);
+  (match (!old_scale, !new_scale) with
+  | "", _ | _, "" -> ()
+  | os, ns ->
+      let ot = read_file os and nt = read_file ns in
+      let comparable =
+        match (find_number ot "largest_senders", find_number nt "largest_senders") with
+        | Some a, Some b -> a = b
+        | _ -> false
+      in
+      Buffer.add_string buf "\n### Million-sender scale sweep vs committed baseline\n\n";
+      if not comparable then
+        Buffer.add_string buf
+          "_Sweep sizes differ between the reports, so nothing below gates._\n\n"
+      else
+        Buffer.add_string buf
+          "_Gated events/s are normalized by each report's heap-leg events/s (cancels machine \
+           speed)._\n\n";
+      Buffer.add_string buf "| metric | committed | fresh | change | gate |\n|---|---|---|---|---|\n";
+      (* higher_is_better flips the regression direction for peak heap.
+         normalize divides by the same report's heap-leg events/s under
+         --relative-to-legacy, the scale analogue of the legacy path. *)
+      let row ?(normalize = false) ?(gated = true) ?(higher_is_better = true) key =
+        match (scale_gate ot key, scale_gate nt key) with
+        | Some o, Some n ->
+            let norm text v =
+              match (normalize, scale_gate text "heap_events_per_s") with
+              | true, Some h when h > 0. -> v /. h
+              | _ -> v
+            in
+            let delta = (norm nt n /. norm ot o) -. 1. in
+            let gated = gated && comparable in
+            let regressed =
+              gated && if higher_is_better then delta < -. !threshold else delta > !threshold
+            in
+            if regressed then failed := true;
+            Buffer.add_string buf
+              (Printf.sprintf "| %s | %.6g | %.6g | %+.1f%% | %s |\n" key o n (100. *. delta)
+                 (if not gated then "—" else if regressed then "FAIL" else "ok"))
+        | _ -> ()
+      in
+      (* Under --relative-to-legacy the heap leg is the denominator, so
+         gating it would be vacuous; raw events/s otherwise tracks machine
+         speed, so it stays informational either way. *)
+      row ~gated:false "heap_events_per_s";
+      row ~normalize:true "wheel_events_per_s";
+      row ~higher_is_better:false "peak_heap_mb";
+      row ~gated:false "wheel_heap_ratio";
+      row ~gated:false "seq_events_per_s";
+      row ~gated:false "par_events_per_s";
+      row ~gated:false "par_speedup");
   Buffer.add_string buf
-    (Printf.sprintf "\nGate: fail if any router path regresses more than %.0f%%.  Result: **%s**\n"
+    (Printf.sprintf
+       "\nGate: fail if any router path or gated scale metric regresses more than %.0f%%.  \
+        Result: **%s**\n"
        (100. *. !threshold)
        (if !failed then "FAIL" else "pass"));
   print_string (Buffer.contents buf);

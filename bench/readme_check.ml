@@ -180,6 +180,9 @@ let () =
   check_scale ~key:"wheel_events_per_s" ~unit:" ev/s";
   check_scale ~key:"wall_s" ~unit:" s";
   check_scale ~key:"peak_heap_mb" ~unit:" MB";
+  check_scale ~key:"seq_events_per_s" ~unit:" ev/s";
+  check_scale ~key:"par_events_per_s" ~unit:" ev/s";
+  check_scale ~key:"par_speedup" ~unit:"x";
   if !failed then begin
     prerr_endline
       "readme_check: regenerate in lockstep: dune exec bench/pps_bench.exe (§6.1 table) or dune \

@@ -498,7 +498,7 @@ let ablation_sfq_cmd =
 let scale_cmd =
   let doc = "Aggregate-attacker scale run: swarms of spoofed flood members on generated topologies." in
   let run scheme_name topology senders aggregates mode sched batch_window attack_mbps users
-      transfers max_time seed stats =
+      transfers max_time seed par_domains stats =
     let scheme =
       match List.assoc_opt scheme_name Workload.Scenario.schemes with
       | Some s -> s
@@ -535,6 +535,7 @@ let scale_cmd =
         sc_max_time = max_time;
         sc_seed = seed;
         sc_sched = sched;
+        sc_par_domains = par_domains;
       }
     in
     let obs =
@@ -560,6 +561,12 @@ let scale_cmd =
     Printf.printf "events=%d attack_packets=%d routers=%d sim_end=%.2fs wall=%.2fs (%.0f ev/s)\n"
       r.sr_events r.sr_attack_packets r.sr_routers r.sr_sim_end wall
       (float_of_int r.sr_events /. wall);
+    if r.sr_partitions > 1 then
+      Printf.printf "partitions=%d events/partition=[%s] loop_wall=%.2fs (%.0f ev/s in-loop)\n"
+        r.sr_partitions
+        (String.concat "; " (Array.to_list (Array.map string_of_int r.sr_partition_events)))
+        r.sr_wall_s
+        (float_of_int r.sr_events /. r.sr_wall_s);
     match (stats, r.Workload.Scale.sr_obs) with
     | Some path, Some report ->
         let json =
@@ -578,6 +585,14 @@ let scale_cmd =
                        ("events", Obs.Export.Int r.sr_events);
                        ("attack_packets", Obs.Export.Int r.sr_attack_packets);
                        ("wall_s", Obs.Export.Float wall);
+                       ("loop_wall_s", Obs.Export.Float r.sr_wall_s);
+                       ( "events_per_s",
+                         Obs.Export.number_or_null (float_of_int r.sr_events /. r.sr_wall_s) );
+                       ("partitions", Obs.Export.Int r.sr_partitions);
+                       ( "partition_events",
+                         Obs.Export.List
+                           (Array.to_list
+                              (Array.map (fun e -> Obs.Export.Int e) r.sr_partition_events)) );
                      ] );
                  ("report", Obs.Report.to_json report);
                ])
@@ -617,11 +632,20 @@ let scale_cmd =
     Arg.(value & opt float 40. & info [ "attack-mbps" ] ~doc:"Aggregate attack rate, Mb/s.")
   in
   let users_arg = Arg.(value & opt int 10 & info [ "users" ] ~doc:"Legitimate users.") in
+  let par_domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "par-domains" ]
+          ~doc:
+            "Partition the topology and run K event loops on K domains (conservative PDES); 1 = \
+             the classic sequential loop. Result-identical to sequential by construction.")
+  in
   Cmd.v (Cmd.info "scale" ~doc)
     Term.(
       const run $ scheme_arg $ topology_arg $ senders_arg $ aggregates_arg $ mode_arg $ sched_arg
       $ batch_window_arg $ attack_mbps_arg $ users_arg $ transfers_arg $ max_time_arg $ seed_arg
-      $ stats_arg)
+      $ par_domains_arg $ stats_arg)
 
 let default_info =
   Cmd.info "tva_sim" ~version:"1.0.0"

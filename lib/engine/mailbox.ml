@@ -1,0 +1,47 @@
+(* A single-producer/single-consumer message buffer for cross-partition
+   event exchange (DESIGN.md section 14).  During a lockstep window exactly
+   one domain pushes (the partition owning the link's transmitter); at the
+   window barrier exactly one domain drains (the coordinator).  The barrier
+   mutex establishes the happens-before edge between the two phases, so
+   plain growable arrays are data-race-free here — no atomics, no locks on
+   the hot path.
+
+   Times ride in a parallel unboxed float array so a push costs two stores
+   and no tuple allocation. *)
+
+type 'a t = {
+  dummy : 'a;
+  mutable times : float array;
+  mutable items : 'a array;
+  mutable n : int;
+}
+
+let create ~dummy () = { dummy; times = [||]; items = [||]; n = 0 }
+
+let length t = t.n
+let is_empty t = t.n = 0
+
+let push t ~time v =
+  if t.n = Array.length t.items then begin
+    let cap = if t.n = 0 then 16 else 2 * t.n in
+    let items = Array.make cap t.dummy in
+    let times = Array.make cap 0. in
+    Array.blit t.items 0 items 0 t.n;
+    Array.blit t.times 0 times 0 t.n;
+    t.items <- items;
+    t.times <- times
+  end;
+  t.times.(t.n) <- time;
+  t.items.(t.n) <- v;
+  t.n <- t.n + 1
+
+(* FIFO drain; entries are cleared so the mailbox never retains messages
+   (capacity is kept for the next window). *)
+let drain t ~f =
+  let n = t.n in
+  t.n <- 0;
+  for i = 0 to n - 1 do
+    let v = t.items.(i) in
+    t.items.(i) <- t.dummy;
+    f ~time:t.times.(i) v
+  done

@@ -1,0 +1,22 @@
+(** A single-producer/single-consumer message buffer for cross-partition
+    event exchange in the conservative parallel driver (DESIGN.md §14).
+
+    Thread-safety contract: during a lockstep window only the producing
+    partition's domain calls {!push}; only the coordinating domain calls
+    {!drain}, and only at a window barrier.  The barrier's mutex provides
+    the happens-before edge, so the implementation needs no atomics. *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+(** [dummy] fills cleared slots so drained messages are not retained. *)
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Append a message stamped with its (virtual) delivery time. *)
+
+val drain : 'a t -> f:(time:float -> 'a -> unit) -> unit
+(** Call [f] on every buffered message in push (FIFO) order and clear the
+    mailbox.  Capacity is retained for the next window. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

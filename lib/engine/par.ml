@@ -1,0 +1,156 @@
+(* The conservative parallel event-loop driver (DESIGN.md section 14): a
+   persistent team of domains runs one simulator per partition in lockstep
+   windows bounded by the lookahead, with a coordinator-drained exchange
+   between windows.
+
+   Why persistent domains and not [Pool.map] per window: a 30-simulated-
+   second run at 5 ms lookahead is ~6000 windows, and a [Domain.spawn] per
+   worker per window would cost more than the windows themselves.  The team
+   spawns [size - 1] workers once; lane 0 always runs on the calling
+   domain, so a team of 1 degenerates to plain sequential calls.
+
+   The round protocol is a classic generation barrier: the coordinator
+   bumps [round] and broadcasts, each worker runs its lane and counts into
+   [arrived], the coordinator waits for all.  Everything the lanes read or
+   wrote is ordered by the mutex, which is what makes the plain (non-
+   atomic) simulator and mailbox state safe to hand between domains. *)
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  start : Condition.t;
+  finish : Condition.t;
+  mutable round : int;
+  mutable arrived : int;
+  mutable job : (int -> unit) option;
+  mutable failure : exn option; (* first lane exception of the round *)
+  mutable quit : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let size t = t.size
+
+let create size =
+  if size < 1 then invalid_arg "Par.create: team size must be at least 1";
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      start = Condition.create ();
+      finish = Condition.create ();
+      round = 0;
+      arrived = 0;
+      job = None;
+      failure = None;
+      quit = false;
+      domains = [||];
+    }
+  in
+  let worker lane () =
+    Mutex.lock t.m;
+    let seen = ref 0 in
+    let rec loop () =
+      while (not t.quit) && t.round = !seen do
+        Condition.wait t.start t.m
+      done;
+      if t.quit then Mutex.unlock t.m
+      else begin
+        seen := t.round;
+        let job = match t.job with Some j -> j | None -> assert false in
+        Mutex.unlock t.m;
+        let failed = try job lane; None with e -> Some e in
+        Mutex.lock t.m;
+        (match failed with
+        | Some e when t.failure = None -> t.failure <- Some e
+        | Some _ | None -> ());
+        t.arrived <- t.arrived + 1;
+        if t.arrived = t.size - 1 then Condition.signal t.finish;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if size > 1 then t.domains <- Array.init (size - 1) (fun k -> Domain.spawn (worker (k + 1)));
+  t
+
+(* Run [job lane] on every lane and wait for all of them; lane 0 runs on
+   the calling domain.  Re-raises the first lane exception after the
+   barrier, so the team stays reusable even when a lane fails. *)
+let run t job =
+  if t.size = 1 then job 0
+  else begin
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.arrived <- 0;
+    t.failure <- None;
+    t.round <- t.round + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.m;
+    let failed = try job 0; None with e -> Some e in
+    Mutex.lock t.m;
+    while t.arrived < t.size - 1 do
+      Condition.wait t.finish t.m
+    done;
+    let lane_failure = t.failure in
+    t.job <- None;
+    Mutex.unlock t.m;
+    match (failed, lane_failure) with
+    | Some e, _ -> raise e
+    | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let shutdown t =
+  if t.size > 1 then begin
+    Mutex.lock t.m;
+    t.quit <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+(* The lockstep window loop.  Invariants (proved in DESIGN.md section 14):
+   every event fired in a window starts at or after the window's global
+   minimum [t0], so any cross-partition message it emits arrives at or
+   after [t0 + lookahead >= w_end] — i.e. never inside the window that
+   produced it.  Messages are exchanged at the barrier, before the next
+   window's bound is computed, so an injected arrival always lands ahead
+   of the window that will fire it.
+
+   The [until] edge needs care twice over: events exactly AT [until] must
+   fire (matching [Sim.run ~until]'s closed bound), and a message emitted
+   at [until - lookahead] can arrive exactly AT [until] — so the loop
+   keeps running inclusive windows at [until] for as long as the exchange
+   injects events at or before it.  Each such cascade advances strictly
+   through message chains (every hop adds >= lookahead), so it terminates. *)
+let drive t ~sims ~lookahead ~until ~exchange =
+  if Array.length sims <> t.size then invalid_arg "Par.drive: one simulator per lane";
+  if not (lookahead > 0.) then invalid_arg "Par.drive: lookahead must be positive";
+  let n = t.size in
+  let global_min () =
+    let m = ref infinity in
+    for i = 0 to n - 1 do
+      let ti = Sim.next_time sims.(i) in
+      if ti < !m then m := ti
+    done;
+    !m
+  in
+  let rec loop () =
+    exchange ();
+    let t0 = global_min () in
+    if t0 = infinity then (* every partition drained; nothing in flight *) ()
+    else if t0 <= until then begin
+      let w_end = Float.min (t0 +. lookahead) until in
+      let inclusive = w_end >= until in
+      run t (fun lane -> Sim.run_window ~inclusive sims.(lane) ~upto:w_end);
+      loop ()
+    end
+    else
+      (* Only post-[until] events remain: advance the clocks the way
+         [Sim.run ~until] would (no actions fire, so no new messages). *)
+      for i = 0 to n - 1 do
+        Sim.run_window ~inclusive:true sims.(i) ~upto:until
+      done
+  in
+  loop ()

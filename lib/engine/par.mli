@@ -1,0 +1,40 @@
+(** The conservative parallel event-loop driver (DESIGN.md §14).
+
+    A persistent team of domains runs one simulator per partition in
+    lockstep windows bounded by the lookahead (the minimum cross-partition
+    link delay).  Cross-partition messages travel through {!Mailbox}es and
+    are injected at the window barriers by the [exchange] callback, which
+    always runs on the coordinating domain. *)
+
+type t
+
+val create : int -> t
+(** Spawn a team of the given size: [size - 1] worker domains plus the
+    calling domain as lane 0.  A team of 1 spawns nothing and runs jobs
+    inline.  Raises [Invalid_argument] on a nonpositive size. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** Run [job lane] on every lane ([0 .. size-1]) and wait for all; lane 0
+    runs on the calling domain.  The first lane exception is re-raised
+    after the barrier, leaving the team reusable. *)
+
+val drive :
+  t ->
+  sims:Sim.t array ->
+  lookahead:float ->
+  until:float ->
+  exchange:(unit -> unit) ->
+  unit
+(** The lockstep window loop: repeatedly run [exchange] (inject pending
+    cross-partition messages — coordinator only), compute the global
+    minimum next-event time [t0], and fire one window
+    [t0, min (t0 + lookahead) until) on every lane in parallel.  The final
+    window at [until] is inclusive, matching [Sim.run ~until]'s closed
+    bound, and is repeated while the exchange keeps injecting arrivals at
+    or before [until].  Requires one simulator per lane and a positive
+    lookahead. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent. *)

@@ -180,15 +180,15 @@ type svec = { mutable sv : event array; mutable sn : int }
 
 let svec_create () = { sv = [||]; sn = 0 }
 
-let svec_push v ev =
-  if v.sn = Array.length v.sv then begin
-    let cap = if v.sn = 0 then 8 else 2 * v.sn in
-    let a = Array.make cap dummy in
-    Array.blit v.sv 0 a 0 v.sn;
-    v.sv <- a
-  end;
-  v.sv.(v.sn) <- ev;
-  v.sn <- v.sn + 1
+(* Slot arrays are pooled in per-wheel size-classed free lists: without
+   this, each of the 1024 slots (and the overflow) retains its high-water
+   capacity forever, and at 10^5-10^6 pending events the sum of those
+   high-water marks dwarfs the live working set.  Cascading a slot returns
+   its array to the pool; the next slot that grows takes it back, so the
+   wheel's peak live heap tracks the peak pending set, not history.
+   Capacities are always 8 * 2^c (growth doubles from 8), so the class
+   index is exact. *)
+let pool_classes = 24
 
 type wheel = {
   mutable cur_tick : int;
@@ -199,6 +199,7 @@ type wheel = {
   level_count : int array; (* events held per level, to skip empty levels *)
   overflow : svec; (* tick beyond all levels' span; reseeded when reached *)
   mutable total : int; (* physical events anywhere in the structure *)
+  free : event array list array; (* pooled slot arrays, by size class *)
 }
 
 let wheel_create () =
@@ -209,7 +210,49 @@ let wheel_create () =
     level_count = Array.make wheel_levels 0;
     overflow = svec_create ();
     total = 0;
+    free = Array.make pool_classes [];
   }
+
+(* capacity 8 * 2^c -> class c *)
+let[@inline] svec_class cap =
+  let c = ref 0 and x = ref 8 in
+  while !x < cap do
+    x := !x lsl 1;
+    incr c
+  done;
+  !c
+
+let svec_alloc w cap =
+  let c = svec_class cap in
+  if c < pool_classes then
+    match w.free.(c) with
+    | a :: rest ->
+        w.free.(c) <- rest;
+        a
+    | [] -> Array.make cap dummy
+  else Array.make cap dummy
+
+(* [a] must be all-[dummy] so pooled arrays never retain events. *)
+let svec_release w a =
+  let cap = Array.length a in
+  if cap > 0 then begin
+    let c = svec_class cap in
+    if c < pool_classes then w.free.(c) <- a :: w.free.(c)
+  end
+
+let wheel_push w v ev =
+  if v.sn = Array.length v.sv then begin
+    let cap = if v.sn = 0 then 8 else 2 * v.sn in
+    let a = svec_alloc w cap in
+    Array.blit v.sv 0 a 0 v.sn;
+    if v.sn > 0 then begin
+      Array.fill v.sv 0 v.sn dummy;
+      svec_release w v.sv
+    end;
+    v.sv <- a
+  end;
+  v.sv.(v.sn) <- ev;
+  v.sn <- v.sn + 1
 
 (* File an event by its tick, relative to [cur_tick].  Level l holds events
    whose tick agrees with cur_tick on all bits above 8*(l+1) — so a slot
@@ -221,7 +264,7 @@ let place w ev =
   if tick <= w.cur_tick then heap_push w.cur ev
   else begin
     let diff = tick lxor w.cur_tick in
-    if diff lsr (slot_bits * wheel_levels) <> 0 then svec_push w.overflow ev
+    if diff lsr (slot_bits * wheel_levels) <> 0 then wheel_push w w.overflow ev
     else begin
       let l =
         if diff lsr slot_bits = 0 then 0
@@ -229,7 +272,7 @@ let place w ev =
         else if diff lsr (3 * slot_bits) = 0 then 2
         else 3
       in
-      svec_push w.levels.(l).((tick lsr (slot_bits * l)) land (slots_per_level - 1)) ev;
+      wheel_push w w.levels.(l).((tick lsr (slot_bits * l)) land (slots_per_level - 1)) ev;
       w.level_count.(l) <- w.level_count.(l) + 1
     end
   end
@@ -246,11 +289,16 @@ let cascade w l j =
   let n = v.sn in
   w.level_count.(l) <- w.level_count.(l) - n;
   v.sn <- 0;
+  (* Detach the slot's array before re-filing so [place] can never push
+     into it mid-iteration, then return it to the pool fully dummied. *)
+  let a = v.sv in
+  v.sv <- [||];
   for i = 0 to n - 1 do
-    let ev = v.sv.(i) in
-    v.sv.(i) <- dummy;
+    let ev = a.(i) in
+    a.(i) <- dummy;
     place w ev
-  done
+  done;
+  svec_release w a
 
 (* Move [cur_tick] forward to the next occupied slot and promote it,
    repeating until the promotion heap is nonempty (cascading a coarse slot
@@ -285,20 +333,24 @@ let advance w =
     else if w.overflow.sn > 0 then begin
       (* Jump the wheel to the overflow's earliest tick and re-file; the
          minimum lands in [cur] immediately, stragglers past the new span
-         simply overflow again. *)
+         simply overflow again (into a fresh array — the old one is
+         detached first, then pooled). *)
+      let n = w.overflow.sn in
+      let a = w.overflow.sv in
       let min_tick = ref max_int in
-      for i = 0 to w.overflow.sn - 1 do
-        let tick = tick_of_time w.overflow.sv.(i).time in
+      for i = 0 to n - 1 do
+        let tick = tick_of_time a.(i).time in
         if tick < !min_tick then min_tick := tick
       done;
-      let n = w.overflow.sn in
       w.overflow.sn <- 0;
+      w.overflow.sv <- [||];
       w.cur_tick <- !min_tick;
       for i = 0 to n - 1 do
-        let ev = w.overflow.sv.(i) in
-        w.overflow.sv.(i) <- dummy;
+        let ev = a.(i) in
+        a.(i) <- dummy;
         place w ev
       done;
+      svec_release w a;
       if w.cur.size = 0 then go ()
     end
   in
@@ -479,6 +531,62 @@ let run ?until t =
               loop ()
           | Some action ->
               if top.time > horizon then t.clock <- horizon
+              else begin
+                w.total <- w.total - 1;
+                ignore (heap_pop w.cur);
+                fire t top action;
+                loop ()
+              end
+        end
+      in
+      loop ()
+
+let next_time t = match head_live t with Some ev -> ev.time | None -> infinity
+
+(* One conservative-PDES window: fire events strictly before [upto]
+   (or at [upto] too when [inclusive]), then leave the clock at [upto]
+   when later events remain — exactly [run ~until]'s stopping rule, with
+   the exclusive bound that windowed execution needs (an event AT the
+   window edge may race a cross-partition arrival AT the same instant, so
+   it belongs to the next window, after the mailbox exchange). *)
+let run_window ?(inclusive = false) t ~upto =
+  t.stopping <- false;
+  match t.queue with
+  | Q_heap h ->
+      let rec loop () =
+        if t.stopping then ()
+        else if h.size = 0 then ()
+        else begin
+          let top = h.evs.(0) in
+          match top.action with
+          | None ->
+              ignore (heap_pop h);
+              loop ()
+          | Some action ->
+              let tm = h.times.(0) in
+              if (if inclusive then tm > upto else tm >= upto) then t.clock <- upto
+              else begin
+                ignore (heap_pop h);
+                fire t top action;
+                loop ()
+              end
+        end
+      in
+      loop ()
+  | Q_wheel w ->
+      let rec loop () =
+        if t.stopping then ()
+        else if w.total = 0 then ()
+        else begin
+          if w.cur.size = 0 then advance w;
+          let top = w.cur.evs.(0) in
+          match top.action with
+          | None ->
+              w.total <- w.total - 1;
+              ignore (heap_pop w.cur);
+              loop ()
+          | Some action ->
+              if (if inclusive then top.time > upto else top.time >= upto) then t.clock <- upto
               else begin
                 w.total <- w.total - 1;
                 ignore (heap_pop w.cur);

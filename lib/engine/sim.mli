@@ -93,6 +93,20 @@ val run : ?until:float -> t -> unit
 (** Process events until the heap is empty or virtual time would exceed
     [until].  When stopped by [until], the clock is left at [until]. *)
 
+val next_time : t -> float
+(** The time of the earliest pending (uncancelled) event, or [infinity]
+    when none remain.  May lazily discard cancelled events. *)
+
+val run_window : ?inclusive:bool -> t -> upto:float -> unit
+(** One conservative-PDES window: fire events with time strictly below
+    [upto] — or [<= upto] when [inclusive] (the final window of a
+    partitioned run, mirroring [run ~until]'s closed bound) — and leave
+    the clock at [upto] if later events remain.  The exclusive default is
+    what windowed execution requires: an event exactly at the window edge
+    may tie with a cross-partition arrival at the same instant, so it must
+    fire in the next window, after the mailbox exchange.  Used by {!Par}
+    drivers; [run] is unchanged and remains the sequential path. *)
+
 val step : t -> bool
 (** Process exactly one event; [false] when none remain. *)
 

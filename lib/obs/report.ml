@@ -44,16 +44,30 @@ type gauge_row = {
   g_render : string; (* pre-rendered histogram, for the dashboard *)
 }
 
+type partition_row = { pt_label : string; pt_events : int }
+
 type t = {
   counters : Counters.snap;
   links : link_row list;
   caches : cache_row list;
   profile : profile_row list;
   gauges : gauge_row list;
+  partitions : partition_row list; (* empty outside parallel runs *)
+  wall_s : float; (* event-loop wall seconds; 0. = not measured *)
   trace_jsonl : string option;
 }
 
-let empty = { counters = []; links = []; caches = []; profile = []; gauges = []; trace_jsonl = None }
+let empty =
+  {
+    counters = [];
+    links = [];
+    caches = [];
+    profile = [];
+    gauges = [];
+    partitions = [];
+    wall_s = 0.;
+    trace_jsonl = None;
+  }
 
 (* --- builders ----------------------------------------------------------- *)
 
@@ -195,15 +209,21 @@ let gauge_json g =
       ("p99", Export.number_or_null g.g_p99);
     ]
 
+let partition_json p =
+  Export.Obj [ ("label", Export.String p.pt_label); ("events", Export.Int p.pt_events) ]
+
 let to_json t =
   Export.Obj
-    [
-      ("counters", counters_json t.counters);
-      ("links", Export.List (List.map link_json t.links));
-      ("flow_caches", Export.List (List.map cache_json t.caches));
-      ("profile", Export.List (List.map profile_json t.profile));
-      ("gauges", Export.List (List.map gauge_json t.gauges));
-    ]
+    ([
+       ("counters", counters_json t.counters);
+       ("links", Export.List (List.map link_json t.links));
+       ("flow_caches", Export.List (List.map cache_json t.caches));
+       ("profile", Export.List (List.map profile_json t.profile));
+       ("gauges", Export.List (List.map gauge_json t.gauges));
+     ]
+    @ (if t.partitions = [] then []
+       else [ ("partitions", Export.List (List.map partition_json t.partitions)) ])
+    @ if t.wall_s > 0. then [ ("wall_s", Export.Float t.wall_s) ] else [])
 
 let to_json_string t = Export.to_string_pretty (to_json t)
 
@@ -271,9 +291,24 @@ let pp_gauges fmt gauges =
         |> List.iter (fun line -> if line <> "" then Format.fprintf fmt "  %s@." line))
     gauges
 
+(* Per-partition event counts plus overall throughput: the quick answer to
+   "did the parallel run balance, and what did it buy". *)
+let pp_partitions fmt t =
+  if t.partitions <> [] || t.wall_s > 0. then begin
+    Format.fprintf fmt "== event loop throughput ==@.";
+    List.iter
+      (fun p -> Format.fprintf fmt "  %-12s %12d events@." p.pt_label p.pt_events)
+      t.partitions;
+    let total = List.fold_left (fun acc p -> acc + p.pt_events) 0 t.partitions in
+    if t.wall_s > 0. && total > 0 then
+      Format.fprintf fmt "  %-12s %12d events %10.3f s %12.0f events/s@." "total" total t.wall_s
+        (float_of_int total /. t.wall_s)
+  end
+
 let pp_dashboard fmt t =
   pp_counters fmt t.counters;
   pp_links fmt t.links;
   pp_caches fmt t.caches;
   pp_profile fmt t.profile;
-  pp_gauges fmt t.gauges
+  pp_gauges fmt t.gauges;
+  pp_partitions fmt t

@@ -42,12 +42,17 @@ type gauge_row = {
   g_render : string;  (** pre-rendered histogram for the dashboard *)
 }
 
+type partition_row = { pt_label : string; pt_events : int }
+(** Events fired by one partition's event loop under the parallel driver. *)
+
 type t = {
   counters : Counters.snap;
   links : link_row list;
   caches : cache_row list;
   profile : profile_row list;
   gauges : gauge_row list;
+  partitions : partition_row list;  (** empty outside parallel runs *)
+  wall_s : float;  (** event-loop wall seconds; [0.] = not measured *)
   trace_jsonl : string option;
 }
 

@@ -60,6 +60,7 @@ type config = {
   sc_bottleneck_bps : float;
   sc_access_bps : float;
   sc_sched : Sim.sched option; (* None = auto via Sim.recommended_sched *)
+  sc_par_domains : int; (* 1 = sequential; K > 1 = conservative PDES on K domains *)
 }
 
 let default =
@@ -80,6 +81,7 @@ let default =
     sc_bottleneck_bps = 10e6;
     sc_access_bps = 10e6;
     sc_sched = None;
+    sc_par_domains = 1;
   }
 
 type result = {
@@ -94,6 +96,9 @@ type result = {
   sr_events : int;
   sr_attack_packets : int;
   sr_routers : int;
+  sr_wall_s : float;
+  sr_partitions : int;
+  sr_partition_events : int array;
   sr_obs : Obs.Report.t option;
 }
 
@@ -165,6 +170,7 @@ let run ?obs cfg =
   if cfg.sc_senders >= 0x01000000 then
     invalid_arg "Scale.run: sender count exceeds the 0x0b spoofed-address prefix (2^24)";
   if cfg.sc_aggregates <= 0 then invalid_arg "Scale.run: need at least one aggregate";
+  if cfg.sc_par_domains < 1 then invalid_arg "Scale.run: need at least one domain";
   let aggregates = min cfg.sc_aggregates cfg.sc_senders in
   let sched =
     match cfg.sc_sched with
@@ -204,8 +210,92 @@ let run ?obs cfg =
         node)
   in
   Net.compute_routes b.b_net;
+  (* Partitioning happens here — topology and routes are final, but no
+     agent has scheduled anything yet, so every partition's simulator
+     starts empty and the master has no pending events to strand. *)
+  let kpar = cfg.sc_par_domains in
+  if kpar > 1 then begin
+    if not scheme.Scheme.partition_safe then
+      invalid_arg
+        (Printf.sprintf "Scale.run: scheme %S is not partition-safe (sc_par_domains > 1)"
+           scheme.Scheme.name);
+    (match obs with
+    | Some oc when oc.Experiment.obs_trace_capacity > 0 ->
+        invalid_arg "Scale.run: packet tracing is not supported with sc_par_domains > 1"
+    | Some _ | None -> ());
+    (* Load-aware balance: a node's event count tracks the packets it
+       receives plus the packets it forwards, and floods are clipped at
+       bottleneck links (the fan-in root takes the full offered load in
+       but only the bottleneck's share out).  Estimate both with two
+       walks over each source's route to the victim: one accumulating
+       offered packets per link, one charging arrivals + capped
+       departures per node with proportional sharing at saturated links.
+       Balancing on these sums instead of node counts keeps the hot
+       victim-side nodes from also dragging the rest of the tree into
+       their region, which is what caps parallel speedup on a fan-in. *)
+    let weights =
+      let n = List.length (Net.nodes b.b_net) in
+      let w = Array.make n 1. in
+      let offered = Hashtbl.create 64 in
+      let load l = Option.value ~default:0. (Hashtbl.find_opt offered (Net.link_id l)) in
+      let walk ~charge src pkts0 =
+        let cur = ref src and pkts = ref pkts0 and steps = ref 0 and continue = ref true in
+        while !continue && !steps <= n do
+          match Net.node_addr !cur with
+          | Some a when Wire.Addr.equal a b.b_dest_addr ->
+              if charge then w.(Net.node_id !cur) <- w.(Net.node_id !cur) +. !pkts;
+              continue := false
+          | _ -> (
+              match Net.route_for !cur b.b_dest_addr with
+              | None -> continue := false
+              | Some l ->
+                  if not charge then
+                    Hashtbl.replace offered (Net.link_id l) (load l +. !pkts)
+                  else begin
+                    let cap =
+                      Net.link_bandwidth l
+                      /. (8. *. float_of_int cfg.sc_attack_pkt_bytes)
+                      *. cfg.sc_max_time
+                    in
+                    let lo = load l in
+                    let out = if lo > cap then !pkts *. cap /. lo else !pkts in
+                    w.(Net.node_id !cur) <- w.(Net.node_id !cur) +. !pkts +. out;
+                    pkts := out
+                  end;
+                  cur := Net.link_dst l;
+                  incr steps)
+        done
+      in
+      let attack_pkts_per_swarm =
+        cfg.sc_attack_bps
+        /. (8. *. float_of_int cfg.sc_attack_pkt_bytes)
+        *. cfg.sc_max_time
+        /. float_of_int aggregates
+      in
+      (* Users see both directions (requests up, data and grants back);
+         routes are symmetric, so doubling the forward charge stands in
+         for the return traffic. *)
+      let user_pkts =
+        2.
+        *. float_of_int cfg.sc_transfers_per_user
+        *. ((float_of_int cfg.sc_transfer_bytes /. 1000.) +. 4.)
+      in
+      Array.iter (fun s -> walk ~charge:false s attack_pkts_per_swarm) swarm_nodes;
+      Array.iter (fun u -> walk ~charge:false u user_pkts) users;
+      Array.iter (fun s -> walk ~charge:true s attack_pkts_per_swarm) swarm_nodes;
+      Array.iter (fun u -> walk ~charge:true u user_pkts) users;
+      w
+    in
+    let parts = Topology.partition ~k:kpar ~weights b.b_net in
+    Net.install_partitions b.b_net ~parts
+  end;
+  let psims = Net.partition_sims b.b_net in
   (* Observability mirrors Experiment.run, plus the footprint gauges that
-     back BENCH_scale.json's peak-memory column. *)
+     back BENCH_scale.json's peak-memory column.  Under K > 1 the counter
+     registry is frozen (pre-registered) before the run so the bridge only
+     ever reads it from worker domains, each profile instance belongs to
+     one partition's domain, and the heap gauges sample from partition 0
+     (the coordinating domain) — the OCaml heap they measure is global. *)
   let obs_state =
     match obs with
     | None -> None
@@ -217,6 +307,7 @@ let run ?obs cfg =
           | Some c -> c
           | None -> Obs.Counters.register reg ~name
         in
+        if kpar > 1 then List.iter (fun node -> ignore (counters_for node)) (Net.nodes b.b_net);
         let trace =
           if oc.Experiment.obs_trace_capacity > 0 then
             Obs.Trace.create ~capacity:oc.Experiment.obs_trace_capacity
@@ -224,19 +315,16 @@ let run ?obs cfg =
           else Obs.Trace.nop
         in
         Obs.Bridge.install ~trace ~counters_for b.b_net;
-        let profile =
+        let profiles =
           if oc.Experiment.obs_profile || oc.Experiment.obs_gauge_period > 0. then
-            Some (Obs.Profile.create ~clock:Unix.gettimeofday ())
-          else None
+            Array.map (fun _ -> Obs.Profile.create ~clock:Unix.gettimeofday ()) psims
+          else [||]
         in
-        (match profile with
-        | Some p when oc.Experiment.obs_profile -> Obs.Profile.attach p sim
-        | Some _ | None -> ());
-        (match profile with
-        | Some p when oc.Experiment.obs_gauge_period > 0. ->
-            Obs.Profile.memory_gauges p sim ~period:oc.Experiment.obs_gauge_period
-        | Some _ | None -> ());
-        Some (reg, counters_for, trace, profile)
+        if oc.Experiment.obs_profile then
+          Array.iteri (fun i p -> Obs.Profile.attach p psims.(i)) profiles;
+        if Array.length profiles > 0 && oc.Experiment.obs_gauge_period > 0. then
+          Obs.Profile.memory_gauges profiles.(0) psims.(0) ~period:oc.Experiment.obs_gauge_period;
+        Some (reg, counters_for, trace, profiles)
   in
   let router_obs node =
     match obs_state with None -> None | Some (_, f, _, _) -> Some (f node)
@@ -252,9 +340,10 @@ let run ?obs cfg =
       ~role:Scheme.Destination
       ~policy:(Tva.Policy.server ~suspicious:Experiment.attacker_oracle ())
   in
-  let _server = Agents.Transfer_server.create ~sim ~endpoint:dest_endpoint () in
+  let _server =
+    Agents.Transfer_server.create ~sim:(Net.node_sim b.b_destination) ~endpoint:dest_endpoint ()
+  in
   let metrics = Metrics.create () in
-  let users_left = ref cfg.sc_n_users in
   let per_user_metrics =
     Array.to_list
       (Array.mapi
@@ -264,16 +353,17 @@ let run ?obs cfg =
                ~policy:(Tva.Policy.client ())
            in
            let m = Metrics.create () in
+           (* No early [Sim.stop] when the users finish: the lockstep
+              windows of the parallel driver cannot stop mid-window
+              deterministically, so both the sequential and parallel paths
+              always run to [sc_max_time] — which keeps them comparable. *)
            let _client =
-             Agents.Transfer_client.create ~sim ~endpoint ~server:b.b_dest_addr
-               ~transfer_bytes:cfg.sc_transfer_bytes ~max_transfers:cfg.sc_transfers_per_user
+             Agents.Transfer_client.create ~sim:(Net.node_sim user) ~endpoint
+               ~server:b.b_dest_addr ~transfer_bytes:cfg.sc_transfer_bytes
+               ~max_transfers:cfg.sc_transfers_per_user
                ~start_at:(0.01 +. (0.011 *. float_of_int i))
                ~conn_base:((i + 1) * 1_000_000)
-               ~metrics:m
-               ~on_all_done:(fun () ->
-                 decr users_left;
-                 if !users_left = 0 then Sim.stop sim)
-               ()
+               ~metrics:m ()
            in
            m)
          users)
@@ -299,23 +389,45 @@ let run ?obs cfg =
                  (Wire.Packet.Raw cfg.sc_attack_pkt_bytes))
           in
           Some
-            (Swarm.start ~sim ~n ~seed:(cfg.sc_seed + (1000 * k)) ~rate_bps:member_rate
-               ~pkt_bytes:cfg.sc_attack_pkt_bytes ~batch_window:cfg.sc_batch_window
-               ~mode:cfg.sc_swarm_mode ~emit ())
+            (Swarm.start ~sim:(Net.node_sim node) ~n ~seed:(cfg.sc_seed + (1000 * k))
+               ~rate_bps:member_rate ~pkt_bytes:cfg.sc_attack_pkt_bytes
+               ~batch_window:cfg.sc_batch_window ~mode:cfg.sc_swarm_mode ~emit ())
         end)
   in
-  Sim.run ~until:cfg.sc_max_time sim;
+  let wall_start = Unix.gettimeofday () in
+  Net.run_parallel ~until:cfg.sc_max_time b.b_net;
+  let wall_s = Unix.gettimeofday () -. wall_start in
   List.iter (Metrics.merge_into metrics) per_user_metrics;
   let attack_packets =
     Array.fold_left
       (fun acc s -> match s with None -> acc | Some s -> acc + Swarm.packets_sent s)
       0 swarms
   in
+  let partition_events = Array.map Sim.events_processed psims in
+  let partition_rows =
+    if Array.length psims < 2 then []
+    else
+      Array.to_list
+        (Array.mapi
+           (fun i e -> { Obs.Report.pt_label = Printf.sprintf "p%d" i; pt_events = e })
+           partition_events)
+  in
   let obs_report =
     match obs_state with
     | None -> None
-    | Some (reg, _, trace, profile) ->
-        (match profile with Some _ -> Obs.Profile.detach sim | None -> ());
+    | Some (reg, _, trace, profiles) ->
+        Array.iter Obs.Profile.detach psims;
+        (* Fold the per-partition profiler instances into one; each was
+           written by exactly one domain, and the run is over. *)
+        let profile =
+          if Array.length profiles = 0 then None
+          else begin
+            for i = 1 to Array.length profiles - 1 do
+              Obs.Profile.absorb profiles.(0) profiles.(i)
+            done;
+            Some profiles.(0)
+          end
+        in
         let names = Hashtbl.create 64 in
         List.iter
           (fun node -> Hashtbl.replace names (Net.node_id node) (Net.node_name node))
@@ -330,6 +442,8 @@ let run ?obs cfg =
             caches = scheme.Scheme.report_caches ();
             profile = (match profile with None -> [] | Some p -> Obs.Report.profile_rows p);
             gauges = (match profile with None -> [] | Some p -> Obs.Report.gauge_rows p);
+            partitions = partition_rows;
+            wall_s;
             trace_jsonl = Obs.Report.trace_jsonl ~node_name trace;
           }
   in
@@ -341,9 +455,12 @@ let run ?obs cfg =
     sr_fraction_completed = Metrics.fraction_completed metrics;
     sr_avg_transfer_time = Metrics.avg_transfer_time metrics;
     sr_metrics = metrics;
-    sr_sim_end = Sim.now sim;
-    sr_events = Sim.events_processed sim;
+    sr_sim_end = Array.fold_left (fun acc s -> Float.max acc (Sim.now s)) neg_infinity psims;
+    sr_events = Array.fold_left ( + ) 0 partition_events;
     sr_attack_packets = attack_packets;
     sr_routers = List.length b.b_routers;
+    sr_wall_s = wall_s;
+    sr_partitions = Array.length psims;
+    sr_partition_events = partition_events;
     sr_obs = obs_report;
   }

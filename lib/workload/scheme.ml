@@ -13,6 +13,7 @@ type endpoint = {
 
 type t = {
   name : string;
+  partition_safe : bool;
   make_qdisc : bandwidth_bps:float -> Qdisc.t;
   install_router : ?obs:Obs.Counters.t -> Net.node -> link_bps:float -> unit;
   make_endpoint : ?obs:Obs.Counters.t -> Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
@@ -75,13 +76,14 @@ let tva ?(params = Tva.Params.default) () : factory =
   let routers : (string * Net.node * Tva.Router.t) list ref = ref [] in
   {
     name = "tva";
+    partition_safe = true;
     make_qdisc = (fun ~bandwidth_bps -> Tva.Qdiscs.make ~params ~bandwidth_bps ());
     install_router =
       (fun ?obs node ~link_bps ->
         let router =
           Tva.Router.create ~params ?obs
             ~secret_master:("tva-secret-" ^ string_of_int (Net.node_id node))
-            ~router_id:(Net.node_id node) ~sim ~link_bps ()
+            ~router_id:(Net.node_id node) ~sim:(Net.node_sim node) ~link_bps ()
         in
         routers := (Net.node_name node, node, router) :: !routers;
         Net.set_handler node (Tva.Router.handler router));
@@ -123,7 +125,7 @@ let tva ?(params = Tva.Params.default) () : factory =
           ep_send_raw = Tva.Host.send_raw host;
           ep_send_legacy = Tva.Host.send_legacy host;
           ep_send_request = Tva.Host.send_request_flood_packet host;
-          ep_flood_misbehaving = tva_misbehaving_flood host sim;
+          ep_flood_misbehaving = tva_misbehaving_flood host (Net.node_sim node);
           ep_reacquire_latencies = (fun () -> Tva.Host.reacquire_latencies host);
         });
   }
@@ -158,9 +160,10 @@ let siff_misbehaving_flood host sim rotation =
         end
 
 let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
- fun sim ->
+ fun _sim ->
   {
     name = "siff";
+    partition_safe = true;
     make_qdisc = (fun ~bandwidth_bps -> Siff.Router.make_qdisc ~bandwidth_bps);
     report_caches = (fun () -> []);
     install_router =
@@ -168,7 +171,7 @@ let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
         let router =
           Siff.Router.create ~rotation_period
             ~secret_master:("siff-secret-" ^ string_of_int (Net.node_id node))
-            ~router_id:(Net.node_id node) ~sim ()
+            ~router_id:(Net.node_id node) ~sim:(Net.node_sim node) ()
         in
         Net.set_handler node (Siff.Router.handler router));
     fault_targets = (fun () -> []);
@@ -187,8 +190,8 @@ let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
               let siff = Wire.Siff_marking.exp_packet () in
               Net.originate node
                 (Wire.Packet.make ~siff ~src:(Siff.Host.addr host) ~dst
-                   ~created:(Sim.now sim) (Wire.Packet.Raw bytes)));
-          ep_flood_misbehaving = siff_misbehaving_flood host sim rotation_period;
+                   ~created:(Sim.now (Net.node_sim node)) (Wire.Packet.Raw bytes)));
+          ep_flood_misbehaving = siff_misbehaving_flood host (Net.node_sim node) rotation_period;
           ep_reacquire_latencies = (fun () -> []);
         });
   }
@@ -214,6 +217,7 @@ let pushback ?(interval = 1.0) () : factory =
   let controller = Pushback.create ~interval ~sim () in
   {
     name = "pushback";
+    partition_safe = false;
     make_qdisc = (fun ~bandwidth_bps -> Pushback.make_qdisc controller ~bandwidth_bps);
     install_router = (fun ?obs:_ node ~link_bps:_ -> Pushback.install controller node);
     report_caches = (fun () -> []);
@@ -225,6 +229,7 @@ let internet () : factory =
  fun _sim ->
   {
     name = "internet";
+    partition_safe = true;
     make_qdisc = (fun ~bandwidth_bps -> Baseline.Internet.make_qdisc ~bandwidth_bps);
     install_router =
       (fun ?obs:_ node ~link_bps:_ -> Net.set_handler node Baseline.Internet.router_handler);

@@ -319,6 +319,130 @@ let scale_memory_gauges_reported () =
       | Some g -> Alcotest.(check bool) "pending gauge sampled" true (g.Obs.Report.g_max >= 1.)
       | None -> Alcotest.fail "sim-pending-events gauge missing")
 
+(* --- conservative parallel driver --------------------------------------- *)
+
+(* The tentpole's determinism contract: a K-domain run must be
+   result-identical to the sequential run — same event count, same packet
+   streams (attack packets), same metrics, same per-node Obs counters,
+   same final clock.  Counters are compared via their JSON rendering so a
+   mismatch prints the full diff. *)
+let counters_string (r : Workload.Scale.result) =
+  match r.Workload.Scale.sr_obs with
+  | None -> Alcotest.fail "expected an obs report"
+  | Some rep ->
+      (* Sort by node name: the sequential run registers counters lazily
+         (first-event order) while the parallel run pre-registers them, so
+         snapshot order differs even when every value is identical. *)
+      let snap =
+        rep.Obs.Report.counters
+        |> List.filter (fun (_, counts) -> Array.exists (fun c -> c <> 0) counts)
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Obs.Export.to_string_pretty (Obs.Report.counters_json snap)
+
+let check_scale_identical label (seq : Workload.Scale.result) (par : Workload.Scale.result) =
+  Alcotest.(check int) (label ^ ": events") seq.Workload.Scale.sr_events par.Workload.Scale.sr_events;
+  Alcotest.(check int)
+    (label ^ ": attack packets")
+    seq.Workload.Scale.sr_attack_packets par.Workload.Scale.sr_attack_packets;
+  Alcotest.(check (float 0.))
+    (label ^ ": fraction")
+    seq.Workload.Scale.sr_fraction_completed par.Workload.Scale.sr_fraction_completed;
+  Alcotest.(check (float 0.))
+    (label ^ ": avg transfer time")
+    seq.Workload.Scale.sr_avg_transfer_time par.Workload.Scale.sr_avg_transfer_time;
+  Alcotest.(check (float 0.))
+    (label ^ ": sim end")
+    seq.Workload.Scale.sr_sim_end par.Workload.Scale.sr_sim_end;
+  Alcotest.(check string) (label ^ ": counters") (counters_string seq) (counters_string par)
+
+let scale_par_matches_seq () =
+  let obs = Workload.Experiment.obs_default in
+  List.iter
+    (fun (topology, kdoms) ->
+      let cfg = tiny_scale topology in
+      let seq = Workload.Scale.run ~obs cfg in
+      let par = Workload.Scale.run ~obs { cfg with Workload.Scale.sc_par_domains = kdoms } in
+      let label = Printf.sprintf "%s k=%d" seq.Workload.Scale.sr_topology kdoms in
+      Alcotest.(check int) (label ^ ": partitions") kdoms par.Workload.Scale.sr_partitions;
+      Alcotest.(check int)
+        (label ^ ": partition events sum")
+        par.Workload.Scale.sr_events
+        (Array.fold_left ( + ) 0 par.Workload.Scale.sr_partition_events);
+      check_scale_identical label seq par)
+    [
+      (Workload.Scale.Fan_in { depth = 2; fanout = 3 }, 2);
+      (Workload.Scale.Fan_in { depth = 2; fanout = 3 }, 4);
+      (Workload.Scale.Scale_dumbbell, 2);
+      (Workload.Scale.Parking_lot { segments = 3 }, 3);
+      (Workload.Scale.Power_law { routers = 24; edges_per_node = 2 }, 4);
+    ]
+
+(* Both schedulers under the parallel driver, against the sequential
+   reference: wheel-vs-heap and par-vs-seq must commute. *)
+let scale_par_wheel_matches_seq () =
+  let obs = Workload.Experiment.obs_default in
+  let cfg =
+    {
+      (tiny_scale (Workload.Scale.Fan_in { depth = 2; fanout = 3 })) with
+      Workload.Scale.sc_sched = Some Sim.Wheel;
+    }
+  in
+  let seq = Workload.Scale.run ~obs cfg in
+  let par = Workload.Scale.run ~obs { cfg with Workload.Scale.sc_par_domains = 3 } in
+  check_scale_identical "wheel k=3" seq par
+
+let scale_par_rejects_unsafe () =
+  let cfg =
+    {
+      (tiny_scale (Workload.Scale.Fan_in { depth = 2; fanout = 3 })) with
+      Workload.Scale.sc_par_domains = 2;
+    }
+  in
+  Alcotest.check_raises "pushback refused"
+    (Invalid_argument "Scale.run: scheme \"pushback\" is not partition-safe (sc_par_domains > 1)")
+    (fun () ->
+      ignore (Workload.Scale.run { cfg with Workload.Scale.sc_scheme = Workload.Scheme.pushback () }));
+  let obs =
+    { Workload.Experiment.obs_default with Workload.Experiment.obs_trace_capacity = 128 }
+  in
+  Alcotest.check_raises "tracing refused"
+    (Invalid_argument "Scale.run: packet tracing is not supported with sc_par_domains > 1")
+    (fun () -> ignore (Workload.Scale.run ~obs cfg))
+
+(* The partitioner itself: deterministic, covering, balanced enough that
+   every region is nonempty. *)
+let topology_partition_properties () =
+  let sim = Sim.create ~seed:7 () in
+  let scheme = Workload.Scheme.internet () sim in
+  let make_qdisc ~bandwidth_bps = scheme.Workload.Scheme.make_qdisc ~bandwidth_bps in
+  let t = Topology.fanin ~depth:3 ~fanout:3 ~bottleneck_bps:10e6 ~make_qdisc sim in
+  let net = t.Topology.fi_net in
+  let n = List.length (Net.nodes net) in
+  List.iter
+    (fun k ->
+      let a = Topology.partition ~k net in
+      let b = Topology.partition ~k net in
+      Alcotest.(check (array int)) (Printf.sprintf "k=%d deterministic" k) a b;
+      Alcotest.(check int) (Printf.sprintf "k=%d covers all nodes" k) n (Array.length a);
+      let sizes = Array.make k 0 in
+      Array.iter
+        (fun p ->
+          Alcotest.(check bool) "index in range" true (p >= 0 && p < k);
+          sizes.(p) <- sizes.(p) + 1)
+        a;
+      Array.iteri
+        (fun r s -> Alcotest.(check bool) (Printf.sprintf "k=%d region %d nonempty" k r) true (s > 0))
+        sizes)
+    [ 1; 2; 3; 4 ];
+  Alcotest.check_raises "k=0 refused"
+    (Invalid_argument "Topology.partition: need at least one partition") (fun () ->
+      ignore (Topology.partition ~k:0 net));
+  Alcotest.(check bool) "k>n refused" true
+    (match Topology.partition ~k:(n + 1) net with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "all schemes healthy unattacked" `Slow baseline_all_schemes_healthy;
@@ -340,4 +464,8 @@ let suite =
     Alcotest.test_case "scale heap = wheel" `Slow scale_heap_wheel_identical;
     Alcotest.test_case "scale topologies smoke" `Slow scale_topologies_smoke;
     Alcotest.test_case "scale memory gauges" `Slow scale_memory_gauges_reported;
+    Alcotest.test_case "scale parallel = sequential" `Slow scale_par_matches_seq;
+    Alcotest.test_case "scale parallel wheel = sequential" `Slow scale_par_wheel_matches_seq;
+    Alcotest.test_case "scale parallel rejects unsafe" `Quick scale_par_rejects_unsafe;
+    Alcotest.test_case "topology partitioner properties" `Quick topology_partition_properties;
   ]
