@@ -66,6 +66,26 @@ let () =
         acc + List.fold_left (fun a (_, n) -> a + n) 0 o.Workload.Chaos.oc_injected)
       0 outcomes
   in
+  (* Per-scenario detector timings: when the incident detectors first
+     noticed the fault (engage) and how long the run stayed inside
+     incidents (recover).  Continuous faults hold their detectors engaged
+     to run end, so their recover_s is the remaining run time — the
+     column reports what the detectors measured, not a target. *)
+  let opt_s = function None -> "null" | Some v -> Printf.sprintf "%.3f" v in
+  let scenario_rows =
+    List.map
+      (fun o ->
+        String.concat "\n"
+          [
+            Printf.sprintf "    \"%s\": {" o.Workload.Chaos.oc_label;
+            Printf.sprintf "      \"engage_s\": %s," (opt_s o.Workload.Chaos.oc_engage_s);
+            Printf.sprintf "      \"recover_s\": %s," (opt_s o.Workload.Chaos.oc_recover_s);
+            Printf.sprintf "      \"incidents\": %d"
+              (List.length o.Workload.Chaos.oc_report.Obs.Report.incidents);
+            "    }";
+          ])
+      outcomes
+  in
   let json =
     String.concat "\n"
       [
@@ -84,7 +104,10 @@ let () =
         Printf.sprintf "  \"reacquire_worst_s\": %.4f," worst;
         Printf.sprintf "  \"reacquire_bound_s\": %.4f," Workload.Chaos.reacquire_bound;
         Printf.sprintf "  \"tables_identical\": %b," identical;
-        Printf.sprintf "  \"all_invariants_ok\": %b" all_ok;
+        Printf.sprintf "  \"all_invariants_ok\": %b," all_ok;
+        "  \"scenarios_detail\": {";
+        String.concat ",\n" scenario_rows;
+        "  }";
         "}";
       ]
   in

@@ -341,6 +341,46 @@ let () =
     obs_cached_m.minor_words_per_packet -. bare_duel_m.minor_words_per_packet
   in
 
+  (* --- cached-nonce path, obs + telemetry tick --------------------------- *)
+  (* The obs router again, now with a telemetry ring snapshotting its
+     counters once per pass — one tick per [flows] packets, the cadence a
+     100 ms interval has at line rate.  Head-to-head against the plain obs
+     pass: the tick must cost under [--telemetry-overhead-pct] percent of
+     cached-nonce pps and allocate nothing (the tick path is unsafe float
+     stores into preallocated rings). *)
+  let ts = Obs.Timeseries.create ~interval:1.0 () in
+  Obs.Timeseries.add ts ~name:"nonce_hits" ~mode:Obs.Timeseries.Cumulative
+    (Obs.Timeseries.Cell (obs_counters, Obs.Event.to_int Obs.Event.Nonce_hit));
+  Obs.Timeseries.add ts ~name:"demoted" ~mode:Obs.Timeseries.Cumulative
+    (Obs.Timeseries.Cell (obs_counters, Obs.Event.to_int Obs.Event.Demoted));
+  Obs.Timeseries.add ts ~name:"packets" ~mode:Obs.Timeseries.Cumulative
+    (Obs.Timeseries.Cell (obs_counters, Obs.Event.to_int Obs.Event.Packets_in));
+  let tick_no = ref 0 in
+  let telemetry_pass pass =
+    obs_cached_pass pass;
+    incr tick_no;
+    Obs.Timeseries.tick ts ~time:(float_of_int !tick_no)
+  in
+  telemetry_pass 0 (* warmup; also freezes the channel set *);
+  let before_obs = snapshot (Tva.Router.counters router_obs) in
+  let obs_ref_m, telemetry_m = measure_duel ~flows ~passes obs_cached_pass telemetry_pass in
+  check_counters ~label:"cached-nonce (telemetry duel)" ~before:before_obs
+    ~after:(Tva.Router.counters router_obs)
+    ~expect_field:(fun c -> c.Tva.Router.regular_cached)
+    ~expected:(2 * flows * passes);
+  (* The ring really recorded: every timed telemetry pass stored one
+     window, and the nonce-hit deltas over those windows sum to the side's
+     packet count. *)
+  if Obs.Timeseries.written ts < passes then begin
+    Printf.eprintf "FATAL: telemetry ring recorded %d windows, wanted >= %d\n"
+      (Obs.Timeseries.written ts) passes;
+    exit 1
+  end;
+  let telemetry_overhead = 100. *. (obs_ref_m.pps -. telemetry_m.pps) /. obs_ref_m.pps in
+  let telemetry_extra_words =
+    telemetry_m.minor_words_per_packet -. obs_ref_m.minor_words_per_packet
+  in
+
   (* --- cached-nonce path, batched --------------------------------------- *)
   (* Same router, same packets: [Router.process_batch] against the
      sequential loop, head-to-head in alternating chunks.  The speedup gate
@@ -411,6 +451,9 @@ let () =
   pp_path "cached+obs" obs_cached_m;
   Printf.printf "  obs counters: %+.2f%% pps, %+.3f minor words/pkt vs bare cached-nonce\n%!"
     obs_overhead obs_extra_words;
+  pp_path "cached+telem" telemetry_m;
+  Printf.printf "  telemetry tick: %+.2f%% pps, %+.3f minor words/pkt vs obs cached-nonce\n%!"
+    telemetry_overhead telemetry_extra_words;
   pp_path "cached+batch" batch_m;
   Printf.printf "  batch speedup: %.2fx over same-run sequential cached-nonce (gate: >= %gx)\n%!"
     batch_speedup !batch_speedup_min;
@@ -444,6 +487,7 @@ let () =
         json_path "request" request_m ^ ",";
         json_path "legacy" legacy_m ^ ",";
         json_path "cached_nonce_obs" obs_cached_m ^ ",";
+        json_path "cached_nonce_telemetry" telemetry_m ^ ",";
         json_path "cached_nonce_batch" batch_m ^ ",";
         "  \"cached_nonce_sharded\": {";
         Printf.sprintf "    \"pps\": %.0f," sharded_pps;
@@ -456,6 +500,9 @@ let () =
         Printf.sprintf "  \"obs_overhead_pct\": %.2f," obs_overhead;
         Printf.sprintf "  \"obs_overhead_budget_pct\": %g," !obs_overhead_pct;
         Printf.sprintf "  \"obs_extra_minor_words\": %.3f," obs_extra_words;
+        Printf.sprintf "  \"telemetry_overhead_pct\": %.2f," telemetry_overhead;
+        Printf.sprintf "  \"telemetry_overhead_budget_pct\": %g," !obs_overhead_pct;
+        Printf.sprintf "  \"telemetry_extra_minor_words\": %.3f," telemetry_extra_words;
         Printf.sprintf "  \"cached_nonce_budget_words\": %g," !budget;
         Printf.sprintf "  \"cached_nonce_budget_ok\": %b," budget_ok;
         Printf.sprintf "  \"validate_budget_words\": %g," !validate_budget;
@@ -565,6 +612,19 @@ let () =
      flows*passes packets. *)
   if obs_extra_words > 0.01 then begin
     Printf.eprintf "FATAL: obs counters allocate %.3f extra minor words/packet\n" obs_extra_words;
+    failed := true
+  end;
+  (* The telemetry tick is one float store per channel into a preallocated
+     ring, amortized over [flows] packets — same budget as the counters:
+     within [obs_overhead_pct] of the obs-only pps and no allocation. *)
+  if telemetry_overhead > !obs_overhead_pct then begin
+    Printf.eprintf "FATAL: telemetry tick costs %.2f%% cached-nonce pps (budget %g%%)\n"
+      telemetry_overhead !obs_overhead_pct;
+    failed := true
+  end;
+  if telemetry_extra_words > 0.01 then begin
+    Printf.eprintf "FATAL: telemetry tick allocates %.3f extra minor words/packet\n"
+      telemetry_extra_words;
     failed := true
   end;
   if !failed then exit 1

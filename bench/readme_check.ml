@@ -154,7 +154,14 @@ let () =
   in
   List.iter
     (fun key -> check ~key ~words_expected:true)
-    [ "cached_nonce"; "validate"; "request"; "legacy"; "cached_nonce_batch" ];
+    [
+      "cached_nonce";
+      "validate";
+      "request";
+      "legacy";
+      "cached_nonce_batch";
+      "cached_nonce_telemetry";
+    ];
   check ~key:"cached_nonce_sharded" ~words_expected:false;
   let pps_checked = !checked in
   (* The README's million-sender scale table quotes the "gates" object of

@@ -50,6 +50,34 @@ let trace_sample_arg =
   let doc = "Record 1 in $(docv) trace-eligible packet events." in
   Arg.(value & opt int 1 & info [ "trace-sample" ] ~doc ~docv:"K")
 
+let telemetry_arg =
+  let doc =
+    "Record interval telemetry (counter deltas, queue depths, flow-cache occupancy) and run \
+     the incident detectors.  Telemetry ticks ride auxiliary scheduler events, so results are \
+     bit-identical to a run without this flag."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
+let telemetry_interval_arg =
+  let doc = "Sim-seconds between telemetry windows (default 0.1; implies $(b,--telemetry))." in
+  Arg.(value & opt (some float) None & info [ "telemetry-interval" ] ~doc ~docv:"SECONDS")
+
+(* The three flags collapse to one number: 0 = telemetry off. *)
+let resolve_telemetry_interval ~telemetry ~interval ~flight_dir =
+  match interval with
+  | Some s ->
+      if s <= 0. then failwith "--telemetry-interval must be positive";
+      s
+  | None -> if telemetry || flight_dir <> None then 0.1 else 0.
+
+let flight_dir_arg =
+  let doc =
+    "Enable the flight recorder: on each incident onset (and any chaos invariant failure) \
+     freeze the last telemetry windows, incidents and packet trace into a self-contained \
+     $(i,flight_<label>_<n>.json) dump under $(docv).  Implies $(b,--telemetry)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~doc ~docv:"DIR")
+
 let base_config transfers max_time seed =
   { Workload.Experiment.default with Workload.Experiment.transfers_per_user = transfers; max_time; seed }
 
@@ -288,24 +316,31 @@ let run_stats_json (r : Workload.Experiment.result) ~attackers report =
 
 let run_cmd =
   let doc = "One custom experiment run." in
-  let run scheme_name n attack transfers max_time seed stats trace trace_sample =
+  let run scheme_name n attack transfers max_time seed stats trace trace_sample telemetry
+      telemetry_interval flight_dir =
     let cfg = single_config scheme_name n attack transfers max_time seed in
+    let ti =
+      resolve_telemetry_interval ~telemetry ~interval:telemetry_interval ~flight_dir
+    in
     let r =
-      match (stats, trace) with
-      | None, None -> Workload.Experiment.run cfg
-      | _ ->
-          (* Counters, the net-event bridge, the wall-time profiler and (if
-             asked) the trace ring; no gauges, so the simulated outcome is
-             identical to the unobserved run. *)
-          let obs =
-            {
-              Workload.Experiment.obs_trace_capacity = (if trace = None then 0 else 65536);
-              obs_trace_sample = trace_sample;
-              obs_profile = true;
-              obs_gauge_period = 0.;
-            }
-          in
-          Workload.Experiment.run ~obs cfg
+      if stats = None && trace = None && ti = 0. then Workload.Experiment.run cfg
+      else
+        (* Counters, the net-event bridge, the wall-time profiler and (if
+           asked) the trace ring and telemetry; no gauges, so the simulated
+           outcome is identical to the unobserved run. *)
+        let obs =
+          {
+            Workload.Experiment.obs_trace_capacity = (if trace = None then 0 else 65536);
+            obs_trace_sample = trace_sample;
+            obs_profile = true;
+            obs_gauge_period = 0.;
+            obs_telemetry_interval = ti;
+            obs_flight_windows = 64;
+            obs_flight_dir = flight_dir;
+            obs_flight_label = "run";
+          }
+        in
+        Workload.Experiment.run ~obs cfg
     in
     Printf.printf "scheme=%s attackers=%d fraction_completed=%.4f avg_transfer_time=%.4fs\n"
       r.Workload.Experiment.scheme_name n r.fraction_completed r.avg_transfer_time;
@@ -314,9 +349,15 @@ let run_cmd =
       (Workload.Metrics.completed r.metrics)
       (Workload.Metrics.aborted r.metrics)
       r.sim_end;
+    (match r.Workload.Experiment.flight with
+    | Some f ->
+        List.iter (fun p -> Printf.printf "flight-dump %s\n" p) (Obs.Flight.dumps f)
+    | None -> ());
     match r.Workload.Experiment.obs with
     | None -> ()
     | Some report ->
+        if ti > 0. then Format.printf "@.%a" Obs.Report.pp_series report;
+        if ti > 0. then Format.printf "%a" Obs.Report.pp_incidents report.Obs.Report.incidents;
         Option.iter (fun path -> write_file path (run_stats_json r ~attackers:n report)) stats;
         Option.iter
           (fun path ->
@@ -326,7 +367,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ scheme_arg $ nattackers_arg $ attack_arg $ transfers_arg $ max_time_arg
-      $ seed_arg $ stats_arg $ trace_arg $ trace_sample_arg)
+      $ seed_arg $ stats_arg $ trace_arg $ trace_sample_arg $ telemetry_arg
+      $ telemetry_interval_arg $ flight_dir_arg)
 
 let dashboard_cmd =
   let doc =
@@ -343,14 +385,29 @@ let dashboard_cmd =
              sampling consumes scheduler sequence numbers, so it can perturb event tie-breaks)."
           ~docv:"SECONDS")
   in
-  let run scheme_name n attack transfers max_time seed gauge_period stats =
+  let series_arg =
+    let doc =
+      "Add interval-telemetry series (and incident detection) to the dashboard: per-channel \
+       stats plus a sparkline per channel."
+    in
+    Arg.(value & flag & info [ "series" ] ~doc)
+  in
+  let run scheme_name n attack transfers max_time seed gauge_period stats series
+      telemetry_interval =
     let cfg = single_config scheme_name n attack transfers max_time seed in
+    let ti =
+      resolve_telemetry_interval ~telemetry:series ~interval:telemetry_interval ~flight_dir:None
+    in
     let obs =
       {
         Workload.Experiment.obs_trace_capacity = 0;
         obs_trace_sample = 1;
         obs_profile = true;
         obs_gauge_period = gauge_period;
+        obs_telemetry_interval = ti;
+        obs_flight_windows = 64;
+        obs_flight_dir = None;
+        obs_flight_label = "dashboard";
       }
     in
     let r = Workload.Experiment.run ~obs cfg in
@@ -365,7 +422,7 @@ let dashboard_cmd =
   Cmd.v (Cmd.info "dashboard" ~doc)
     Term.(
       const run $ scheme_arg $ nattackers_arg $ attack_arg $ transfers_arg $ max_time_arg
-      $ seed_arg $ gauge_period_arg $ stats_arg)
+      $ seed_arg $ gauge_period_arg $ stats_arg $ series_arg $ telemetry_interval_arg)
 
 (* --- chaos: fault injection + recovery checking ---------------------- *)
 
@@ -385,6 +442,17 @@ let chaos_stats_json outcomes =
                     (List.map (fun (clause, n) -> (clause, Obs.Export.Int n)) o.oc_injected) );
                 ( "reacquire_latencies_s",
                   Obs.Export.List (List.map (fun l -> Obs.Export.Float l) o.oc_latencies) );
+                ( "engage_s",
+                  match o.oc_engage_s with
+                  | None -> Obs.Export.Null
+                  | Some v -> Obs.Export.Float v );
+                ( "recover_s",
+                  match o.oc_recover_s with
+                  | None -> Obs.Export.Null
+                  | Some v -> Obs.Export.Float v );
+                ( "flight_dumps",
+                  Obs.Export.List
+                    (List.map (fun p -> Obs.Export.String p) o.oc_flight_dumps) );
                 ( "verdict",
                   Obs.Export.Obj
                     [
@@ -434,23 +502,24 @@ let chaos_cmd =
       & opt string "none"
       & info [ "attack" ] ~doc:"none | legacy | request | authorized | imprecise")
   in
-  let run faults scheme_name n attack transfers max_time seed csv jobs stats =
+  let run faults scheme_name n attack transfers max_time seed csv jobs stats flight_dir =
     let base = single_config scheme_name n attack transfers max_time seed in
     let outcomes =
       match faults with
-      | None -> Workload.Scenario.chaos_suite ~jobs ~base ()
+      | None -> Workload.Scenario.chaos_suite ~jobs ?flight_dir ~base ()
       | Some spec_str -> (
           match Faults.Spec.parse spec_str with
           | Error e ->
               prerr_endline ("tva_sim chaos: bad --faults spec: " ^ e);
               exit 2
-          | Ok spec -> [ Workload.Scenario.chaos_single ~base spec ])
+          | Ok spec -> [ Workload.Scenario.chaos_single ?flight_dir ~base spec ])
     in
     print_table csv (Workload.Chaos.render outcomes);
     List.iter
       (fun (o : Workload.Chaos.outcome) ->
         Format.printf "@.%s (%s)@.%a" o.Workload.Chaos.oc_label o.oc_spec
-          Faults.Invariants.pp_verdict o.oc_verdict)
+          Faults.Invariants.pp_verdict o.oc_verdict;
+        List.iter (fun p -> Printf.printf "flight-dump %s\n" p) o.oc_flight_dumps)
       outcomes;
     Option.iter (fun path -> write_file path (chaos_stats_json outcomes)) stats;
     if not (Workload.Chaos.all_ok outcomes) then exit 1
@@ -458,7 +527,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ faults_arg $ scheme_arg $ chaos_nattackers_arg $ chaos_attack_arg
-      $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ jobs_arg $ stats_arg)
+      $ transfers_arg $ max_time_arg $ seed_arg $ csv_arg $ jobs_arg $ stats_arg
+      $ flight_dir_arg)
 
 let ablation_cmd name ~doc ~run_comparison =
   let run transfers max_time seed csv jobs =
@@ -498,7 +568,7 @@ let ablation_sfq_cmd =
 let scale_cmd =
   let doc = "Aggregate-attacker scale run: swarms of spoofed flood members on generated topologies." in
   let run scheme_name topology senders aggregates mode sched batch_window attack_mbps users
-      transfers max_time seed par_domains stats =
+      transfers max_time seed par_domains stats telemetry telemetry_interval =
     let scheme =
       match List.assoc_opt scheme_name Workload.Scenario.schemes with
       | Some s -> s
@@ -538,16 +608,19 @@ let scale_cmd =
         sc_par_domains = par_domains;
       }
     in
+    let ti =
+      resolve_telemetry_interval ~telemetry ~interval:telemetry_interval ~flight_dir:None
+    in
     let obs =
-      match stats with
-      | None -> None
-      | Some _ ->
-          Some
-            {
-              Workload.Experiment.obs_default with
-              Workload.Experiment.obs_profile = true;
-              obs_gauge_period = 0.1;
-            }
+      if stats = None && ti = 0. then None
+      else
+        Some
+          {
+            Workload.Experiment.obs_default with
+            Workload.Experiment.obs_profile = stats <> None;
+            obs_gauge_period = (if stats = None then 0. else 0.1);
+            obs_telemetry_interval = ti;
+          }
     in
     let t0 = Unix.gettimeofday () in
     let r = Workload.Scale.run ?obs cfg in
@@ -567,6 +640,9 @@ let scale_cmd =
         (String.concat "; " (Array.to_list (Array.map string_of_int r.sr_partition_events)))
         r.sr_wall_s
         (float_of_int r.sr_events /. r.sr_wall_s);
+    (match r.Workload.Scale.sr_obs with
+    | Some report when ti > 0. -> Format.printf "@.%a" Obs.Report.pp_series report
+    | Some _ | None -> ());
     match (stats, r.Workload.Scale.sr_obs) with
     | Some path, Some report ->
         let json =
@@ -645,7 +721,7 @@ let scale_cmd =
     Term.(
       const run $ scheme_arg $ topology_arg $ senders_arg $ aggregates_arg $ mode_arg $ sched_arg
       $ batch_window_arg $ attack_mbps_arg $ users_arg $ transfers_arg $ max_time_arg $ seed_arg
-      $ par_domains_arg $ stats_arg)
+      $ par_domains_arg $ stats_arg $ telemetry_arg $ telemetry_interval_arg)
 
 let default_info =
   Cmd.info "tva_sim" ~version:"1.0.0"

@@ -123,10 +123,44 @@ let shutdown t =
    at [until - lookahead] can arrive exactly AT [until] — so the loop
    keeps running inclusive windows at [until] for as long as the exchange
    injects events at or before it.  Each such cascade advances strictly
-   through message chains (every hop adds >= lookahead), so it terminates. *)
-let drive t ~sims ~lookahead ~until ~exchange =
+   through message chains (every hop adds >= lookahead), so it terminates.
+
+   Pulses: with [?pulse:(interval, fire)], the coordinator calls
+   [fire (k *. interval)] for k = 1, 2, ... exactly when every event
+   strictly before that time has fired on every lane and none at or after
+   it has — the same cut a [Sim.schedule_aux] telemetry tick sees in a
+   sequential run (aux events sort before normal events at equal time).
+   Windows are capped at the next pulse time (exclusively), the pulse
+   fires at the barrier on the coordinating domain, and pulses at or
+   before [until] that remain when the event supply dries up are drained
+   at the end — matching the sequential aux chain, which keeps firing
+   after normal events drain.  Pulse times are computed by multiplication
+   ([k *. interval]), not accumulation, so sequential tick chains must do
+   the same for the two series to carry identical timestamps. *)
+let drive ?pulse t ~sims ~lookahead ~until ~exchange =
   if Array.length sims <> t.size then invalid_arg "Par.drive: one simulator per lane";
   if not (lookahead > 0.) then invalid_arg "Par.drive: lookahead must be positive";
+  let p_interval, p_fire =
+    match pulse with
+    | Some (i, f) ->
+        if not (i > 0.) then invalid_arg "Par.drive: pulse interval must be positive";
+        (i, f)
+    | None -> (infinity, fun _ -> ())
+  in
+  let pulse_idx = ref 1 in
+  let next_pulse () = float_of_int !pulse_idx *. p_interval in
+  (* Fire every due pulse at or before [limit] (and [until]).  Safe
+     whenever the global minimum pending time is >= [limit]: all events
+     before each fired pulse time have run, none at it have. *)
+  let fire_pulses_upto limit =
+    while
+      (let np = next_pulse () in
+       np <= limit && np <= until)
+    do
+      p_fire (next_pulse ());
+      incr pulse_idx
+    done
+  in
   let n = t.size in
   let global_min () =
     let m = ref infinity in
@@ -139,18 +173,27 @@ let drive t ~sims ~lookahead ~until ~exchange =
   let rec loop () =
     exchange ();
     let t0 = global_min () in
-    if t0 = infinity then (* every partition drained; nothing in flight *) ()
+    if t0 = infinity then
+      (* every partition drained; nothing in flight — drain the pulses *)
+      fire_pulses_upto until
     else if t0 <= until then begin
-      let w_end = Float.min (t0 +. lookahead) until in
-      let inclusive = w_end >= until in
+      fire_pulses_upto t0;
+      let w0 = Float.min (t0 +. lookahead) until in
+      let np = next_pulse () in
+      (* Cap the window at the next pulse (exclusive — events AT the pulse
+         time fire after it, in the next window), and only close the bound
+         at [until] once no pulse is due there. *)
+      let w_end, inclusive = if np <= w0 then (np, false) else (w0, w0 >= until) in
       run t (fun lane -> Sim.run_window ~inclusive sims.(lane) ~upto:w_end);
       loop ()
     end
-    else
+    else begin
       (* Only post-[until] events remain: advance the clocks the way
          [Sim.run ~until] would (no actions fire, so no new messages). *)
       for i = 0 to n - 1 do
         Sim.run_window ~inclusive:true sims.(i) ~upto:until
-      done
+      done;
+      fire_pulses_upto until
+    end
   in
   loop ()

@@ -21,6 +21,7 @@ val run : t -> (int -> unit) -> unit
     after the barrier, leaving the team reusable. *)
 
 val drive :
+  ?pulse:float * (float -> unit) ->
   t ->
   sims:Sim.t array ->
   lookahead:float ->
@@ -34,7 +35,16 @@ val drive :
     window at [until] is inclusive, matching [Sim.run ~until]'s closed
     bound, and is repeated while the exchange keeps injecting arrivals at
     or before [until].  Requires one simulator per lane and a positive
-    lookahead. *)
+    lookahead.
+
+    [pulse = (interval, fire)] asks the coordinator to call
+    [fire (k *. interval)] for k = 1, 2, ... at the exact global cut where
+    every event strictly before that time has fired and none at or after
+    it has — windows are capped (exclusively) at the next pulse time, and
+    pulses at or before [until] left over when the events drain still
+    fire.  This is the partitioned equivalent of a read-only
+    {!Sim.schedule_aux} telemetry tick chain, and produces identical
+    observation points for any partition count. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  Idempotent. *)

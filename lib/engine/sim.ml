@@ -36,7 +36,8 @@ module Kind = struct
   let agent = 5
   let obs = 6
   let fault = 7
-  let count = 8
+  let telemetry = 8
+  let count = 9
 
   let name = function
     | 0 -> "other"
@@ -47,6 +48,7 @@ module Kind = struct
     | 5 -> "agent"
     | 6 -> "obs"
     | 7 -> "fault"
+    | 8 -> "telemetry"
     | _ -> "?"
 end
 
@@ -364,6 +366,7 @@ type t = {
   queue : queue;
   mutable clock : float;
   mutable next_seq : int;
+  mutable aux_seq : int; (* negative, descending: auxiliary (telemetry) events *)
   live : int ref; (* scheduled and not cancelled *)
   mutable stopping : bool;
   mutable fired : int; (* actions executed since creation *)
@@ -379,6 +382,7 @@ let create ?(seed = 1) ?(sched = Heap) () =
       | Wheel -> Q_wheel (wheel_create ()));
     clock = 0.;
     next_seq = 0;
+    aux_seq = -1;
     live = ref 0;
     stopping = false;
     fired = 0;
@@ -419,6 +423,24 @@ let schedule_at ?(kind = Kind.other) t ~time action =
 let schedule ?kind t ~delay action =
   if delay < 0. then invalid_arg "Sim.schedule: negative delay";
   schedule_at ?kind t ~time:(t.clock +. delay) action
+
+(* Auxiliary events draw from a separate, negative, descending sequence
+   counter, so scheduling one never consumes a [next_seq] value — a run
+   with read-only auxiliary ticks attached stays bit-identical to the same
+   run without them.  At equal time the negative seq sorts before every
+   normal event, so a telemetry tick at T observes state with all events
+   < T fired and none at T: the same cut a barrier pulse sees in a
+   partitioned run ({!Par.drive}), which is what makes K=1 and K>1
+   interval series identical. *)
+let schedule_aux ?(kind = Kind.telemetry) t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_aux: time %g is before now %g" time t.clock);
+  let ev = { time; seq = t.aux_seq; kind; action = Some action; live = t.live } in
+  t.aux_seq <- t.aux_seq - 1;
+  (match t.queue with Q_heap h -> heap_push h ev | Q_wheel w -> wheel_add w ev);
+  incr t.live;
+  ev
 
 let cancel ev =
   match ev.action with

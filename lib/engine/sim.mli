@@ -53,6 +53,11 @@ module Kind : sig
   (** scheduled fault-injection control events (link down/up, flap edges,
       cache wipes, secret rotations, restarts) *)
 
+  val telemetry : int
+  (** cadence-scheduled telemetry snapshot ticks ({!Obs.Timeseries}); always
+      scheduled through {!schedule_aux} so they never perturb normal
+      sequence numbers *)
+
   val count : int
   val name : int -> string
 end
@@ -83,6 +88,17 @@ val schedule_at : ?kind:int -> t -> time:float -> (unit -> unit) -> handle
 
 val schedule : ?kind:int -> t -> delay:float -> (unit -> unit) -> handle
 (** Fire the callback [delay] seconds from {!now} ([delay >= 0]). *)
+
+val schedule_aux : ?kind:int -> t -> time:float -> (unit -> unit) -> handle
+(** Fire the callback at absolute virtual [time], drawing from a separate
+    {e negative, descending} sequence counter.  Scheduling an auxiliary
+    event never consumes a normal sequence number, so a run with read-only
+    auxiliary ticks attached is bit-identical to the same run without them
+    (unlike {!schedule}, whose sequence-number consumption perturbs later
+    ties).  At equal time an auxiliary event fires {e before} every normal
+    event — the observation cut "all events < T fired, none at T", matching
+    the barrier pulses of partitioned runs.  [kind] defaults to
+    {!Kind.telemetry}.  The callback must not mutate simulation state. *)
 
 val cancel : handle -> unit
 (** Cancelling an already-fired or cancelled event is a no-op. *)

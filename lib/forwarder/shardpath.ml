@@ -142,6 +142,14 @@ let merged_counters t =
 let counters_snapshot t =
   match t.registry with None -> [] | Some r -> Obs.Counters.snapshot_all r
 
+(* The live per-shard counter instances, shard order — the telemetry tick
+   path watches these through [Obs.Timeseries.Cells] (summed) or per-shard
+   [Cell] channels without ever snapshotting. *)
+let shard_counters t =
+  match t.registry with
+  | None -> [||]
+  | Some r -> Array.of_list (Obs.Counters.registered r)
+
 let merged_events t =
   List.fold_left
     (fun acc (_, arr) -> Array.mapi (fun i v -> v + arr.(i)) acc)

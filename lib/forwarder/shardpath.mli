@@ -93,6 +93,12 @@ val counters_snapshot : t -> Obs.Counters.snap
 (** Per-shard counter snapshots in shard order ([[]] unless [observe]);
     deterministic regardless of domain scheduling. *)
 
+val shard_counters : t -> Obs.Counters.t array
+(** The live per-shard counter instances in shard order ([[||]] unless
+    [observe]) — the allocation-free sources a telemetry ring watches
+    ({!Obs.Timeseries.Cells} for the sum, per-shard [Cell] channels for
+    balance). *)
+
 val merged_events : t -> int array
 (** The snapshot summed pointwise into one array indexed by
     [Obs.Event.to_int]. *)

@@ -467,13 +467,40 @@ let exchange_mailboxes t =
               arr
       done
 
-let run_parallel ?(until = infinity) t =
+let run_parallel ?pulse ?(until = infinity) t =
+  (match pulse with
+  | Some (interval, _) ->
+      if not (interval > 0.) then invalid_arg "Net.run_parallel: pulse interval must be positive";
+      if until = infinity then invalid_arg "Net.run_parallel: a pulse needs a finite until"
+  | None -> ());
   match t.par with
-  | None -> Sim.run ~until t.sim
+  | None -> (
+      match pulse with
+      | None -> Sim.run ~until t.sim
+      | Some (interval, fire) ->
+          (* The sequential equivalent of Par.drive's barrier pulses: a
+             self-rescheduling auxiliary tick chain.  Aux events draw
+             negative sequence numbers, so the run stays bit-identical to
+             one without the chain; at equal time they fire before normal
+             events, the same cut the partitioned pulse observes.  Times
+             are k * interval by multiplication, matching Par.drive, so
+             both paths stamp identical series. *)
+          let k = ref 1 in
+          let rec arm () =
+            let tm = float_of_int !k *. interval in
+            if tm <= until then
+              ignore
+                (Sim.schedule_aux t.sim ~time:tm (fun () ->
+                     fire tm;
+                     incr k;
+                     arm ()))
+          in
+          arm ();
+          Sim.run ~until t.sim)
   | Some p ->
       let team = Par.create (Array.length p.p_sims) in
       Fun.protect
         ~finally:(fun () -> Par.shutdown team)
         (fun () ->
-          Par.drive team ~sims:p.p_sims ~lookahead:p.p_lookahead ~until
+          Par.drive ?pulse team ~sims:p.p_sims ~lookahead:p.p_lookahead ~until
             ~exchange:(fun () -> exchange_mailboxes t))

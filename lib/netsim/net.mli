@@ -225,9 +225,18 @@ val exchange_mailboxes : t -> unit
     time, cut-link creation order, FIFO) per partition.  Called by
     {!run_parallel} at window barriers; exposed for tests. *)
 
-val run_parallel : ?until:float -> t -> unit
+val run_parallel : ?pulse:float * (float -> unit) -> ?until:float -> t -> unit
 (** Run the network to [until] (default: run dry).  Unpartitioned this is
     exactly [Sim.run ~until]; partitioned it drives one domain per
     partition in lockstep windows of the {!lookahead}, exchanging
     mailboxes at each barrier.  Differential-tested to produce the same
-    metrics, counters and packet streams as the sequential run. *)
+    metrics, counters and packet streams as the sequential run.
+
+    [pulse = (interval, fire)] calls [fire (k *. interval)] for
+    k = 1, 2, ... at the deterministic cut where every event strictly
+    before that time has fired and none at or after it has — via a
+    read-only {!Sim.schedule_aux} tick chain when unpartitioned, and
+    {!Par.drive}'s barrier pulses when partitioned, so the observation
+    points are identical for any partition count.  The callback runs on
+    the coordinating domain and must not mutate simulation state.
+    Requires a finite [until]. *)

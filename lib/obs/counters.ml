@@ -28,6 +28,10 @@ let[@inline] add t e n =
 
 let get t e = t.counts.(Event.to_int e)
 
+(* Raw cell read by event index — the allocation-free form the telemetry
+   tick path uses (the index is resolved once at channel registration). *)
+let cell t i = t.counts.(i)
+
 let reset t = Array.fill t.counts 0 Event.count 0
 
 let snapshot t = (t.name, Array.copy t.counts)

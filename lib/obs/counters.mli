@@ -20,6 +20,11 @@ val incr : t -> Event.t -> unit
 
 val add : t -> Event.t -> int -> unit
 val get : t -> Event.t -> int
+
+(** Raw cell read by [Event.to_int] index — allocation-free, for the
+    telemetry tick path, which resolves the index once at registration. *)
+val cell : t -> int -> int
+
 val reset : t -> unit
 val total : t -> int
 

@@ -22,3 +22,10 @@ val to_string : t -> string
 val to_string_pretty : t -> string
 (** One ["key": value] per line, two-space indent, trailing newline —
     greppable by the bench comparators and diffable by humans. *)
+
+val parse : string -> (t, string) result
+(** Parse the subset of JSON this module emits (numbers written with a
+    ['.'], ['e'] or ['E'] become [Float], the rest [Int]; [\u00XX]
+    escapes decode, higher code points are rejected).  Round-trips
+    everything {!to_string}/{!to_string_pretty} produce — how
+    flight-recorder dumps are read back in tests and tooling. *)

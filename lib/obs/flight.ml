@@ -1,0 +1,95 @@
+(* The flight recorder (DESIGN.md §15): on an incident onset, an invariant
+   failure, or any caller-chosen trigger, freeze the recent telemetry
+   windows plus the packet-trace ring into one self-contained JSON
+   artifact on disk.
+
+   A dump carries everything needed to read it in isolation — the trigger
+   reason and sim time, the channel schema, the last W windows, the
+   incident list so far, and the trace tail — so a CI artifact from a
+   failed chaos run explains itself without the repo checked out.  Dumps
+   are capped ([max_dumps], default 4) because one bad detector threshold
+   on a long run must not fill a disk. *)
+
+type t = {
+  dir : string;
+  label : string;
+  windows : int; (* telemetry windows to keep per dump *)
+  max_dumps : int;
+  mutable ts : Timeseries.t option;
+  mutable trace : Trace.t option;
+  mutable detect : Detect.t option;
+  mutable seq : int;
+  mutable dumps : string list; (* paths written, reverse order *)
+}
+
+let create ?(windows = 64) ?(max_dumps = 4) ~dir ~label () =
+  if windows <= 0 then invalid_arg "Flight.create: windows must be positive";
+  { dir; label; windows; max_dumps; ts = None; trace = None; detect = None; seq = 0; dumps = [] }
+
+let set_timeseries t ts = t.ts <- Some ts
+let set_trace t trace = if not (Trace.is_nop trace) then t.trace <- Some trace
+let set_detect t d = t.detect <- Some d
+
+let dumps t = List.rev t.dumps
+
+(* Mirrors Trace.to_jsonl's fields, as structured values. *)
+let trace_json ?node_name trace =
+  let node_name = match node_name with Some f -> f | None -> string_of_int in
+  let rows = ref [] in
+  Trace.iter trace (fun ~time ~node ~event ~src ~dst ~size ->
+      rows :=
+        Export.Obj
+          [
+            ("t", Export.Float time);
+            ("node", Export.String (node_name node));
+            ("event", Export.String (Event.name_of_int event));
+            ("src", Export.Int src);
+            ("dst", Export.Int dst);
+            ("size", Export.Int size);
+          ]
+        :: !rows);
+  Export.List (List.rev !rows)
+
+let dump_json ?node_name t ~reason ~time =
+  Export.Obj
+    ([
+       ("flight", Export.Bool true);
+       ("label", Export.String t.label);
+       ("reason", Export.String reason);
+       ("time", Export.Float time);
+     ]
+    @ (match t.ts with
+      | None -> []
+      | Some ts -> [ ("series", Timeseries.to_json ~last:t.windows ts) ])
+    @ (match t.detect with None -> [] | Some d -> [ ("incidents", Detect.to_json d) ])
+    @
+    match t.trace with
+    | None -> []
+    | Some trace -> [ ("trace", trace_json ?node_name trace) ])
+
+(* [mkdir -p] on the stdlib only. *)
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* A filesystem-safe slug of the scenario label. *)
+let slug s =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '-') s
+
+let trigger ?node_name t ~reason ~time =
+  if t.seq < t.max_dumps then begin
+    t.seq <- t.seq + 1;
+    let path =
+      Filename.concat t.dir (Printf.sprintf "flight_%s_%d.json" (slug t.label) t.seq)
+    in
+    ensure_dir t.dir;
+    let json = dump_json ?node_name t ~reason ~time in
+    let oc = open_out path in
+    output_string oc (Export.to_string_pretty json);
+    close_out oc;
+    t.dumps <- path :: t.dumps;
+    Some path
+  end
+  else None

@@ -1,0 +1,30 @@
+(** The flight recorder (DESIGN.md §15): freeze the last W telemetry
+    windows, the incident list so far, and the packet-trace ring into one
+    self-contained crash-dump JSON artifact when something goes wrong —
+    an incident onset, a chaos invariant failure, or any caller trigger.
+
+    Dumps are named [<dir>/flight_<label>_<n>.json] and capped at
+    [max_dumps] per recorder so a miscalibrated detector cannot fill a
+    disk.  The JSON round-trips through {!Export.parse}. *)
+
+type t
+
+val create : ?windows:int -> ?max_dumps:int -> dir:string -> label:string -> unit -> t
+(** [windows] (default 64) telemetry windows per dump; [max_dumps]
+    (default 4) dumps per recorder. *)
+
+val set_timeseries : t -> Timeseries.t -> unit
+val set_trace : t -> Trace.t -> unit
+(** No-op on [Trace.nop]. *)
+
+val set_detect : t -> Detect.t -> unit
+
+val trigger : ?node_name:(int -> string) -> t -> reason:string -> time:float -> string option
+(** Write a dump now; returns its path, or [None] once [max_dumps] is
+    reached.  Creates [dir] (and parents) on first use. *)
+
+val dump_json : ?node_name:(int -> string) -> t -> reason:string -> time:float -> Export.t
+(** The dump as a JSON value, without touching the filesystem. *)
+
+val dumps : t -> string list
+(** Paths written so far, oldest first. *)

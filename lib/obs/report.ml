@@ -46,6 +46,28 @@ type gauge_row = {
 
 type partition_row = { pt_label : string; pt_events : int }
 
+(* One telemetry channel summarized over its interval windows; the stats
+   quadruple matches [gauge_row] so both render through one formatter. *)
+type series_row = {
+  s_name : string;
+  s_mode : string; (* "cumulative" (stats over per-second rates) or "level" *)
+  s_windows : int;
+  s_mean : float;
+  s_max : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_spark : string; (* sparkline over the surviving windows, oldest first *)
+}
+
+type incident_row = {
+  i_rule : string;
+  i_onset : float;
+  i_clear : float; (* NaN = still open at report time *)
+  i_peak : float;
+  i_peak_at : float;
+  i_open : bool;
+}
+
 type t = {
   counters : Counters.snap;
   links : link_row list;
@@ -55,6 +77,10 @@ type t = {
   partitions : partition_row list; (* empty outside parallel runs *)
   wall_s : float; (* event-loop wall seconds; 0. = not measured *)
   trace_jsonl : string option;
+  series : series_row list; (* empty unless telemetry was on *)
+  series_interval : float; (* 0. unless telemetry was on *)
+  series_json : Export.t option; (* the full interval dump, for --stats *)
+  incidents : incident_row list;
 }
 
 let empty =
@@ -67,6 +93,10 @@ let empty =
     partitions = [];
     wall_s = 0.;
     trace_jsonl = None;
+    series = [];
+    series_interval = 0.;
+    series_json = None;
+    incidents = [];
   }
 
 (* --- builders ----------------------------------------------------------- *)
@@ -126,6 +156,72 @@ let gauge_rows profile =
         g_render = Fmt.str "%a" Stats.Histogram.pp h;
       })
     (Profile.gauges profile)
+
+(* Sparkline over the last [width] windows, oldest first, scaled to the
+   series max (all-low when flat at zero). *)
+let spark_glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 48) values =
+  let n = Array.length values in
+  let keep = min n width in
+  let hi = ref 0. in
+  for i = n - keep to n - 1 do
+    if values.(i) > !hi then hi := values.(i)
+  done;
+  let buf = Buffer.create (3 * keep) in
+  for i = n - keep to n - 1 do
+    let level =
+      if !hi <= 0. then 0
+      else
+        let l = int_of_float (values.(i) /. !hi *. 7.99) in
+        if l < 0 then 0 else if l > 7 then 7 else l
+    in
+    Buffer.add_string buf spark_glyphs.(level)
+  done;
+  Buffer.contents buf
+
+(* Summarize every telemetry channel: cumulative channels over their
+   per-second rates, level channels over raw values.  Percentiles are
+   exact (sorted copy) — this runs once, at report build. *)
+let series_rows ts =
+  List.mapi
+    (fun chan name ->
+      let n = Timeseries.length ts in
+      let vals = Array.init n (fun i -> Timeseries.rate ts ~chan i) in
+      let sorted = Array.copy vals in
+      Array.sort Float.compare sorted;
+      let q p =
+        if n = 0 then nan
+        else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+      in
+      let sum = Array.fold_left ( +. ) 0. vals in
+      {
+        s_name = name;
+        s_mode =
+          (match Timeseries.mode ts ~chan with
+          | Timeseries.Cumulative -> "cumulative"
+          | Timeseries.Level -> "level");
+        s_windows = n;
+        s_mean = (if n = 0 then nan else sum /. float_of_int n);
+        s_max = (if n = 0 then nan else sorted.(n - 1));
+        s_p50 = q 0.5;
+        s_p99 = q 0.99;
+        s_spark = sparkline vals;
+      })
+    (Timeseries.channels ts)
+
+let incident_rows detect =
+  List.map
+    (fun (i : Detect.incident) ->
+      {
+        i_rule = i.Detect.in_rule;
+        i_onset = i.Detect.in_onset;
+        i_clear = i.Detect.in_clear;
+        i_peak = i.Detect.in_peak;
+        i_peak_at = i.Detect.in_peak_at;
+        i_open = i.Detect.in_open;
+      })
+    (Detect.incidents detect)
 
 let trace_jsonl ?node_name trace =
   if Trace.is_nop trace || Trace.length trace = 0 then None
@@ -212,6 +308,29 @@ let gauge_json g =
 let partition_json p =
   Export.Obj [ ("label", Export.String p.pt_label); ("events", Export.Int p.pt_events) ]
 
+let series_row_json s =
+  Export.Obj
+    [
+      ("name", Export.String s.s_name);
+      ("mode", Export.String s.s_mode);
+      ("windows", Export.Int s.s_windows);
+      ("mean", Export.number_or_null s.s_mean);
+      ("max", Export.number_or_null s.s_max);
+      ("p50", Export.number_or_null s.s_p50);
+      ("p99", Export.number_or_null s.s_p99);
+    ]
+
+let incident_json i =
+  Export.Obj
+    [
+      ("rule", Export.String i.i_rule);
+      ("onset", Export.Float i.i_onset);
+      ("clear", Export.number_or_null i.i_clear);
+      ("peak", Export.number_or_null i.i_peak);
+      ("peak_at", Export.Float i.i_peak_at);
+      ("open", Export.Bool i.i_open);
+    ]
+
 let to_json t =
   Export.Obj
     ([
@@ -223,7 +342,13 @@ let to_json t =
      ]
     @ (if t.partitions = [] then []
        else [ ("partitions", Export.List (List.map partition_json t.partitions)) ])
-    @ if t.wall_s > 0. then [ ("wall_s", Export.Float t.wall_s) ] else [])
+    @ (if t.wall_s > 0. then [ ("wall_s", Export.Float t.wall_s) ] else [])
+    @ (if t.series = [] then []
+       else [ ("series", Export.List (List.map series_row_json t.series)) ])
+    @ (match t.series_json with None -> [] | Some j -> [ ("telemetry", j) ])
+    @
+    if t.incidents = [] then []
+    else [ ("incidents", Export.List (List.map incident_json t.incidents)) ])
 
 let to_json_string t = Export.to_string_pretty (to_json t)
 
@@ -280,16 +405,51 @@ let pp_profile fmt profile =
       profile
   end
 
+(* The one stats line both gauge rows and interval-series rows render
+   through, so the dashboard and [--series] agree on the format. *)
+let pp_stat_line fmt ~count ~count_label ~mean ~max ~p50 ~p99 =
+  Format.fprintf fmt "  %s=%d mean=%.2f max=%.0f p50=%.2f p99=%.2f@." count_label count mean max
+    p50 p99
+
 let pp_gauges fmt gauges =
   List.iter
     (fun g ->
       Format.fprintf fmt "== gauge %s ==@." g.g_name;
-      Format.fprintf fmt "  samples=%d mean=%.2f max=%.0f p50=%.2f p99=%.2f@." g.g_count g.g_mean
-        g.g_max g.g_p50 g.g_p99;
+      pp_stat_line fmt ~count:g.g_count ~count_label:"samples" ~mean:g.g_mean ~max:g.g_max
+        ~p50:g.g_p50 ~p99:g.g_p99;
       if g.g_render <> "" then
         String.split_on_char '\n' g.g_render
         |> List.iter (fun line -> if line <> "" then Format.fprintf fmt "  %s@." line))
     gauges
+
+let pp_series fmt t =
+  if t.series <> [] then begin
+    Format.fprintf fmt "== telemetry (interval %gs) ==@." t.series_interval;
+    List.iter
+      (fun s ->
+        Format.fprintf fmt "== series %s (%s%s) ==@." s.s_name s.s_mode
+          (if s.s_mode = "cumulative" then ", per-second rates" else "");
+        pp_stat_line fmt ~count:s.s_windows ~count_label:"windows" ~mean:s.s_mean ~max:s.s_max
+          ~p50:s.s_p50 ~p99:s.s_p99;
+        if s.s_spark <> "" then Format.fprintf fmt "  %s@." s.s_spark)
+      t.series
+  end
+
+let pp_incidents fmt incidents =
+  if incidents <> [] then begin
+    Format.fprintf fmt "== incidents ==@.";
+    List.iter
+      (fun i ->
+        if Float.is_nan i.i_clear then
+          Format.fprintf fmt "  %-24s onset=%.3fs open peak=%.2f@%.3fs@." i.i_rule i.i_onset
+            i.i_peak i.i_peak_at
+        else
+          Format.fprintf fmt "  %-24s onset=%.3fs clear=%.3fs%s peak=%.2f@%.3fs@." i.i_rule
+            i.i_onset i.i_clear
+            (if i.i_open then " (run end)" else "")
+            i.i_peak i.i_peak_at)
+      incidents
+  end
 
 (* Per-partition event counts plus overall throughput: the quick answer to
    "did the parallel run balance, and what did it buy". *)
@@ -311,4 +471,6 @@ let pp_dashboard fmt t =
   pp_caches fmt t.caches;
   pp_profile fmt t.profile;
   pp_gauges fmt t.gauges;
+  pp_series fmt t;
+  pp_incidents fmt t.incidents;
   pp_partitions fmt t

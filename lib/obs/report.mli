@@ -45,6 +45,28 @@ type gauge_row = {
 type partition_row = { pt_label : string; pt_events : int }
 (** Events fired by one partition's event loop under the parallel driver. *)
 
+type series_row = {
+  s_name : string;
+  s_mode : string;  (** ["cumulative"] (stats over per-second rates) or ["level"] *)
+  s_windows : int;
+  s_mean : float;
+  s_max : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_spark : string;  (** sparkline over the surviving windows, oldest first *)
+}
+(** One telemetry channel summarized over its interval windows; the stats
+    quadruple matches {!gauge_row} so both render through one formatter. *)
+
+type incident_row = {
+  i_rule : string;
+  i_onset : float;
+  i_clear : float;  (** NaN = still open at report time *)
+  i_peak : float;
+  i_peak_at : float;
+  i_open : bool;
+}
+
 type t = {
   counters : Counters.snap;
   links : link_row list;
@@ -54,6 +76,10 @@ type t = {
   partitions : partition_row list;  (** empty outside parallel runs *)
   wall_s : float;  (** event-loop wall seconds; [0.] = not measured *)
   trace_jsonl : string option;
+  series : series_row list;  (** empty unless telemetry was on *)
+  series_interval : float;  (** [0.] unless telemetry was on *)
+  series_json : Export.t option;  (** the full interval dump, for [--stats] *)
+  incidents : incident_row list;
 }
 
 val empty : t
@@ -67,6 +93,17 @@ val gauge_rows : Profile.t -> gauge_row list
 
 val trace_jsonl : ?node_name:(int -> string) -> Trace.t -> string option
 (** [None] when the trace is disabled or empty. *)
+
+val series_rows : Timeseries.t -> series_row list
+(** Summarize every channel over its surviving windows — cumulative
+    channels over their per-second rates, level channels over raw values
+    (exact percentiles; runs once, at report build). *)
+
+val incident_rows : Detect.t -> incident_row list
+
+val sparkline : ?width:int -> float array -> string
+(** The last [width] (default 48) values as block glyphs scaled to their
+    max. *)
 
 val merge_counters : t list -> Counters.snap
 (** Left fold of the reports' counter snapshots in list order; feeding
@@ -83,3 +120,10 @@ val counters_json : Counters.snap -> Export.t
     are not a whole report. *)
 
 val pp_dashboard : Format.formatter -> t -> unit
+
+val pp_series : Format.formatter -> t -> unit
+(** The interval-series tables alone (what [tva_sim dashboard --series]
+    adds); included in {!pp_dashboard} when telemetry was on.  Stats lines
+    share one formatter with the gauge rows. *)
+
+val pp_incidents : Format.formatter -> incident_row list -> unit

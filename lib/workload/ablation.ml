@@ -57,6 +57,7 @@ let run_custom ?(n_users = 10) ?(with_colluder = false) ?(transfers = 20) ?(max_
       sim_end = Sim.now sim;
       events = Sim.events_processed sim;
       obs = None;
+      flight = None;
     }
   in
   (result metrics, List.map result per_user)

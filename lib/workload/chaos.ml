@@ -17,6 +17,9 @@ type outcome = {
   oc_latencies : float list;
   oc_verdict : Faults.Invariants.verdict;
   oc_report : Obs.Report.t;
+  oc_engage_s : float option;
+  oc_recover_s : float option;
+  oc_flight_dumps : string list;
 }
 
 let sim_params = { Tva.Params.default with Tva.Params.request_fraction = 0.01 }
@@ -24,12 +27,26 @@ let sim_params = { Tva.Params.default with Tva.Params.request_fraction = 0.01 }
 let base_config =
   { Experiment.default with Experiment.scheme = Scheme.tva ~params:sim_params () }
 
+(* Chaos runs telemetry by default: the detectors are what turn a fault
+   scenario's raw series into the measured engage/recover columns.  The
+   tick chain rides auxiliary events, so the workload numbers stay
+   bit-identical to a telemetry-off run. *)
+let obs_default = { Experiment.obs_default with Experiment.obs_telemetry_interval = 0.1 }
+
 (* One cell = one independent deterministic simulation: the cell carries
    pure data (spec + expectation), [Experiment.run] builds a private
    sim/rng, and the injector's stream splits off it at install time — so
    cells fan out over [Pool.map] and come back bit-identical whatever
    [jobs] is. *)
-let run_cell ?(obs = Experiment.obs_default) ?(base = base_config) cell =
+let run_cell ?(obs = obs_default) ?flight_dir ?(base = base_config) cell =
+  let obs =
+    {
+      obs with
+      Experiment.obs_flight_dir =
+        (match flight_dir with Some _ -> flight_dir | None -> obs.Experiment.obs_flight_dir);
+      obs_flight_label = cell.cl_label;
+    }
+  in
   let injector = ref None in
   let fault_env = ref None in
   let r =
@@ -64,6 +81,32 @@ let run_cell ?(obs = Experiment.obs_default) ?(base = base_config) cell =
       ~injected:(Faults.Inject.total_injected inj)
       ~reacquire_latencies:latencies ~fraction:r.Experiment.fraction_completed
   in
+  (* The invariant failure itself is a flight trigger: the verdict is
+     computed here, inside the (possibly worker-domain) cell run, so the
+     dump freezes this run's own rings. *)
+  (match r.Experiment.flight with
+  | Some f when not verdict.Faults.Invariants.ok ->
+      ignore (Obs.Flight.trigger f ~reason:"invariant-failure" ~time:r.Experiment.sim_end)
+  | Some _ | None -> ());
+  (* Measured engagement and recovery, from the detectors' incidents:
+     engage = first onset, recover = last clear - first onset.  For
+     continuous faults (loss, burst) the detectors stay engaged to run
+     end, which the columns report honestly. *)
+  let engage, recover =
+    match report.Obs.Report.incidents with
+    | [] -> (None, None)
+    | rows ->
+        let onset =
+          List.fold_left (fun a (r : Obs.Report.incident_row) -> Float.min a r.i_onset) infinity
+            rows
+        in
+        let clear =
+          List.fold_left
+            (fun a (r : Obs.Report.incident_row) -> Float.max a r.i_clear)
+            neg_infinity rows
+        in
+        (Some onset, Some (clear -. onset))
+  in
   {
     oc_label = cell.cl_label;
     oc_spec = Faults.Spec.to_string cell.cl_spec;
@@ -73,10 +116,13 @@ let run_cell ?(obs = Experiment.obs_default) ?(base = base_config) cell =
     oc_latencies = latencies;
     oc_verdict = verdict;
     oc_report = report;
+    oc_engage_s = engage;
+    oc_recover_s = recover;
+    oc_flight_dumps = (match r.Experiment.flight with None -> [] | Some f -> Obs.Flight.dumps f);
   }
 
-let run_suite ?(jobs = 1) ?obs ?base cells =
-  Pool.map ~jobs (run_cell ?obs ?base) cells
+let run_suite ?(jobs = 1) ?obs ?flight_dir ?base cells =
+  Pool.map ~jobs (run_cell ?obs ?flight_dir ?base) cells
 
 let parse_exn spec =
   match Faults.Spec.parse spec with
@@ -170,8 +216,19 @@ let render outcomes =
   let table =
     Stats.Table.create
       ~columns:
-        [ "scenario"; "spec"; "fraction"; "injected"; "reacq"; "worst_reacq_s"; "verdict" ]
+        [
+          "scenario";
+          "spec";
+          "fraction";
+          "injected";
+          "reacq";
+          "worst_reacq_s";
+          "engage_s";
+          "recover_s";
+          "verdict";
+        ]
   in
+  let opt = function None -> "-" | Some v -> Printf.sprintf "%.1f" v in
   List.iter
     (fun o ->
       Stats.Table.add_row table
@@ -182,6 +239,8 @@ let render outcomes =
           string_of_int (List.fold_left (fun acc (_, n) -> acc + n) 0 o.oc_injected);
           string_of_int (List.length o.oc_latencies);
           (if o.oc_latencies = [] then "-" else Printf.sprintf "%.3f" (worst_latency o));
+          opt o.oc_engage_s;
+          opt o.oc_recover_s;
           (if o.oc_verdict.Faults.Invariants.ok then "ok" else "FAIL");
         ])
     outcomes;

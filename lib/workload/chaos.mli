@@ -24,6 +24,17 @@ type outcome = {
       (** every sender re-acquisition latency, seconds, user order *)
   oc_verdict : Faults.Invariants.verdict;
   oc_report : Obs.Report.t;  (** the run's full observability report *)
+  oc_engage_s : float option;
+      (** first detector onset, sim seconds — when the incident detectors
+          noticed the fault's effect ([None] if nothing fired) *)
+  oc_recover_s : float option;
+      (** last detector clear minus first onset — how long the run spent
+          inside incidents.  Continuous faults (loss, burst) hold their
+          detectors engaged to run end, and the column reports that. *)
+  oc_flight_dumps : string list;
+      (** flight-recorder artifacts written during this cell (incident
+          onsets, invariant failure), oldest first; [[]] without
+          [flight_dir] *)
 }
 
 val base_config : Experiment.config
@@ -31,15 +42,25 @@ val base_config : Experiment.config
     parameters (1% request channel) — the suite's default workload: 10
     users, no attack, so every degradation is the fault's doing. *)
 
-val run_cell : ?obs:Experiment.obs_config -> ?base:Experiment.config -> cell -> outcome
-(** One scenario: run [base] with the cell's spec installed (counters on —
-    [obs] defaults to {!Experiment.obs_default}), then check the cell's
-    expectation over the counters, the senders' re-acquisition latencies
-    and the completion fraction. *)
+val obs_default : Experiment.obs_config
+(** {!Experiment.obs_default} plus a 100 ms telemetry interval — counters,
+    interval series and incident detectors, no trace/profiler/gauges.  The
+    tick chain rides auxiliary events, so chaos numbers are bit-identical
+    to a telemetry-off run. *)
+
+val run_cell :
+  ?obs:Experiment.obs_config -> ?flight_dir:string -> ?base:Experiment.config -> cell -> outcome
+(** One scenario: run [base] with the cell's spec installed ([obs] defaults
+    to {!obs_default}; the flight label is always the cell's label), then
+    check the cell's expectation over the counters, the senders'
+    re-acquisition latencies and the completion fraction.  [flight_dir]
+    turns the flight recorder on: a dump per incident onset plus one on an
+    invariant failure, capped per run. *)
 
 val run_suite :
   ?jobs:int ->
   ?obs:Experiment.obs_config ->
+  ?flight_dir:string ->
   ?base:Experiment.config ->
   cell list ->
   outcome list

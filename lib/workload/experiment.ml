@@ -40,6 +40,7 @@ type result = {
   sim_end : float;
   events : int;
   obs : Obs.Report.t option;
+  flight : Obs.Flight.t option;
 }
 
 (* What to observe, as pure data: a config (not live state) crosses Pool
@@ -50,10 +51,23 @@ type obs_config = {
   obs_trace_sample : int; (* keep 1 record in k *)
   obs_profile : bool; (* event-loop wall-time profiler (Unix clock) *)
   obs_gauge_period : float; (* sim-seconds between queue-depth samples; 0 = off *)
+  obs_telemetry_interval : float; (* sim-seconds between interval windows; 0 = off *)
+  obs_flight_windows : int; (* telemetry windows frozen into a flight dump *)
+  obs_flight_dir : string option; (* where dumps land; None = no flight recorder *)
+  obs_flight_label : string; (* dump file stem, e.g. the chaos scenario label *)
 }
 
 let obs_default =
-  { obs_trace_capacity = 0; obs_trace_sample = 1; obs_profile = false; obs_gauge_period = 0. }
+  {
+    obs_trace_capacity = 0;
+    obs_trace_sample = 1;
+    obs_profile = false;
+    obs_gauge_period = 0.;
+    obs_telemetry_interval = 0.;
+    obs_flight_windows = 64;
+    obs_flight_dir = None;
+    obs_flight_label = "run";
+  }
 
 type obs_state = {
   st_registry : Obs.Counters.registry;
@@ -197,6 +211,18 @@ let run ?obs ?faults cfg =
         | Some _ | None -> ());
         Some { st_registry = reg; st_counters_for = counters_for; st_trace = trace; st_profile = profile }
   in
+  (* Node-id -> name, for the trace dump (flight recorder and report). *)
+  let node_name =
+    match obs_state with
+    | None -> string_of_int
+    | Some _ ->
+        let names = Hashtbl.create 64 in
+        List.iter
+          (fun node -> Hashtbl.replace names (Net.node_id node) (Net.node_name node))
+          (Net.nodes topo.Topology.net);
+        fun id ->
+          (match Hashtbl.find_opt names id with Some n -> n | None -> string_of_int id)
+  in
   (match obs_state with
   | None ->
       scheme.Scheme.install_router topo.Topology.left ~link_bps:cfg.bottleneck_bps;
@@ -282,8 +308,113 @@ let run ?obs ?faults cfg =
           fe_destination = dest_endpoint;
           fe_obs;
         });
+  (* Telemetry: interval windows over the hot counters and queues, online
+     incident detection, and (optionally) a flight recorder.  Set up last so
+     the channels can watch the "faults" counter the hook just registered.
+     The tick chain rides on auxiliary (negative-sequence) events, so a
+     telemetry-on run is bit-identical to a telemetry-off one. *)
+  let telemetry =
+    match (obs, obs_state) with
+    | Some oc, Some st when oc.obs_telemetry_interval > 0. ->
+        let ts = Obs.Timeseries.create ~interval:oc.obs_telemetry_interval () in
+        let bq = Net.link_qdisc topo.Topology.bottleneck in
+        Obs.Timeseries.add ts ~name:"demoted" ~mode:Obs.Timeseries.Cumulative
+          (Obs.Timeseries.Cells
+             ( [|
+                 st.st_counters_for topo.Topology.left;
+                 st.st_counters_for topo.Topology.right;
+               |],
+               Obs.Event.to_int Obs.Event.Demoted ));
+        (* The congested direction's request channel, found by name inside
+           the composite link scheduler (TVA only; absent elsewhere). *)
+        let request_limiter = ref None in
+        Qdisc.iter_nested bq (fun q ->
+            if q.Qdisc.name = "request-limiter" && !request_limiter = None then
+              request_limiter := Some q);
+        (match !request_limiter with
+        | Some q ->
+            Obs.Timeseries.add ts ~name:"request_bytes" ~mode:Obs.Timeseries.Cumulative
+              (Obs.Timeseries.Int_fn (fun () -> q.Qdisc.stats.Qdisc.bytes_dequeued))
+        | None -> ());
+        (* Resolve the nested stats records once; the tick probe is then a
+           pure int fold with no traversal. *)
+        let drop_stats =
+          let acc = ref [] in
+          Qdisc.iter_nested bq (fun q -> acc := q.Qdisc.stats :: !acc);
+          Array.of_list !acc
+        in
+        Obs.Timeseries.add ts ~name:"drops" ~mode:Obs.Timeseries.Cumulative
+          (Obs.Timeseries.Int_fn
+             (fun () ->
+               let n = ref 0 in
+               Array.iter (fun (s : Qdisc.stats) -> n := !n + s.Qdisc.dropped) drop_stats;
+               !n));
+        Obs.Timeseries.add ts ~name:"queue_depth" ~mode:Obs.Timeseries.Level
+          (Obs.Timeseries.Int_fn (fun () -> Qdisc.packet_count bq));
+        Obs.Timeseries.add ts ~name:"flow_cache" ~mode:Obs.Timeseries.Level
+          (Obs.Timeseries.Int_fn scheme.Scheme.cache_occupancy);
+        (match Obs.Counters.find st.st_registry ~name:"faults" with
+        | Some c ->
+            Obs.Timeseries.add ts ~name:"faults" ~mode:Obs.Timeseries.Cumulative
+              (Obs.Timeseries.Cell (c, Obs.Event.to_int Obs.Event.Fault_injected))
+        | None -> ());
+        Obs.Timeseries.add ts ~name:"events" ~mode:Obs.Timeseries.Cumulative
+          (Obs.Timeseries.Int_fn (fun () -> Sim.events_processed sim));
+        let rules =
+          let r = ref [] in
+          r := Obs.Detect.rule ~name:"demotion-storm" ~chan:"demoted" ~on:50. ~off:5. () :: !r;
+          (match !request_limiter with
+          | Some { Qdisc.kind = Qdisc.Token_bucket tb; _ } ->
+              (* Saturation relative to the channel's configured rate. *)
+              let cap = tb.Qdisc.tb_rate_bytes in
+              r :=
+                Obs.Detect.rule ~name:"request-saturation" ~chan:"request_bytes"
+                  ~on:(0.9 *. cap) ~off:(0.3 *. cap) ()
+                :: !r
+          | Some _ | None -> ());
+          r :=
+            Obs.Detect.rule ~signal:`Value ~up:2 ~down:3 ~name:"queue-buildup"
+              ~chan:"queue_depth" ~on:64. ~off:8. ()
+            :: !r;
+          if Obs.Timeseries.chan_index ts "faults" <> None then
+            r :=
+              Obs.Detect.rule ~down:3 ~name:"fault-activity" ~chan:"faults" ~on:0.5 ~off:0.05 ()
+              :: !r;
+          List.rev !r
+        in
+        let det = Obs.Detect.create ~rules ts in
+        let flight =
+          match oc.obs_flight_dir with
+          | None -> None
+          | Some dir ->
+              let f =
+                Obs.Flight.create ~windows:oc.obs_flight_windows ~dir
+                  ~label:oc.obs_flight_label ()
+              in
+              Obs.Flight.set_timeseries f ts;
+              Obs.Flight.set_trace f st.st_trace;
+              Obs.Flight.set_detect f det;
+              Obs.Detect.on_onset det (fun inc ->
+                  ignore
+                    (Obs.Flight.trigger ~node_name f
+                       ~reason:("incident:" ^ inc.Obs.Detect.in_rule)
+                       ~time:inc.Obs.Detect.in_onset));
+              Some f
+        in
+        Some (ts, det, flight)
+    | _ -> None
+  in
   let loop_t0 = Unix.gettimeofday () in
-  Sim.run ~until:cfg.max_time sim;
+  (match telemetry with
+  | None -> Sim.run ~until:cfg.max_time sim
+  | Some (ts, det, _) ->
+      Net.run_parallel
+        ~pulse:
+          ( Obs.Timeseries.interval ts,
+            fun tm ->
+              Obs.Timeseries.tick ts ~time:tm;
+              Obs.Detect.step det )
+        ~until:cfg.max_time topo.Topology.net);
   let loop_wall = Unix.gettimeofday () -. loop_t0 in
   List.iter (Metrics.merge_into metrics) per_user_metrics;
   let obs_report =
@@ -291,12 +422,15 @@ let run ?obs ?faults cfg =
     | None -> None
     | Some st ->
         (match st.st_profile with Some _ -> Obs.Profile.detach sim | None -> ());
-        let names = Hashtbl.create 64 in
-        List.iter
-          (fun node -> Hashtbl.replace names (Net.node_id node) (Net.node_name node))
-          (Net.nodes topo.Topology.net);
-        let node_name id =
-          match Hashtbl.find_opt names id with Some n -> n | None -> string_of_int id
+        let series, series_interval, series_json, incidents =
+          match telemetry with
+          | None -> ([], 0., None, [])
+          | Some (ts, det, _) ->
+              Obs.Detect.finish det ~time:(Sim.now sim);
+              ( Obs.Report.series_rows ts,
+                Obs.Timeseries.interval ts,
+                Some (Obs.Timeseries.to_json ts),
+                Obs.Report.incident_rows det )
         in
         Some
           {
@@ -312,6 +446,10 @@ let run ?obs ?faults cfg =
               [ { Obs.Report.pt_label = "p0"; pt_events = Sim.events_processed sim } ];
             wall_s = loop_wall;
             trace_jsonl = Obs.Report.trace_jsonl ~node_name st.st_trace;
+            series;
+            series_interval;
+            series_json;
+            incidents;
           }
   in
   {
@@ -322,4 +460,5 @@ let run ?obs ?faults cfg =
     sim_end = Sim.now sim;
     events = Sim.events_processed sim;
     obs = obs_report;
+    flight = (match telemetry with Some (_, _, f) -> f | None -> None);
   }

@@ -51,6 +51,10 @@ type result = {
   sim_end : float;
   events : int;  (** simulator events fired during the run (for events/sec) *)
   obs : Obs.Report.t option;  (** present iff [run ?obs] was given a config *)
+  flight : Obs.Flight.t option;
+      (** the run's flight recorder (present iff telemetry was on and
+          [obs_flight_dir] was set) — callers may {!Obs.Flight.trigger} it
+          post-run, e.g. on a chaos invariant failure *)
 }
 
 type obs_config = {
@@ -62,6 +66,19 @@ type obs_config = {
           The sampler consumes scheduler sequence numbers, so gauge-enabled
           runs are deterministic but not tie-break-identical to unobserved
           ones. *)
+  obs_telemetry_interval : float;
+      (** sim-seconds between telemetry windows; 0 disables.  The tick
+          chain rides on auxiliary (negative-sequence) events, so — unlike
+          the gauge sampler — telemetry-on runs ARE bit-identical to
+          telemetry-off ones.  Channels: demoted, request_bytes (TVA),
+          drops, queue_depth, flow_cache, faults (when a hook is
+          installed), events; detectors: demotion-storm,
+          request-saturation, queue-buildup, fault-activity. *)
+  obs_flight_windows : int;  (** telemetry windows frozen into each flight dump *)
+  obs_flight_dir : string option;
+      (** directory for flight-recorder dumps ([flight_<label>_<n>.json]);
+          [None] disables the recorder.  Requires telemetry. *)
+  obs_flight_label : string;  (** dump file stem, e.g. the chaos scenario label *)
 }
 
 val obs_default : obs_config

@@ -394,8 +394,58 @@ let run ?obs cfg =
                ~batch_window:cfg.sc_batch_window ~mode:cfg.sc_swarm_mode ~emit ())
         end)
   in
+  (* Telemetry rides the same machinery in both execution modes: the
+     sequential path drives ticks from an auxiliary event chain, the
+     partitioned path from the barrier pulses — both stamp window k at
+     [k *. interval], so the interval series is identical for any
+     [sc_par_domains].  The datapath channels (demoted, drops, flow_cache)
+     are partition-invariant; [events]/[p<i>_events] are diagnostic and
+     depend on the execution mode by construction. *)
+  let telemetry =
+    match (obs, obs_state) with
+    | Some (oc : Experiment.obs_config), Some (_, counters_for, _, _)
+      when oc.Experiment.obs_telemetry_interval > 0. ->
+        let ts = Obs.Timeseries.create ~interval:oc.Experiment.obs_telemetry_interval () in
+        Obs.Timeseries.add ts ~name:"demoted" ~mode:Obs.Timeseries.Cumulative
+          (Obs.Timeseries.Cells
+             ( Array.map counters_for (Array.of_list b.b_routers),
+               Obs.Event.to_int Obs.Event.Demoted ));
+        let drop_stats =
+          let acc = ref [] in
+          List.iter
+            (fun l -> Qdisc.iter_nested (Net.link_qdisc l) (fun q -> acc := q.Qdisc.stats :: !acc))
+            (Net.links b.b_net);
+          Array.of_list !acc
+        in
+        Obs.Timeseries.add ts ~name:"drops" ~mode:Obs.Timeseries.Cumulative
+          (Obs.Timeseries.Int_fn
+             (fun () ->
+               let n = ref 0 in
+               Array.iter (fun (s : Qdisc.stats) -> n := !n + s.Qdisc.dropped) drop_stats;
+               !n));
+        Obs.Timeseries.add ts ~name:"flow_cache" ~mode:Obs.Timeseries.Level
+          (Obs.Timeseries.Int_fn scheme.Scheme.cache_occupancy);
+        Obs.Timeseries.add ts ~name:"events" ~mode:Obs.Timeseries.Cumulative
+          (Obs.Timeseries.Int_fn
+             (fun () -> Array.fold_left (fun acc s -> acc + Sim.events_processed s) 0 psims));
+        if Array.length psims > 1 then
+          Array.iteri
+            (fun i s ->
+              Obs.Timeseries.add ts
+                ~name:(Printf.sprintf "p%d_events" i)
+                ~mode:Obs.Timeseries.Cumulative
+                (Obs.Timeseries.Int_fn (fun () -> Sim.events_processed s)))
+            psims;
+        Some ts
+    | _ -> None
+  in
+  let pulse =
+    match telemetry with
+    | None -> None
+    | Some ts -> Some (Obs.Timeseries.interval ts, fun tm -> Obs.Timeseries.tick ts ~time:tm)
+  in
   let wall_start = Unix.gettimeofday () in
-  Net.run_parallel ~until:cfg.sc_max_time b.b_net;
+  Net.run_parallel ?pulse ~until:cfg.sc_max_time b.b_net;
   let wall_s = Unix.gettimeofday () -. wall_start in
   List.iter (Metrics.merge_into metrics) per_user_metrics;
   let attack_packets =
@@ -445,6 +495,12 @@ let run ?obs cfg =
             partitions = partition_rows;
             wall_s;
             trace_jsonl = Obs.Report.trace_jsonl ~node_name trace;
+            series = (match telemetry with None -> [] | Some ts -> Obs.Report.series_rows ts);
+            series_interval =
+              (match telemetry with None -> 0. | Some ts -> Obs.Timeseries.interval ts);
+            series_json =
+              (match telemetry with None -> None | Some ts -> Some (Obs.Timeseries.to_json ts));
+            incidents = [];
           }
   in
   {

@@ -153,10 +153,12 @@ let fig11 ?(jobs = 1) ?(base = Experiment.default) ?(duration = 60.) () =
 
 (* --- Chaos scenarios (Sec. 3.8 robustness; DESIGN.md §11) ------------- *)
 
-let chaos_suite ?jobs ?base () = Chaos.run_suite ?jobs ?base Chaos.default_suite
+let chaos_suite ?jobs ?obs ?flight_dir ?base () =
+  Chaos.run_suite ?jobs ?obs ?flight_dir ?base Chaos.default_suite
 
-let chaos_single ?base ?(expect = Faults.Invariants.relaxed) spec =
-  Chaos.run_cell ?base { Chaos.cl_label = "custom"; cl_spec = spec; cl_expect = expect }
+let chaos_single ?obs ?flight_dir ?base ?(expect = Faults.Invariants.relaxed) spec =
+  Chaos.run_cell ?obs ?flight_dir ?base
+    { Chaos.cl_label = "custom"; cl_spec = spec; cl_expect = expect }
 
 let render series_list =
   let table =

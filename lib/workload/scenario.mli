@@ -85,12 +85,20 @@ val fig11 :
     t = 10 s. *)
 
 val chaos_suite :
-  ?jobs:int -> ?base:Experiment.config -> unit -> Chaos.outcome list
+  ?jobs:int ->
+  ?obs:Experiment.obs_config ->
+  ?flight_dir:string ->
+  ?base:Experiment.config ->
+  unit ->
+  Chaos.outcome list
 (** {!Chaos.default_suite} over {!Chaos.run_suite}: the eight stock fault
     scenarios against the TVA dumbbell, each an independent deterministic
-    run.  [tva_sim chaos] without [--faults]. *)
+    run (telemetry + detectors on by default — {!Chaos.obs_default}).
+    [tva_sim chaos] without [--faults]. *)
 
 val chaos_single :
+  ?obs:Experiment.obs_config ->
+  ?flight_dir:string ->
   ?base:Experiment.config ->
   ?expect:Faults.Invariants.expectation ->
   Faults.Spec.t ->

@@ -18,6 +18,7 @@ type t = {
   install_router : ?obs:Obs.Counters.t -> Net.node -> link_bps:float -> unit;
   make_endpoint : ?obs:Obs.Counters.t -> Net.node -> role:role -> policy:Tva.Policy.t -> endpoint;
   report_caches : unit -> Obs.Report.cache_row list;
+  cache_occupancy : unit -> int;
   fault_targets : unit -> Faults.Inject.router_site list;
 }
 
@@ -100,6 +101,13 @@ let tva ?(params = Tva.Params.default) () : factory =
               c_hwm = Tva.Flow_cache.hwm cache;
             })
           !routers);
+    cache_occupancy =
+      (* Telemetry's flow-cache level channel: an int fold over the live
+         routers, so the tick path never builds the report rows. *)
+      (fun () ->
+        List.fold_left
+          (fun acc (_, _, router) -> acc + Tva.Flow_cache.size (Tva.Router.cache router))
+          0 !routers);
     fault_targets =
       (fun () ->
         List.rev_map
@@ -166,6 +174,7 @@ let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
     partition_safe = true;
     make_qdisc = (fun ~bandwidth_bps -> Siff.Router.make_qdisc ~bandwidth_bps);
     report_caches = (fun () -> []);
+    cache_occupancy = (fun () -> 0);
     install_router =
       (fun ?obs:_ node ~link_bps:_ ->
         let router =
@@ -221,6 +230,7 @@ let pushback ?(interval = 1.0) () : factory =
     make_qdisc = (fun ~bandwidth_bps -> Pushback.make_qdisc controller ~bandwidth_bps);
     install_router = (fun ?obs:_ node ~link_bps:_ -> Pushback.install controller node);
     report_caches = (fun () -> []);
+    cache_occupancy = (fun () -> 0);
     fault_targets = (fun () -> []);
     make_endpoint = (fun ?obs:_ node ~role:_ ~policy:_ -> plain_endpoint node);
   }
@@ -234,6 +244,7 @@ let internet () : factory =
     install_router =
       (fun ?obs:_ node ~link_bps:_ -> Net.set_handler node Baseline.Internet.router_handler);
     report_caches = (fun () -> []);
+    cache_occupancy = (fun () -> 0);
     fault_targets = (fun () -> []);
     make_endpoint = (fun ?obs:_ node ~role:_ ~policy:_ -> plain_endpoint node);
   }

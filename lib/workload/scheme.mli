@@ -51,6 +51,11 @@ type t = {
       (** Flow-cache statistics for every router this scheme instance has
           installed, in creation order (empty for schemes without
           per-flow state). *)
+  cache_occupancy : unit -> int;
+      (** Total live flow-cache entries across this scheme instance's
+          routers right now — an allocation-free int probe (0 for schemes
+          without per-flow state), suitable as an {!Obs.Timeseries.Int_fn}
+          level channel on the telemetry tick path. *)
   fault_targets : unit -> Faults.Inject.router_site list;
       (** Router-level fault surfaces (cache wipe, secret rotation) for
           every router this scheme instance has installed, in creation

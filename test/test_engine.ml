@@ -538,6 +538,64 @@ let bank_matches_lane () =
     Alcotest.(check (float 0.)) "float mapping" (Rng.float r 3.5) (Rng.Bank.float bank2 n 3.5)
   done
 
+(* --- auxiliary (telemetry) events ---------------------------------------- *)
+
+(* schedule_aux's two contracts: at equal time the aux event fires before
+   every normal event (the "all events < T fired, none at T" observation
+   cut), and scheduling aux events never consumes a normal sequence
+   number, so the normal events' tie order is exactly what it would be
+   without them. *)
+let aux_fires_first_and_does_not_perturb () =
+  let run ~with_aux =
+    let sim = Sim.create () in
+    let order = ref [] in
+    let note name () = order := name :: !order in
+    ignore (Sim.schedule_at sim ~time:1. (note "n1"));
+    if with_aux then ignore (Sim.schedule_aux sim ~time:1. (note "aux1"));
+    ignore (Sim.schedule_at sim ~time:1. (note "n2"));
+    if with_aux then ignore (Sim.schedule_aux sim ~time:2. (note "aux2"));
+    (* same-time ties scheduled from inside handlers keep their relative
+       order too *)
+    ignore
+      (Sim.schedule_at sim ~time:2. (fun () ->
+           note "n3" ();
+           ignore (Sim.schedule_at sim ~time:2. (note "n4"))));
+    Sim.run sim;
+    List.rev !order
+  in
+  Alcotest.(check (list string))
+    "aux events fire before same-time normal events"
+    [ "aux1"; "n1"; "n2"; "aux2"; "n3"; "n4" ]
+    (run ~with_aux:true);
+  let strip = List.filter (fun n -> not (String.length n >= 3 && String.sub n 0 3 = "aux")) in
+  Alcotest.(check (list string))
+    "normal order identical with aux stripped"
+    (run ~with_aux:false)
+    (strip (run ~with_aux:true))
+
+(* A self-rearming aux chain (how Timeseries.attach drives ticks): later
+   aux events keep firing first at each time point, and the chain observes
+   the pre-T state — handlers at T run after the tick at T. *)
+let aux_chain_observes_cut () =
+  let sim = Sim.create () in
+  let v = ref 0 in
+  let seen = ref [] in
+  let rec tick k =
+    if k <= 4 then
+      ignore
+        (Sim.schedule_aux sim ~time:(float_of_int k) (fun () ->
+             seen := !v :: !seen;
+             tick (k + 1)))
+  in
+  tick 1;
+  (* v increments at each integer time via normal events; the aux tick at
+     the same time must read the value from before the increment *)
+  for k = 1 to 4 do
+    ignore (Sim.schedule_at sim ~time:(float_of_int k) (fun () -> incr v))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "each tick sees pre-T state" [ 0; 1; 2; 3 ] (List.rev !seen)
+
 let suite =
   [
     Alcotest.test_case "time order" `Quick events_fire_in_time_order;
@@ -564,6 +622,9 @@ let suite =
     QCheck_alcotest.to_alcotest run_window_differential;
     Alcotest.test_case "par team lanes" `Quick par_team_runs_all_lanes;
     Alcotest.test_case "par drive ping-pong" `Quick par_drive_ping_pong;
+    Alcotest.test_case "aux fires first, no perturbation" `Quick
+      aux_fires_first_and_does_not_perturb;
+    Alcotest.test_case "aux chain observes cut" `Quick aux_chain_observes_cut;
     Alcotest.test_case "sched selection" `Quick sched_of_string_roundtrip;
     Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
     Alcotest.test_case "rng seeds differ" `Quick rng_seeds_differ;

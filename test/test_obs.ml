@@ -437,6 +437,286 @@ let demotions_match_host_echoes () =
   Alcotest.(check int) "obs matches host demotions_seen"
     (Tva.Host.counters host_b).Tva.Host.demotions_seen (demoted ())
 
+(* --- In-run telemetry: Timeseries / Detect / Flight (DESIGN.md §15) ----- *)
+
+let timeseries_basics () =
+  let v = ref 0 and depth = ref 0 in
+  let ts = Obs.Timeseries.create ~capacity:4 ~interval:0.5 () in
+  Obs.Timeseries.add ts ~name:"count" ~mode:Obs.Timeseries.Cumulative
+    (Obs.Timeseries.Int_fn (fun () -> !v));
+  Obs.Timeseries.add ts ~name:"depth" ~mode:Obs.Timeseries.Level
+    (Obs.Timeseries.Int_fn (fun () -> !depth));
+  (match
+     Obs.Timeseries.add ts ~name:"count" ~mode:Obs.Timeseries.Level
+       (Obs.Timeseries.Int_fn (fun () -> 0))
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate channel name accepted");
+  Alcotest.(check (list string)) "channels" [ "count"; "depth" ] (Obs.Timeseries.channels ts);
+  let count = Option.get (Obs.Timeseries.chan_index ts "count") in
+  let dep = Option.get (Obs.Timeseries.chan_index ts "depth") in
+  v := 10;
+  depth := 3;
+  Obs.Timeseries.tick ts ~time:0.5;
+  v := 25;
+  depth := 7;
+  Obs.Timeseries.tick ts ~time:1.0;
+  (* cumulative channels store the delta since the previous tick (baseline
+     0 at freeze); rate divides by the interval; level channels store the
+     instantaneous value *)
+  Alcotest.(check (float 0.)) "first delta" 10. (Obs.Timeseries.value ts ~chan:count 0);
+  Alcotest.(check (float 0.)) "second delta" 15. (Obs.Timeseries.value ts ~chan:count 1);
+  Alcotest.(check (float 0.)) "rate" 30. (Obs.Timeseries.rate ts ~chan:count 1);
+  Alcotest.(check (float 0.)) "level" 7. (Obs.Timeseries.value ts ~chan:dep 1);
+  Alcotest.(check (float 0.)) "last time" 1.0 (Obs.Timeseries.last_time ts);
+  (* the channel set is frozen after the first tick *)
+  (match
+     Obs.Timeseries.add ts ~name:"late" ~mode:Obs.Timeseries.Level
+       (Obs.Timeseries.Int_fn (fun () -> 0))
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "add after tick accepted");
+  (* ring wrap: capacity 4, six ticks total -> the four newest survive *)
+  for k = 3 to 6 do
+    v := !v + k;
+    Obs.Timeseries.tick ts ~time:(0.5 *. float_of_int k)
+  done;
+  Alcotest.(check int) "written counts all ticks" 6 (Obs.Timeseries.written ts);
+  Alcotest.(check int) "ring holds capacity" 4 (Obs.Timeseries.length ts);
+  Alcotest.(check (float 0.)) "oldest surviving window" 1.5 (Obs.Timeseries.time_at ts 0);
+  Alcotest.(check (float 0.)) "newest window" 3.0 (Obs.Timeseries.time_at ts 3)
+
+(* The documented hysteresis property: a signal that oscillates every
+   window between a firing level (>= on) and a dip below it never flaps.
+   With alpha = 1 (no smoothing), up = 1 and down = 2, strict alternation
+   yields exactly one incident however long it runs and wherever the dip
+   lands below the on threshold — a single dip window can never satisfy
+   two consecutive clear windows. *)
+let detect_no_flapping =
+  QCheck.Test.make ~name:"detect: hysteresis absorbs single-window oscillation" ~count:100
+    QCheck.(triple (int_range 1 50) (int_range 50 1000) (int_range 0 49))
+    (fun (pairs, high, dip) ->
+      let v = ref 0 in
+      let ts = Obs.Timeseries.create ~capacity:256 ~interval:1.0 () in
+      Obs.Timeseries.add ts ~name:"sig" ~mode:Obs.Timeseries.Level
+        (Obs.Timeseries.Int_fn (fun () -> !v));
+      let rules =
+        [
+          Obs.Detect.rule ~signal:`Value ~up:1 ~down:2 ~alpha:1.0 ~name:"osc" ~chan:"sig"
+            ~on:50. ~off:10. ();
+        ]
+      in
+      let det = Obs.Detect.create ~rules ts in
+      let t = ref 0. in
+      for _ = 1 to pairs do
+        v := high;
+        t := !t +. 1.;
+        Obs.Timeseries.tick ts ~time:!t;
+        Obs.Detect.step det;
+        v := dip;
+        t := !t +. 1.;
+        Obs.Timeseries.tick ts ~time:!t;
+        Obs.Detect.step det
+      done;
+      Obs.Detect.finish det ~time:!t;
+      match Obs.Detect.incidents det with
+      | [ inc ] ->
+          inc.Obs.Detect.in_rule = "osc"
+          && inc.Obs.Detect.in_onset = 1.
+          && inc.Obs.Detect.in_open
+          && inc.Obs.Detect.in_peak = float_of_int high
+          && Obs.Detect.engage_recover det = Some (1., !t -. 1.)
+      | incs -> QCheck.Test.fail_reportf "expected 1 incident, got %d" (List.length incs))
+
+(* A clean clear: hold the signal over the threshold, then below [off]
+   long enough — the incident closes with the right onset/clear/peak and
+   a second excursion opens a second incident. *)
+let detect_onset_clear_peak () =
+  let v = ref 0 in
+  let ts = Obs.Timeseries.create ~interval:1.0 () in
+  Obs.Timeseries.add ts ~name:"sig" ~mode:Obs.Timeseries.Level
+    (Obs.Timeseries.Int_fn (fun () -> !v));
+  let rules =
+    [
+      Obs.Detect.rule ~signal:`Value ~up:2 ~down:2 ~alpha:1.0 ~name:"r" ~chan:"sig" ~on:50.
+        ~off:10. ();
+    ]
+  in
+  let det = Obs.Detect.create ~rules ts in
+  let t = ref 0. in
+  let feed value =
+    v := value;
+    t := !t +. 1.;
+    Obs.Timeseries.tick ts ~time:!t;
+    Obs.Detect.step det
+  in
+  (* two windows over [on] to open (up = 2), a peak, two windows at or
+     below [off] to clear (down = 2) *)
+  List.iter feed [ 60; 60; 90; 5; 5; 0 ];
+  (* second excursion, still open at finish *)
+  List.iter feed [ 70; 70 ];
+  Obs.Detect.finish det ~time:!t;
+  match Obs.Detect.incidents det with
+  | [ a; b ] ->
+      Alcotest.(check (float 0.)) "onset at the up-th window" 2. a.Obs.Detect.in_onset;
+      Alcotest.(check (float 0.)) "clear at the down-th quiet window" 5. a.Obs.Detect.in_clear;
+      Alcotest.(check bool) "first incident closed" false a.Obs.Detect.in_open;
+      Alcotest.(check (float 0.)) "peak value" 90. a.Obs.Detect.in_peak;
+      Alcotest.(check (float 0.)) "peak time" 3. a.Obs.Detect.in_peak_at;
+      Alcotest.(check (float 0.)) "second onset" 8. b.Obs.Detect.in_onset;
+      Alcotest.(check bool) "second still open" true b.Obs.Detect.in_open;
+      Alcotest.(check (float 0.)) "open incident finalized at run end" 8. b.Obs.Detect.in_clear
+  | incs -> Alcotest.failf "expected 2 incidents, got %d" (List.length incs)
+
+let export_parse_roundtrip () =
+  let v =
+    Obs.Export.(
+      Obj
+        [
+          ("int", Int 42);
+          ("neg", Int (-7));
+          ("float", Float 2.5);
+          ("exp", Float 1e-9);
+          ("nan_as_null", number_or_null Float.nan);
+          ("string", String "quote\" backslash\\ newline\n tab\t");
+          ("list", List [ Null; Bool true; Bool false; Int 0 ]);
+          ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+        ])
+  in
+  let expect =
+    (* NaN serializes as null, so the round trip lands on Null there *)
+    Obs.Export.(
+      Obj
+        [
+          ("int", Int 42);
+          ("neg", Int (-7));
+          ("float", Float 2.5);
+          ("exp", Float 1e-9);
+          ("nan_as_null", Null);
+          ("string", String "quote\" backslash\\ newline\n tab\t");
+          ("list", List [ Null; Bool true; Bool false; Int 0 ]);
+          ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+        ])
+  in
+  (match Obs.Export.parse (Obs.Export.to_string v) with
+  | Ok got -> Alcotest.(check bool) "compact round-trips" true (got = expect)
+  | Error e -> Alcotest.failf "compact parse failed: %s" e);
+  match Obs.Export.parse (Obs.Export.to_string_pretty v) with
+  | Ok got -> Alcotest.(check bool) "pretty round-trips" true (got = expect)
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e
+
+let obj_field json name =
+  match json with Obs.Export.Obj fields -> List.assoc_opt name fields | _ -> None
+
+let flight_dump_roundtrip () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "tva_test_flight" in
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Array.to_list (Sys.readdir dir) with Sys_error _ -> []);
+  let v = ref 0 in
+  let ts = Obs.Timeseries.create ~interval:0.5 () in
+  Obs.Timeseries.add ts ~name:"sig" ~mode:Obs.Timeseries.Level
+    (Obs.Timeseries.Int_fn (fun () -> !v));
+  let det =
+    Obs.Detect.create
+      ~rules:
+        [ Obs.Detect.rule ~signal:`Value ~alpha:1.0 ~name:"hot" ~chan:"sig" ~on:5. ~off:1. () ]
+      ts
+  in
+  let f = Obs.Flight.create ~windows:8 ~max_dumps:2 ~dir ~label:"unit" () in
+  Obs.Flight.set_timeseries f ts;
+  Obs.Flight.set_detect f det;
+  v := 9;
+  Obs.Timeseries.tick ts ~time:0.5;
+  Obs.Detect.step det;
+  (* the in-memory dump round-trips through the parser and carries the
+     trigger metadata plus the series *)
+  let json = Obs.Flight.dump_json f ~reason:"unit-test" ~time:0.5 in
+  (match Obs.Export.parse (Obs.Export.to_string_pretty json) with
+  | Error e -> Alcotest.failf "dump_json does not re-parse: %s" e
+  | Ok parsed ->
+      Alcotest.(check bool) "flight marker" true (obj_field parsed "flight" = Some (Obs.Export.Bool true));
+      Alcotest.(check bool) "label" true (obj_field parsed "label" = Some (Obs.Export.String "unit"));
+      Alcotest.(check bool) "reason" true
+        (obj_field parsed "reason" = Some (Obs.Export.String "unit-test"));
+      Alcotest.(check bool) "series present" true (obj_field parsed "series" <> None));
+  (* on-disk dumps: two under the cap, the third refused *)
+  let p1 = Obs.Flight.trigger f ~reason:"one" ~time:0.5 in
+  let p2 = Obs.Flight.trigger f ~reason:"two" ~time:0.5 in
+  let p3 = Obs.Flight.trigger f ~reason:"three" ~time:0.5 in
+  Alcotest.(check bool) "first dump written" true (p1 <> None);
+  Alcotest.(check bool) "second dump written" true (p2 <> None);
+  Alcotest.(check bool) "max_dumps cap enforced" true (p3 = None);
+  Alcotest.(check (list string))
+    "dumps in write order"
+    [ Option.get p1; Option.get p2 ]
+    (Obs.Flight.dumps f);
+  let ic = open_in_bin (Option.get p1) in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Obs.Export.parse s with
+  | Ok parsed ->
+      Alcotest.(check bool) "on-disk dump re-parses with reason" true
+        (obj_field parsed "reason" = Some (Obs.Export.String "one"))
+  | Error e -> Alcotest.failf "on-disk dump does not re-parse: %s" e
+
+(* The committed example artifact (results/flight_example.json, produced
+   by the chaos suite's wipe scenario) must keep parsing with the same
+   loader tooling uses; this pins the dump format. *)
+let flight_example_parses () =
+  (* cwd is test/ under `dune runtest` but the project root under
+     `dune exec test/test_main.exe` *)
+  let path =
+    match
+      List.find_opt Sys.file_exists
+        [ "../results/flight_example.json"; "results/flight_example.json" ]
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "results/flight_example.json not found (missing dune dep?)"
+  in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Obs.Export.parse s with
+  | Error e -> Alcotest.failf "committed flight dump does not parse: %s" e
+  | Ok json ->
+      Alcotest.(check bool) "flight marker" true (obj_field json "flight" = Some (Obs.Export.Bool true));
+      Alcotest.(check bool) "labelled" true (obj_field json "label" <> None);
+      Alcotest.(check bool) "reasoned" true (obj_field json "reason" <> None);
+      (match obj_field json "series" with
+      | Some series ->
+          (match obj_field series "windows" with
+          | Some (Obs.Export.List (_ :: _)) -> ()
+          | _ -> Alcotest.fail "series.windows empty or missing")
+      | None -> Alcotest.fail "series missing");
+      Alcotest.(check bool) "incidents present" true (obj_field json "incidents" <> None)
+
+let report_series_rows () =
+  let v = ref 0 in
+  let ts = Obs.Timeseries.create ~interval:1.0 () in
+  Obs.Timeseries.add ts ~name:"load" ~mode:Obs.Timeseries.Cumulative
+    (Obs.Timeseries.Int_fn (fun () -> !v));
+  (* baseline the cumulative source at v = 0 — without the explicit freeze
+     the first tick would baseline-and-record in one go, storing delta 0 *)
+  Obs.Timeseries.freeze ts;
+  for k = 1 to 10 do
+    v := !v + k;
+    Obs.Timeseries.tick ts ~time:(float_of_int k)
+  done;
+  match Obs.Report.series_rows ts with
+  | [ row ] ->
+      Alcotest.(check string) "name" "load" row.Obs.Report.s_name;
+      Alcotest.(check string) "mode" "cumulative" row.Obs.Report.s_mode;
+      Alcotest.(check int) "windows" 10 row.Obs.Report.s_windows;
+      (* deltas are 1..10 per-second rates: mean 5.5, max 10 *)
+      Alcotest.(check (float 1e-9)) "mean" 5.5 row.Obs.Report.s_mean;
+      Alcotest.(check (float 0.)) "max" 10. row.Obs.Report.s_max;
+      Alcotest.(check int) "spark covers every window" 10
+        (let d = Obs.Report.sparkline [| 1.; 2. |] in
+         (* sparkline glyphs are multi-byte; count glyphs, not bytes *)
+         String.length row.Obs.Report.s_spark / (String.length d / 2))
+  | rows -> Alcotest.failf "expected 1 series row, got %d" (List.length rows)
+
 let suite =
   [
     Alcotest.test_case "counters basics" `Quick counters_basics;
@@ -456,4 +736,11 @@ let suite =
     Alcotest.test_case "conservation: flow caches" `Quick conservation_caches;
     Alcotest.test_case "counters do not perturb results" `Quick obs_counters_do_not_perturb_results;
     Alcotest.test_case "demotions match host echoes" `Quick demotions_match_host_echoes;
+    Alcotest.test_case "timeseries basics" `Quick timeseries_basics;
+    QCheck_alcotest.to_alcotest detect_no_flapping;
+    Alcotest.test_case "detect onset/clear/peak" `Quick detect_onset_clear_peak;
+    Alcotest.test_case "export parse round-trip" `Quick export_parse_roundtrip;
+    Alcotest.test_case "flight dump round-trip" `Quick flight_dump_roundtrip;
+    Alcotest.test_case "committed flight example parses" `Quick flight_example_parses;
+    Alcotest.test_case "report series rows" `Quick report_series_rows;
   ]

@@ -443,6 +443,116 @@ let topology_partition_properties () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* --- in-run telemetry through the workload layer (DESIGN.md §15) -------- *)
+
+(* The §15 bit-identity claim at the experiment level: a telemetry-on run
+   must report exactly the workload numbers of a telemetry-off run — the
+   tick chain rides auxiliary events that never consume a scheduler
+   sequence number.  (The [events] count legitimately differs: aux ticks
+   are processed events.) *)
+let telemetry_does_not_perturb_results () =
+  let cfg = quick_cfg tva 10 (Workload.Experiment.Legacy_flood { rate_bps = 1e6 }) in
+  let plain = Workload.Experiment.run cfg in
+  let obs =
+    {
+      Workload.Experiment.obs_default with
+      Workload.Experiment.obs_telemetry_interval = 0.1;
+    }
+  in
+  let telem = Workload.Experiment.run ~obs cfg in
+  Alcotest.(check (float 0.))
+    "fraction identical" plain.Workload.Experiment.fraction_completed
+    telem.Workload.Experiment.fraction_completed;
+  Alcotest.(check (float 0.))
+    "avg time identical" plain.Workload.Experiment.avg_transfer_time
+    telem.Workload.Experiment.avg_transfer_time;
+  Alcotest.(check (float 0.))
+    "sim end identical" plain.Workload.Experiment.sim_end telem.Workload.Experiment.sim_end;
+  (* and the telemetry actually recorded: interval series + channels *)
+  match telem.Workload.Experiment.obs with
+  | None -> Alcotest.fail "expected an obs report"
+  | Some rep ->
+      Alcotest.(check (float 0.)) "interval" 0.1 rep.Obs.Report.series_interval;
+      let names = List.map (fun s -> s.Obs.Report.s_name) rep.Obs.Report.series in
+      List.iter
+        (fun chan ->
+          Alcotest.(check bool) (chan ^ " channel present") true (List.mem chan names))
+        [ "demoted"; "request_bytes"; "drops"; "queue_depth"; "flow_cache"; "events" ];
+      List.iter
+        (fun s -> Alcotest.(check bool) "windows recorded" true (s.Obs.Report.s_windows > 0))
+        rep.Obs.Report.series
+
+(* Chaos outcomes must carry measured detector timings: the wipe scenario
+   injects at t = 2 s, so the detectors engage shortly after and clear
+   before run end. *)
+let chaos_measures_engage_recover () =
+  let base =
+    {
+      Workload.Chaos.base_config with
+      Workload.Experiment.transfers_per_user = 10;
+      max_time = 60.;
+    }
+  in
+  let cell =
+    List.find (fun c -> c.Workload.Chaos.cl_label = "wipe") Workload.Chaos.default_suite
+  in
+  let o = Workload.Chaos.run_cell ~base cell in
+  Alcotest.(check bool) "verdict ok" true o.Workload.Chaos.oc_verdict.Faults.Invariants.ok;
+  (match o.Workload.Chaos.oc_engage_s with
+  | None -> Alcotest.fail "no engage time measured"
+  | Some e ->
+      Alcotest.(check bool) (Printf.sprintf "engage after injection (%.1fs)" e) true
+        (e >= 2.0 && e < 10.));
+  (match o.Workload.Chaos.oc_recover_s with
+  | None -> Alcotest.fail "no recover time measured"
+  | Some r -> Alcotest.(check bool) (Printf.sprintf "recover bounded (%.1fs)" r) true (r >= 0.));
+  Alcotest.(check (list string)) "no flight dumps without --flight-dir" []
+    o.Workload.Chaos.oc_flight_dumps;
+  Alcotest.(check bool) "incidents in the report" true
+    (o.Workload.Chaos.oc_report.Obs.Report.incidents <> [])
+
+(* Interval series under the parallel driver: barrier pulses stamp window
+   k at [k *. interval] exactly like the sequential aux chain, so the
+   datapath channels must be window-for-window identical for any K.  The
+   [events] and per-partition channels are mode-dependent diagnostics and
+   excluded by construction of the comparison. *)
+let scale_telemetry_series_jobs_invariant () =
+  let obs =
+    {
+      Workload.Experiment.obs_default with
+      Workload.Experiment.obs_telemetry_interval = 0.5;
+    }
+  in
+  let cfg = tiny_scale (Workload.Scale.Fan_in { depth = 2; fanout = 3 }) in
+  let series r =
+    match r.Workload.Scale.sr_obs with
+    | None -> Alcotest.fail "expected an obs report"
+    | Some rep -> rep.Obs.Report.series
+  in
+  let seq = Workload.Scale.run ~obs cfg in
+  let par = Workload.Scale.run ~obs { cfg with Workload.Scale.sc_par_domains = 2 } in
+  let datapath = [ "demoted"; "drops"; "flow_cache" ] in
+  let row r name =
+    match List.find_opt (fun s -> s.Obs.Report.s_name = name) (series r) with
+    | Some s -> s
+    | None -> Alcotest.fail ("series " ^ name ^ " missing")
+  in
+  List.iter
+    (fun name ->
+      let a = row seq name and b = row par name in
+      Alcotest.(check int) (name ^ ": windows") a.Obs.Report.s_windows b.Obs.Report.s_windows;
+      Alcotest.(check (float 0.)) (name ^ ": mean") a.Obs.Report.s_mean b.Obs.Report.s_mean;
+      Alcotest.(check (float 0.)) (name ^ ": max") a.Obs.Report.s_max b.Obs.Report.s_max;
+      Alcotest.(check (float 0.)) (name ^ ": p50") a.Obs.Report.s_p50 b.Obs.Report.s_p50;
+      Alcotest.(check (float 0.)) (name ^ ": p99") a.Obs.Report.s_p99 b.Obs.Report.s_p99;
+      Alcotest.(check string) (name ^ ": spark") a.Obs.Report.s_spark b.Obs.Report.s_spark)
+    datapath;
+  (* K = 2 additionally reports one events channel per partition *)
+  let par_names = List.map (fun s -> s.Obs.Report.s_name) (series par) in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " present under K=2") true (List.mem n par_names))
+    [ "p0_events"; "p1_events" ]
+
 let suite =
   [
     Alcotest.test_case "all schemes healthy unattacked" `Slow baseline_all_schemes_healthy;
@@ -468,4 +578,8 @@ let suite =
     Alcotest.test_case "scale parallel wheel = sequential" `Slow scale_par_wheel_matches_seq;
     Alcotest.test_case "scale parallel rejects unsafe" `Quick scale_par_rejects_unsafe;
     Alcotest.test_case "topology partitioner properties" `Quick topology_partition_properties;
+    Alcotest.test_case "telemetry does not perturb results" `Slow telemetry_does_not_perturb_results;
+    Alcotest.test_case "chaos measures engage/recover" `Slow chaos_measures_engage_recover;
+    Alcotest.test_case "scale telemetry series jobs-invariant" `Slow
+      scale_telemetry_series_jobs_invariant;
   ]
