@@ -69,8 +69,8 @@ let () =
   (* Per-scenario detector timings: when the incident detectors first
      noticed the fault (engage) and how long the run stayed inside
      incidents (recover).  Continuous faults hold their detectors engaged
-     to run end, so their recover_s is the remaining run time — the
-     column reports what the detectors measured, not a target. *)
+     to run end, so their recover_s is the remaining run time — a floor,
+     flagged by "recovered": false, not a measured recovery. *)
   let opt_s = function None -> "null" | Some v -> Printf.sprintf "%.3f" v in
   let scenario_rows =
     List.map
@@ -80,6 +80,7 @@ let () =
             Printf.sprintf "    \"%s\": {" o.Workload.Chaos.oc_label;
             Printf.sprintf "      \"engage_s\": %s," (opt_s o.Workload.Chaos.oc_engage_s);
             Printf.sprintf "      \"recover_s\": %s," (opt_s o.Workload.Chaos.oc_recover_s);
+            Printf.sprintf "      \"recovered\": %b," o.Workload.Chaos.oc_recovered;
             Printf.sprintf "      \"incidents\": %d"
               (List.length o.Workload.Chaos.oc_report.Obs.Report.incidents);
             "    }";

@@ -450,6 +450,7 @@ let chaos_stats_json outcomes =
                   match o.oc_recover_s with
                   | None -> Obs.Export.Null
                   | Some v -> Obs.Export.Float v );
+                ("recovered", Obs.Export.Bool o.oc_recovered);
                 ( "flight_dumps",
                   Obs.Export.List
                     (List.map (fun p -> Obs.Export.String p) o.oc_flight_dumps) );

@@ -140,10 +140,13 @@ let shutdown t =
 let drive ?pulse t ~sims ~lookahead ~until ~exchange =
   if Array.length sims <> t.size then invalid_arg "Par.drive: one simulator per lane";
   if not (lookahead > 0.) then invalid_arg "Par.drive: lookahead must be positive";
+  let have_pulse = Option.is_some pulse in
   let p_interval, p_fire =
     match pulse with
     | Some (i, f) ->
         if not (i > 0.) then invalid_arg "Par.drive: pulse interval must be positive";
+        if not (Float.is_finite until) then
+          invalid_arg "Par.drive: a pulse needs a finite until";
         (i, f)
     | None -> (infinity, fun _ -> ())
   in
@@ -151,11 +154,14 @@ let drive ?pulse t ~sims ~lookahead ~until ~exchange =
   let next_pulse () = float_of_int !pulse_idx *. p_interval in
   (* Fire every due pulse at or before [limit] (and [until]).  Safe
      whenever the global minimum pending time is >= [limit]: all events
-     before each fired pulse time have run, none at it have. *)
+     before each fired pulse time have run, none at it have.  Without a
+     pulse this must be a no-op: [next_pulse () = infinity] and a run-dry
+     drive has [until = infinity], so the bare comparison would spin. *)
   let fire_pulses_upto limit =
     while
-      (let np = next_pulse () in
-       np <= limit && np <= until)
+      have_pulse
+      && (let np = next_pulse () in
+          np <= limit && np <= until)
     do
       p_fire (next_pulse ());
       incr pulse_idx

@@ -44,7 +44,10 @@ val drive :
     pulses at or before [until] left over when the events drain still
     fire.  This is the partitioned equivalent of a read-only
     {!Sim.schedule_aux} telemetry tick chain, and produces identical
-    observation points for any partition count. *)
+    observation points for any partition count.  A pulse requires a
+    finite [until] (raises [Invalid_argument] otherwise — the pulse
+    series never ends on a run-dry drive); without one, [until =
+    infinity] runs the lanes dry. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  Idempotent. *)

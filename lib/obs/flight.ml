@@ -86,10 +86,24 @@ let trigger ?node_name t ~reason ~time =
     in
     ensure_dir t.dir;
     let json = dump_json ?node_name t ~reason ~time in
-    let oc = open_out path in
-    output_string oc (Export.to_string_pretty json);
-    close_out oc;
-    t.dumps <- path :: t.dumps;
-    Some path
+    (* The trigger fires from inside detector callbacks on the simulation
+       tick path: an unwritable [dir] (permissions, path is a file) must
+       degrade to a missing dump, not abort the run at incident onset. *)
+    match open_out path with
+    | exception Sys_error msg ->
+        Printf.eprintf "Obs.Flight: dropping dump %s: %s\n%!" path msg;
+        None
+    | oc -> (
+        match
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Export.to_string_pretty json))
+        with
+        | () ->
+            t.dumps <- path :: t.dumps;
+            Some path
+        | exception Sys_error msg ->
+            Printf.eprintf "Obs.Flight: dropping dump %s: %s\n%!" path msg;
+            None)
   end
   else None

@@ -21,7 +21,10 @@ val set_detect : t -> Detect.t -> unit
 
 val trigger : ?node_name:(int -> string) -> t -> reason:string -> time:float -> string option
 (** Write a dump now; returns its path, or [None] once [max_dumps] is
-    reached.  Creates [dir] (and parents) on first use. *)
+    reached.  Creates [dir] (and parents) on first use.  An unwritable
+    [dir] never raises: the trigger fires from detector callbacks on the
+    simulation tick path, so a filesystem failure logs to stderr and
+    returns [None] instead of aborting the run. *)
 
 val dump_json : ?node_name:(int -> string) -> t -> reason:string -> time:float -> Export.t
 (** The dump as a JSON value, without touching the filesystem. *)

@@ -19,6 +19,7 @@ type outcome = {
   oc_report : Obs.Report.t;
   oc_engage_s : float option;
   oc_recover_s : float option;
+  oc_recovered : bool;
   oc_flight_dumps : string list;
 }
 
@@ -91,10 +92,12 @@ let run_cell ?(obs = obs_default) ?flight_dir ?(base = base_config) cell =
   (* Measured engagement and recovery, from the detectors' incidents:
      engage = first onset, recover = last clear - first onset.  For
      continuous faults (loss, burst) the detectors stay engaged to run
-     end, which the columns report honestly. *)
-  let engage, recover =
+     end: [Detect.finish] closes those incidents at run-end time but
+     leaves [i_open] set, so [recovered] distinguishes a true clear from
+     a clear stamped at the end of the run. *)
+  let engage, recover, recovered =
     match report.Obs.Report.incidents with
-    | [] -> (None, None)
+    | [] -> (None, None, true)
     | rows ->
         let onset =
           List.fold_left (fun a (r : Obs.Report.incident_row) -> Float.min a r.i_onset) infinity
@@ -105,7 +108,9 @@ let run_cell ?(obs = obs_default) ?flight_dir ?(base = base_config) cell =
             (fun a (r : Obs.Report.incident_row) -> Float.max a r.i_clear)
             neg_infinity rows
         in
-        (Some onset, Some (clear -. onset))
+        ( Some onset,
+          Some (clear -. onset),
+          List.for_all (fun (r : Obs.Report.incident_row) -> not r.i_open) rows )
   in
   {
     oc_label = cell.cl_label;
@@ -118,6 +123,7 @@ let run_cell ?(obs = obs_default) ?flight_dir ?(base = base_config) cell =
     oc_report = report;
     oc_engage_s = engage;
     oc_recover_s = recover;
+    oc_recovered = recovered;
     oc_flight_dumps = (match r.Experiment.flight with None -> [] | Some f -> Obs.Flight.dumps f);
   }
 
@@ -229,6 +235,13 @@ let render outcomes =
         ]
   in
   let opt = function None -> "-" | Some v -> Printf.sprintf "%.1f" v in
+  (* A "+" marks a scenario whose detectors never cleared: the recover
+     figure is the time to run end, a floor, not a measured recovery. *)
+  let recover o =
+    match o.oc_recover_s with
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.1f%s" v (if o.oc_recovered then "" else "+")
+  in
   List.iter
     (fun o ->
       Stats.Table.add_row table
@@ -240,7 +253,7 @@ let render outcomes =
           string_of_int (List.length o.oc_latencies);
           (if o.oc_latencies = [] then "-" else Printf.sprintf "%.3f" (worst_latency o));
           opt o.oc_engage_s;
-          opt o.oc_recover_s;
+          recover o;
           (if o.oc_verdict.Faults.Invariants.ok then "ok" else "FAIL");
         ])
     outcomes;

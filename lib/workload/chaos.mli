@@ -30,7 +30,12 @@ type outcome = {
   oc_recover_s : float option;
       (** last detector clear minus first onset — how long the run spent
           inside incidents.  Continuous faults (loss, burst) hold their
-          detectors engaged to run end, and the column reports that. *)
+          detectors engaged to run end; their last incident closes at
+          run-end time, so this is a floor, flagged by [oc_recovered]. *)
+  oc_recovered : bool;
+      (** true iff every incident truly cleared before run end; false when
+          any stayed open (its clear time is the run end, not a recovery).
+          Vacuously true without incidents. *)
   oc_flight_dumps : string list;
       (** flight-recorder artifacts written during this cell (incident
           onsets, invariant failure), oldest first; [[]] without
@@ -84,4 +89,6 @@ val all_ok : outcome list -> bool
 
 val render : outcome list -> Stats.Table.t
 (** One row per scenario: fraction, injection and re-acquisition counts,
-    worst latency, verdict. *)
+    worst latency, verdict.  A [recover_s] cell suffixed ["+"] means the
+    detectors never cleared ([oc_recovered = false]): the figure is time
+    to run end, not a measured recovery. *)

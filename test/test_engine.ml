@@ -453,6 +453,28 @@ let par_drive_ping_pong () =
     (fun i t -> Alcotest.(check (float 1e-9)) (Printf.sprintf "hop %d" i) (0.1 +. (0.05 *. float_of_int i)) t)
     all
 
+(* Regression: a run-dry drive ([until = infinity], no pulse) must
+   terminate once the lanes drain — the pulse sentinel [next_pulse () =
+   infinity] used to satisfy [infinity <= infinity] in the final drain
+   and spin forever.  And a pulse with a non-finite [until] is rejected
+   up front, mirroring [Net.run_parallel]: its series never ends. *)
+let par_drive_run_dry_terminates () =
+  let sims = [| Sim.create (); Sim.create () |] in
+  let fired = ref 0 in
+  ignore (Sim.schedule_at sims.(0) ~time:0.1 (fun () -> incr fired));
+  ignore (Sim.schedule_at sims.(1) ~time:0.2 (fun () -> incr fired));
+  let team = Par.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown team)
+    (fun () ->
+      Par.drive team ~sims ~lookahead:0.05 ~until:infinity ~exchange:(fun () -> ());
+      Alcotest.(check int) "both lanes drained" 2 !fired;
+      Alcotest.check_raises "pulse needs a finite until"
+        (Invalid_argument "Par.drive: a pulse needs a finite until") (fun () ->
+          Par.drive team ~sims ~lookahead:0.05 ~until:infinity
+            ~pulse:(0.1, fun _ -> ())
+            ~exchange:(fun () -> ())))
+
 let sched_of_string_roundtrip () =
   Alcotest.(check bool) "heap" true (Sim.sched_of_string "heap" = Ok Sim.Heap);
   Alcotest.(check bool) "wheel" true (Sim.sched_of_string "wheel" = Ok Sim.Wheel);
@@ -622,6 +644,7 @@ let suite =
     QCheck_alcotest.to_alcotest run_window_differential;
     Alcotest.test_case "par team lanes" `Quick par_team_runs_all_lanes;
     Alcotest.test_case "par drive ping-pong" `Quick par_drive_ping_pong;
+    Alcotest.test_case "par drive run-dry terminates" `Quick par_drive_run_dry_terminates;
     Alcotest.test_case "aux fires first, no perturbation" `Quick
       aux_fires_first_and_does_not_perturb;
     Alcotest.test_case "aux chain observes cut" `Quick aux_chain_observes_cut;

@@ -660,6 +660,21 @@ let flight_dump_roundtrip () =
         (obj_field parsed "reason" = Some (Obs.Export.String "one"))
   | Error e -> Alcotest.failf "on-disk dump does not re-parse: %s" e
 
+(* Regression: an unwritable flight dir (here: the path is a regular
+   file) must degrade to a missing dump — [trigger] fires from detector
+   callbacks on the simulation tick path, so it returns [None] instead of
+   raising [Sys_error] and aborting the run at incident onset. *)
+let flight_unwritable_dir_degrades () =
+  let file = Filename.temp_file "tva_flight_blocked" "" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let f = Obs.Flight.create ~dir:file ~label:"blocked" () in
+      (match Obs.Flight.trigger f ~reason:"onset" ~time:1.0 with
+      | None -> ()
+      | Some p -> Alcotest.failf "expected no dump, got %s" p);
+      Alcotest.(check (list string)) "no dumps recorded" [] (Obs.Flight.dumps f))
+
 (* The committed example artifact (results/flight_example.json, produced
    by the chaos suite's wipe scenario) must keep parsing with the same
    loader tooling uses; this pins the dump format. *)
@@ -741,6 +756,7 @@ let suite =
     Alcotest.test_case "detect onset/clear/peak" `Quick detect_onset_clear_peak;
     Alcotest.test_case "export parse round-trip" `Quick export_parse_roundtrip;
     Alcotest.test_case "flight dump round-trip" `Quick flight_dump_roundtrip;
+    Alcotest.test_case "flight unwritable dir degrades" `Quick flight_unwritable_dir_degrades;
     Alcotest.test_case "committed flight example parses" `Quick flight_example_parses;
     Alcotest.test_case "report series rows" `Quick report_series_rows;
   ]

@@ -509,7 +509,14 @@ let chaos_measures_engage_recover () =
   Alcotest.(check (list string)) "no flight dumps without --flight-dir" []
     o.Workload.Chaos.oc_flight_dumps;
   Alcotest.(check bool) "incidents in the report" true
-    (o.Workload.Chaos.oc_report.Obs.Report.incidents <> [])
+    (o.Workload.Chaos.oc_report.Obs.Report.incidents <> []);
+  (* recovered iff no incident stayed open to run end: a clear stamped by
+     Detect.finish must not pass for a measured recovery *)
+  Alcotest.(check bool) "recovered consistent with incidents"
+    (List.for_all
+       (fun (r : Obs.Report.incident_row) -> not r.Obs.Report.i_open)
+       o.Workload.Chaos.oc_report.Obs.Report.incidents)
+    o.Workload.Chaos.oc_recovered
 
 (* Interval series under the parallel driver: barrier pulses stamp window
    k at [k *. interval] exactly like the sequential aux chain, so the
