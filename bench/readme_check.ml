@@ -20,6 +20,7 @@ let ns_tol = ref 0.05
 let words_tol = ref 1.0
 let scale_json = ref "BENCH_scale.json"
 let scale_tol = ref 0.05
+let report_json = ref "BENCH_report.json"
 
 let spec =
   [
@@ -37,11 +38,14 @@ let spec =
     ( "--scale-tol",
       Arg.Set_float scale_tol,
       "F  max fractional drift between the scale table and its JSON (default 0.05)" );
+    ( "--report-json",
+      Arg.Set_string report_json,
+      "FILE  the committed cross-scheme fairness report (default BENCH_report.json)" );
   ]
 
 let usage =
   "readme_check [--readme FILE] [--json FILE] [--ns-tol F] [--words-tol W] [--scale-json FILE] \
-   [--scale-tol F]"
+   [--scale-tol F] [--report-json FILE]"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -190,12 +194,67 @@ let () =
   check_scale ~key:"seq_events_per_s" ~unit:" ev/s";
   check_scale ~key:"par_events_per_s" ~unit:" ev/s";
   check_scale ~key:"par_speedup" ~unit:"x";
+  let scale_checked = !checked - pps_checked in
+  (* The README's five-scheme comparison table quotes the headline
+     "<scheme>_fraction/_median_s/_jain" keys of BENCH_report.json, both
+     written in lockstep by `tva_sim report`.  The table renders three
+     decimals, so only that quantization is tolerated. *)
+  let report_text = read_file !report_json in
+  let report_section =
+    match find_sub readme_text "Five-scheme comparison" 0 with
+    | None -> fatal "README has no \"Five-scheme comparison\" section"
+    | Some i -> String.sub readme_text i (String.length readme_text - i)
+  in
+  let check_report scheme =
+    let marker = "| `" ^ scheme ^ "` |" in
+    let lines = String.split_on_char '\n' report_section in
+    let line =
+      match List.find_opt (fun l -> find_sub l marker 0 <> None) lines with
+      | None -> fatal "README five-scheme table has no row for `%s`" scheme
+      | Some l -> l
+    in
+    let cells =
+      match split_cells line with
+      | [ _; completed; median; jain ] ->
+          [ ("fraction", completed); ("median_s", median); ("jain", jain) ]
+      | cs -> fatal "malformed five-scheme row for `%s` (%d cells)" scheme (List.length cs)
+    in
+    List.iter
+      (fun (field, cell) ->
+        let key = scheme ^ "_" ^ field in
+        if find_sub report_text ("\"" ^ key ^ "\":") 0 = None then
+          fatal "no \"%s\" in %s" key !report_json;
+        match (float_of_string_opt cell, find_number report_text key) with
+        | Some t, Some j ->
+            incr checked;
+            if Float.abs (t -. j) > 0.00051 then begin
+              Printf.eprintf "readme_check: `%s` drifted: README says %g, JSON says %g\n" key t j;
+              failed := true
+            end
+        | None, None when cell = "-" ->
+            (* A null median: no transfer completed in that cell, and the
+               table shows the same dash the report renderer emits. *)
+            incr checked
+        | None, Some j ->
+            Printf.eprintf "readme_check: `%s`: README cell %S is not a number, JSON says %g\n"
+              key cell j;
+            failed := true
+        | Some t, None ->
+            Printf.eprintf "readme_check: `%s`: README says %g but the JSON value is null\n" key t;
+            failed := true
+        | None, None -> fatal "unreadable README cell %S for `%s`" cell key)
+      cells
+  in
+  List.iter check_report [ "internet"; "siff"; "pushback"; "tva"; "netfence" ];
   if !failed then begin
     prerr_endline
-      "readme_check: regenerate in lockstep: dune exec bench/pps_bench.exe (§6.1 table) or dune \
-       exec bench/scale_bench.exe (scale table), then update the README from the fresh JSON";
+      "readme_check: regenerate in lockstep: dune exec bench/pps_bench.exe (§6.1 table), dune \
+       exec bench/scale_bench.exe (scale table), or dune exec bin/tva_sim.exe -- report \
+       (five-scheme table), then update the README from the fresh JSON";
     exit 1
   end;
   Printf.printf "readme_check: %d figures in the README §6.1 table match %s, %d in the scale \
-                 table match %s\n"
-    pps_checked !json (!checked - pps_checked) !scale_json
+                 table match %s, %d in the five-scheme table match %s\n"
+    pps_checked !json scale_checked !scale_json
+    (!checked - pps_checked - scale_checked)
+    !report_json

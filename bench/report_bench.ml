@@ -1,0 +1,101 @@
+(* Gates the unified cross-scheme fairness report (`tva_sim report`):
+   runs the five-scheme flood sweep at -j 1 and -j N, checks the rendered
+   markdown and JSON are byte-identical across parallelism, sanity-checks
+   the headline ordering (per-sender-fair schemes stay up while the
+   legacy internet collapses), and writes the canonical report JSON.
+
+   Run with:            dune exec bench/report_bench.exe
+   Smoke mode (CI):     dune exec bench/report_bench.exe -- --max-time 5 \
+                          --transfers 10 --attackers 1,100 \
+                          --out report_smoke.json --md report_smoke.md *)
+
+let jobs = ref (Pool.default_jobs ())
+let max_time = ref 120.
+let transfers = ref 50
+let attacker_counts = ref Workload.Report.default_attacker_counts
+let out_path = ref "BENCH_report.json"
+let md_path = ref ""
+
+let spec =
+  [
+    ("--jobs", Arg.Set_int jobs, "N  worker domains for the parallel leg (default: all cores)");
+    ( "--max-time",
+      Arg.Set_float max_time,
+      "S  simulated-time cutoff per run, seconds (default 120; use 5 for a smoke run)" );
+    ("--transfers", Arg.Set_int transfers, "K  transfers per legitimate user (default 50)");
+    ( "--attackers",
+      Arg.String
+        (fun s -> attacker_counts := List.map int_of_string (String.split_on_char ',' s)),
+      "LIST  comma-separated attacker counts (default 1,10,40,100)" );
+    ("--out", Arg.Set_string out_path, "PATH  where to write the report JSON");
+    ("--md", Arg.Set_string md_path, "PATH  also write the markdown report here");
+  ]
+
+let usage = "report_bench [--jobs N] [--max-time S] [--transfers K] [--attackers LIST] [--out PATH]"
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_leg ~jobs =
+  let base =
+    {
+      Workload.Experiment.default with
+      Workload.Experiment.transfers_per_user = !transfers;
+      max_time = !max_time;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Workload.Report.run ~jobs ~attacker_counts:!attacker_counts ~base () in
+  let wall = Unix.gettimeofday () -. t0 in
+  (wall, report)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("report_bench: FAIL " ^ msg); exit 1) fmt
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let jobs = max 1 !jobs in
+  let n_schemes = List.length Workload.Scenario.schemes in
+  Printf.printf "report_bench: %d cells (%d schemes x %d attacker counts), max_time=%gs\n%!"
+    (n_schemes * List.length !attacker_counts)
+    n_schemes
+    (List.length !attacker_counts)
+    !max_time;
+  let seq_wall, seq_report = run_leg ~jobs:1 in
+  Printf.printf "  -j 1:  %.2fs\n%!" seq_wall;
+  let par_wall, par_report = run_leg ~jobs in
+  Printf.printf "  -j %d:  %.2fs\n%!" jobs par_wall;
+  let seq_md = Workload.Report.to_markdown seq_report in
+  let par_md = Workload.Report.to_markdown par_report in
+  let seq_json = Workload.Report.to_json seq_report in
+  let par_json = Workload.Report.to_json par_report in
+  if not (String.equal seq_md par_md && String.equal seq_json par_json) then
+    fail "report differs between -j 1 and -j %d" jobs;
+  Printf.printf "  reports identical across parallelism\n%!";
+  (* Headline sanity: every metric is in range, all registered schemes are
+     present, and the schemes that police per-sender keep completing while
+     the undefended internet collapses under the same flood. *)
+  let headline = Workload.Report.headline seq_report in
+  if List.length headline <> n_schemes then
+    fail "headline has %d rows, expected %d" (List.length headline) n_schemes;
+  let cell name =
+    match List.find_opt (fun c -> c.Workload.Report.rc_scheme = name) headline with
+    | Some c -> c
+    | None -> fail "scheme %s missing from headline" name
+  in
+  List.iter
+    (fun (c : Workload.Report.cell) ->
+      if not (c.rc_fraction >= 0. && c.rc_fraction <= 1.) then
+        fail "%s completion fraction %g out of range" c.rc_scheme c.rc_fraction;
+      if not (c.rc_jain >= 0. && c.rc_jain <= 1. +. 1e-9) then
+        fail "%s jain index %g out of range" c.rc_scheme c.rc_jain)
+    headline;
+  let internet = cell "internet" and tva = cell "tva" and netfence = cell "netfence" in
+  if tva.rc_fraction < internet.rc_fraction then
+    fail "tva completes less than the undefended internet under flood";
+  if netfence.rc_fraction < internet.rc_fraction then
+    fail "netfence completes less than the undefended internet under flood";
+  write_file !out_path seq_json;
+  if !md_path <> "" then write_file !md_path seq_md;
+  Printf.printf "report_bench: OK, wrote %s\n%!" !out_path

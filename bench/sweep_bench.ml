@@ -70,13 +70,15 @@ let count_events () =
           in
           acc + (Workload.Experiment.run cfg).Workload.Experiment.events)
         acc !attacker_counts)
-    0 Workload.Scenario.schemes
+    0 Workload.Scenario.paper_schemes
 
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   let jobs = max 1 !jobs in
-  let cells = List.length Workload.Scenario.schemes * List.length !attacker_counts in
-  Printf.printf "sweep_bench: %d cells (4 schemes x %d attacker counts), max_time=%gs\n%!" cells
+  let n_schemes = List.length Workload.Scenario.paper_schemes in
+  let cells = n_schemes * List.length !attacker_counts in
+  Printf.printf "sweep_bench: %d cells (%d schemes x %d attacker counts), max_time=%gs\n%!" cells
+    n_schemes
     (List.length !attacker_counts) !max_time;
   let seq_wall, _, seq_table = run_leg ~jobs:1 in
   Printf.printf "  -j 1:  %.2fs\n%!" seq_wall;

@@ -34,9 +34,18 @@ let jobs_arg =
   in
   Arg.(value & opt int (Pool.default_jobs ()) & info [ "j"; "jobs" ] ~doc ~docv:"N")
 
+(* Both scheme lists come from the registry, so a scheme added to
+   [Workload.Scenario.schemes] shows up on every CLI surface by itself.
+   The figure sweeps default to the paper's four so their output stays
+   pinned; everything else offers the full set. *)
+let all_scheme_names = List.map fst Workload.Scenario.schemes
+let paper_scheme_names = List.map fst Workload.Scenario.paper_schemes
+
 let schemes_arg =
-  let doc = "Comma-separated subset of schemes (internet,siff,pushback,tva)." in
-  Arg.(value & opt (list string) [ "internet"; "siff"; "pushback"; "tva" ] & info [ "schemes" ] ~doc)
+  let doc =
+    Printf.sprintf "Comma-separated subset of schemes (%s)." (String.concat "," all_scheme_names)
+  in
+  Arg.(value & opt (list string) paper_scheme_names & info [ "schemes" ] ~doc)
 
 let stats_arg =
   let doc = "Write an observability report (counters, per-link queue stats, flow caches) as JSON to $(docv)." in
@@ -82,6 +91,12 @@ let base_config transfers max_time seed =
   { Workload.Experiment.default with Workload.Experiment.transfers_per_user = transfers; max_time; seed }
 
 let select_schemes names =
+  List.iter
+    (fun n ->
+      if not (List.mem n all_scheme_names) then
+        failwith
+          (Printf.sprintf "unknown scheme %s (known: %s)" n (String.concat "," all_scheme_names)))
+    names;
   List.filter (fun (n, _) -> List.mem n names) Workload.Scenario.schemes
 
 let print_table csv table =
@@ -253,7 +268,10 @@ let fig12_cmd =
   Cmd.v (Cmd.info "fig12" ~doc) Term.(const run $ lrp_arg $ measured_arg $ csv_arg)
 
 let scheme_arg =
-  Arg.(value & opt string "tva" & info [ "scheme" ] ~doc:"internet | siff | pushback | tva")
+  Arg.(
+    value
+    & opt string "tva"
+    & info [ "scheme" ] ~doc:(String.concat " | " all_scheme_names))
 
 let nattackers_arg = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Number of attackers.")
 
@@ -724,6 +742,45 @@ let scale_cmd =
       $ batch_window_arg $ attack_mbps_arg $ users_arg $ transfers_arg $ max_time_arg $ seed_arg
       $ par_domains_arg $ stats_arg $ telemetry_arg $ telemetry_interval_arg)
 
+let report_cmd =
+  let doc =
+    "Unified cross-scheme fairness report: the fig8-style legacy-flood sweep over all \
+     registered schemes, scored by completion fraction, median transfer time, and the Jain \
+     fairness index.  Writes results/REPORT.md and BENCH_report.json."
+  in
+  let report_attackers_arg =
+    let doc = "Comma-separated attacker counts for the report sweep." in
+    Arg.(value & opt ints_conv Workload.Report.default_attacker_counts & info [ "attackers" ] ~doc)
+  in
+  let report_schemes_arg =
+    let doc =
+      Printf.sprintf "Comma-separated subset of schemes (default: all of %s)."
+        (String.concat "," all_scheme_names)
+    in
+    Arg.(value & opt (list string) all_scheme_names & info [ "schemes" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Markdown report output path." in
+    Arg.(value & opt string "results/REPORT.md" & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let json_arg =
+    let doc = "JSON report output path (the file readme_check pins the README table to)." in
+    Arg.(value & opt string "BENCH_report.json" & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let run attackers transfers max_time seed schemes jobs out json_out =
+    let base = base_config transfers max_time seed in
+    let schemes = select_schemes schemes in
+    let report = Workload.Report.run ~jobs ~schemes ~attacker_counts:attackers ~base () in
+    write_file out (Workload.Report.to_markdown report);
+    write_file json_out (Workload.Report.to_json report);
+    List.iter print_endline (Workload.Report.headline_rows report);
+    Printf.printf "wrote %s and %s\n" out json_out
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ report_attackers_arg $ transfers_arg $ max_time_arg $ seed_arg
+      $ report_schemes_arg $ jobs_arg $ out_arg $ json_arg)
+
 let default_info =
   Cmd.info "tva_sim" ~version:"1.0.0"
     ~doc:"Reproduce the evaluation of 'A DoS-limiting Network Architecture' (SIGCOMM 2005)."
@@ -739,6 +796,7 @@ let () =
             fig11_cmd;
             table1_cmd;
             fig12_cmd;
+            report_cmd;
             run_cmd;
             scale_cmd;
             chaos_cmd;

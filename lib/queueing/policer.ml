@@ -1,0 +1,62 @@
+(* A metering sibling of the token-bucket qdisc: same fixed-point token
+   arithmetic (whole-unit grants so fractional credit keeps accruing), but
+   no inner queue — [admit] is a pure conformance check, and the fill rate
+   is mutable so an AIMD controller can retune it between packets. *)
+
+type t = {
+  mutable rate_bytes : float;
+  mutable rate_fp : float;
+  burst_fp : int;
+  mutable tokens : int;
+  last : float array; (* flat array so refills never box the float *)
+}
+
+let fp_one = float_of_int (1 lsl Qdisc.tb_fp_shift)
+
+let create ~rate_bps ~burst_bytes =
+  if rate_bps <= 0. then invalid_arg "Policer.create: rate must be positive";
+  if burst_bytes <= 0 then invalid_arg "Policer.create: burst must be positive";
+  let rate_bytes = rate_bps /. 8. in
+  let burst_fp = burst_bytes lsl Qdisc.tb_fp_shift in
+  {
+    rate_bytes;
+    rate_fp = rate_bytes *. fp_one;
+    burst_fp;
+    tokens = burst_fp;
+    last = [| 0. |];
+  }
+
+let set_rate t ~rate_bps =
+  if rate_bps <= 0. then invalid_arg "Policer.set_rate: rate must be positive";
+  let rate_bytes = rate_bps /. 8. in
+  t.rate_bytes <- rate_bytes;
+  t.rate_fp <- rate_bytes *. fp_one
+
+let rate_bps t = t.rate_bytes *. 8.
+
+let refill t ~now =
+  let last = Array.unsafe_get t.last 0 in
+  if now > last then begin
+    let grant = t.rate_fp *. (now -. last) in
+    let deficit = t.burst_fp - t.tokens in
+    if grant >= float_of_int deficit then begin
+      t.tokens <- t.burst_fp;
+      Array.unsafe_set t.last 0 now
+    end
+    else begin
+      let g = int_of_float grant in
+      if g > 0 then begin
+        t.tokens <- t.tokens + g;
+        Array.unsafe_set t.last 0 (last +. (float_of_int g /. t.rate_fp))
+      end
+    end
+  end
+
+let admit t ~now ~bytes =
+  refill t ~now;
+  let need = bytes lsl Qdisc.tb_fp_shift in
+  if t.tokens >= need then begin
+    t.tokens <- t.tokens - need;
+    true
+  end
+  else false

@@ -1,0 +1,28 @@
+(** Token-bucket traffic meter with a retunable rate.
+
+    The qdisc-level token bucket ([Token_bucket]) shapes: packets queue
+    behind it and drain at the configured rate.  NetFence's access-router
+    rate limiters instead need a {e policer}: a conformance check that
+    drops non-conforming packets on the spot, with a fill rate an AIMD
+    controller adjusts every control interval.  This module is that meter,
+    on the same [Qdisc.tb_fp_shift] fixed-point arithmetic (whole-unit
+    grants, so fractional credit accrues instead of being truncated
+    away). *)
+
+type t
+
+val create : rate_bps:float -> burst_bytes:int -> t
+(** Fresh meter, bucket full.  Raises [Invalid_argument] on non-positive
+    rate or burst. *)
+
+val admit : t -> now:float -> bytes:int -> bool
+(** Refill for the elapsed time, then try to debit [bytes]: [true] means
+    the packet conforms (tokens were consumed), [false] means it should be
+    dropped.  [now] must not go backwards between calls. *)
+
+val set_rate : t -> rate_bps:float -> unit
+(** Retune the fill rate (AIMD step).  Accumulated tokens are kept; the
+    burst cap is fixed at creation. *)
+
+val rate_bps : t -> float
+(** The current fill rate in bits per second. *)

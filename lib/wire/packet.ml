@@ -8,6 +8,7 @@ type t = {
   body : body;
   mutable shim : Cap_shim.t option;
   mutable siff : Siff_marking.t option;
+  mutable nf : Nf_feedback.t option;
   mutable hops : int;
 }
 
@@ -19,9 +20,9 @@ let default_hops = 64
    without threatening run determinism. *)
 let counter = Atomic.make 0
 
-let make ?shim ?siff ~src ~dst ~created body =
+let make ?shim ?siff ?nf ~src ~dst ~created body =
   let id = Atomic.fetch_and_add counter 1 + 1 in
-  { id; src; dst; created; body; shim; siff; hops = default_hops }
+  { id; src; dst; created; body; shim; siff; nf; hops = default_hops }
 
 let copy t =
   let id = Atomic.fetch_and_add counter 1 + 1 in
@@ -30,6 +31,7 @@ let copy t =
     id;
     shim = (match t.shim with None -> None | Some s -> Some (Cap_shim.copy s));
     siff = (match t.siff with None -> None | Some s -> Some (Siff_marking.copy s));
+    nf = (match t.nf with None -> None | Some s -> Some (Nf_feedback.copy s));
   }
 
 let body_size = function Raw n -> n | Tcp seg -> Tcp_segment.wire_size seg
@@ -38,13 +40,14 @@ let size t =
   body_size t.body
   + (match t.shim with None -> 0 | Some s -> Cap_shim.wire_size s)
   + (match t.siff with None -> 0 | Some s -> Siff_marking.wire_size s)
+  + (match t.nf with None -> 0 | Some s -> Nf_feedback.wire_size s)
 
 (* [size], specialized for the batch fast path: a raw-body packet whose
    shim is the constant-size nonce-only shape (and no SIFF marking) skips
    the [wire_size] bit arithmetic.  Anything else falls through to [size],
    so the two always agree — a property test holds them together. *)
 let[@inline] size_fast t =
-  match t.body, t.shim, t.siff with
+  match t.body, t.shim, t.siff, t.nf with
   | ( Raw n,
       Some
         {
@@ -52,6 +55,7 @@ let[@inline] size_fast t =
           return_info = None;
           _;
         },
+      None,
       None ) ->
       n + Cap_shim.nonce_only_wire_size
   | _ -> size t

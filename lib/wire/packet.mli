@@ -18,12 +18,14 @@ type t = {
   body : body;
   mutable shim : Cap_shim.t option; (** TVA capability header *)
   mutable siff : Siff_marking.t option;
+  mutable nf : Nf_feedback.t option; (** NetFence congestion feedback *)
   mutable hops : int; (** decremented per router hop; dropped at zero *)
 }
 
 val make :
   ?shim:Cap_shim.t ->
   ?siff:Siff_marking.t ->
+  ?nf:Nf_feedback.t ->
   src:Addr.t ->
   dst:Addr.t ->
   created:float ->

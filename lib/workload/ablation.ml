@@ -48,12 +48,18 @@ let run_custom ?(n_users = 10) ?(with_colluder = false) ?(transfers = 20) ?(max_
   attach_attack ~sim ~topo;
   Sim.run ~until:max_time sim;
   List.iter (Metrics.merge_into metrics) per_user;
+  let horizon = Float.max (Sim.now sim) 1e-9 in
+  let goodputs =
+    List.map (fun m -> float_of_int (Metrics.bytes_completed m) *. 8. /. horizon) per_user
+  in
   let result user_metrics =
     {
       Experiment.scheme_name = scheme.Scheme.name;
       fraction_completed = Metrics.fraction_completed user_metrics;
       avg_transfer_time = Metrics.avg_transfer_time user_metrics;
       metrics = user_metrics;
+      user_goodputs = goodputs;
+      jain_index = Metrics.jain_index goodputs;
       sim_end = Sim.now sim;
       events = Sim.events_processed sim;
       obs = None;

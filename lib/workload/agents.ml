@@ -23,7 +23,7 @@ module Transfer_client = struct
         Tcp.Conn.create_client ~sim:t.sim ~conn_id ~transfer_bytes:t.transfer_bytes
           ~tx:(fun seg -> t.endpoint.Scheme.ep_send_segment ~dst:t.server seg)
           ~on_complete:(fun outcome ->
-            Metrics.record_outcome t.metrics ~now:(Sim.now t.sim) outcome;
+            Metrics.record_outcome t.metrics ~now:(Sim.now t.sim) ~bytes:t.transfer_bytes outcome;
             t.done_count <- t.done_count + 1;
             t.current <- None;
             if finished t then t.on_all_done ()

@@ -37,6 +37,8 @@ type result = {
   fraction_completed : float;
   avg_transfer_time : float;
   metrics : Metrics.t;
+  user_goodputs : float list;
+  jain_index : float;
   sim_end : float;
   events : int;
   obs : Obs.Report.t option;
@@ -452,11 +454,22 @@ let run ?obs ?faults cfg =
             incidents;
           }
   in
+  (* Per-sender goodput, user order: payload bytes each user completed
+     over the run, as bits/s of simulated time.  Every user's metrics
+     object is private to it, so this is exact, not attributed. *)
+  let horizon = Float.max (Sim.now sim) 1e-9 in
+  let user_goodputs =
+    List.map
+      (fun m -> float_of_int (Metrics.bytes_completed m) *. 8. /. horizon)
+      per_user_metrics
+  in
   {
     scheme_name = scheme.Scheme.name;
     fraction_completed = Metrics.fraction_completed metrics;
     avg_transfer_time = Metrics.avg_transfer_time metrics;
     metrics;
+    user_goodputs;
+    jain_index = Metrics.jain_index user_goodputs;
     sim_end = Sim.now sim;
     events = Sim.events_processed sim;
     obs = obs_report;

@@ -48,6 +48,12 @@ type result = {
   fraction_completed : float;
   avg_transfer_time : float;
   metrics : Metrics.t;
+  user_goodputs : float list;
+      (** per-user completed-payload goodput (bits/s of simulated time),
+          user order — the shares the Jain index is computed over *)
+  jain_index : float;
+      (** {!Metrics.jain_index} over [user_goodputs]: how evenly the
+          attack's survivors share the bottleneck *)
   sim_end : float;
   events : int;  (** simulator events fired during the run (for events/sec) *)
   obs : Obs.Report.t option;  (** present iff [run ?obs] was given a config *)

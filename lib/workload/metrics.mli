@@ -7,7 +7,11 @@ type t
 val create : unit -> t
 
 val record_start : t -> unit
-val record_outcome : t -> now:float -> Tcp.Conn.outcome -> unit
+
+val record_outcome : t -> now:float -> ?bytes:int -> Tcp.Conn.outcome -> unit
+(** [bytes] is the transfer's payload size, credited to
+    {!bytes_completed} on completion (default 0, so callers that only
+    track counts are unchanged). *)
 
 val attempted : t -> int
 val completed : t -> int
@@ -25,6 +29,19 @@ val fraction_completed_opt : t -> float option
 
 val avg_transfer_time : t -> float
 (** Mean duration of completed transfers; [nan] if none completed. *)
+
+val median_transfer_time : t -> float
+(** Median duration of completed transfers (from the timeline's
+    per-transfer points); [nan] if none completed. *)
+
+val bytes_completed : t -> int
+(** Payload bytes of completed transfers — per-sender goodput when the
+    metrics object is per sender, as in [Experiment]. *)
+
+val jain_index : float list -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)] over per-sender shares: 1.0
+    for equal shares (and for the empty or all-zero list), [1/n] when one
+    sender takes everything. *)
 
 val transfer_times : t -> Stats.Summary.t
 

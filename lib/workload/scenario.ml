@@ -1,4 +1,10 @@
-type point = { n_attackers : int; fraction_completed : float; avg_transfer_time : float }
+type point = {
+  n_attackers : int;
+  fraction_completed : float;
+  avg_transfer_time : float;
+  median_transfer_time : float;
+  jain : float;
+}
 
 type series = { scheme : string; points : point list }
 
@@ -6,13 +12,19 @@ let default_attacker_counts = [ 1; 2; 5; 10; 20; 40; 60; 80; 100 ]
 
 let sim_params = { Tva.Params.default with Tva.Params.request_fraction = 0.01 }
 
-let schemes =
+(* The figure reproductions default to [paper_schemes] — the four the
+   paper plots — so adding a scheme to the full registry can never change
+   fig8/9/10 output.  [schemes] is the registry everything else (CLI name
+   validation, the cross-scheme report) derives from. *)
+let paper_schemes =
   [
     ("internet", Scheme.internet ());
     ("siff", Scheme.siff ());
     ("pushback", Scheme.pushback ());
     ("tva", Scheme.tva ~params:sim_params ());
   ]
+
+let schemes = paper_schemes @ [ ("netfence", Scheme.netfence ()) ]
 
 let attack_rate_bps = 1e6 (* each attacker floods at one legitimate-user rate *)
 
@@ -49,8 +61,8 @@ let chunk_series ~schemes ~per_scheme points =
   in
   chunk schemes points
 
-let flood_sweep ?(jobs = 1) ?(schemes = schemes) ?(attacker_counts = default_attacker_counts)
-    ?(base = Experiment.default) ~attack () =
+let flood_sweep ?(jobs = 1) ?(schemes = paper_schemes)
+    ?(attacker_counts = default_attacker_counts) ?(base = Experiment.default) ~attack () =
   let grid = sweep_grid ~schemes ~attacker_counts ~base ~attack in
   let points =
     Pool.map ~jobs
@@ -60,6 +72,8 @@ let flood_sweep ?(jobs = 1) ?(schemes = schemes) ?(attacker_counts = default_att
           n_attackers = cfg.Experiment.n_attackers;
           fraction_completed = r.Experiment.fraction_completed;
           avg_transfer_time = r.Experiment.avg_transfer_time;
+          median_transfer_time = Metrics.median_transfer_time r.Experiment.metrics;
+          jain = r.Experiment.jain_index;
         })
       grid
   in
@@ -78,7 +92,7 @@ type observed = {
    [obs] asks for) and ships its report — plain data — back across the
    worker domain.  [Pool.map] returns results in submission order, so the
    merged counter aggregate is identical whatever [jobs] is. *)
-let flood_sweep_observed ?(jobs = 1) ?(obs = Experiment.obs_default) ?(schemes = schemes)
+let flood_sweep_observed ?(jobs = 1) ?(obs = Experiment.obs_default) ?(schemes = paper_schemes)
     ?(attacker_counts = default_attacker_counts) ?(base = Experiment.default) ~attack () =
   let grid = sweep_grid ~schemes ~attacker_counts ~base ~attack in
   let cells =
@@ -90,6 +104,8 @@ let flood_sweep_observed ?(jobs = 1) ?(obs = Experiment.obs_default) ?(schemes =
             n_attackers = cfg.Experiment.n_attackers;
             fraction_completed = r.Experiment.fraction_completed;
             avg_transfer_time = r.Experiment.avg_transfer_time;
+            median_transfer_time = Metrics.median_transfer_time r.Experiment.metrics;
+            jain = r.Experiment.jain_index;
           },
           {
             cr_scheme = r.Experiment.scheme_name;

@@ -1,7 +1,7 @@
 (** Canned reproductions of the paper's simulation figures.
 
     Each function sweeps the attack intensity (number of 1 Mb/s attackers)
-    across the four schemes and reports the paper's two metrics; Fig. 11
+    across the paper's four schemes and reports its two metrics; Fig. 11
     instead produces transfer-time-vs-time series.  Simulation parameters
     follow Sec. 5: the dumbbell of Fig. 7, requests limited to 1% of
     capacity for TVA, 20 KB transfers, 60 ms RTT. *)
@@ -10,6 +10,8 @@ type point = {
   n_attackers : int;
   fraction_completed : float;
   avg_transfer_time : float;
+  median_transfer_time : float;  (** median of completed transfers; [nan] if none *)
+  jain : float;  (** Jain fairness index over per-user goodputs *)
 }
 
 type series = { scheme : string; points : point list }
@@ -21,8 +23,14 @@ val default_attacker_counts : int list
 val sim_params : Tva.Params.t
 (** {!Tva.Params.default} with the request limit tightened to 1% (Sec. 5). *)
 
+val paper_schemes : (string * Scheme.factory) list
+(** internet, siff, pushback, tva — the four the paper plots, with
+    simulation parameters applied.  The default scheme set of the figure
+    sweeps, so figure output is pinned even as the registry grows. *)
+
 val schemes : (string * Scheme.factory) list
-(** internet, siff, pushback, tva — with simulation parameters applied. *)
+(** The full scheme registry: {!paper_schemes} followed by netfence.  CLI
+    name validation and the cross-scheme report derive from this list. *)
 
 val flood_sweep :
   ?jobs:int ->
@@ -35,7 +43,8 @@ val flood_sweep :
 (** Every (scheme × attacker-count) cell is an independent simulation, so
     the grid runs on [jobs] worker domains via {!Pool.map} (default 1 =
     sequential).  Output is bit-identical for every [jobs] value: results
-    return in submission order and each run owns its simulator and RNG. *)
+    return in submission order and each run owns its simulator and RNG.
+    [schemes] defaults to {!paper_schemes}. *)
 
 type cell_report = { cr_scheme : string; cr_attackers : int; cr_report : Obs.Report.t }
 

@@ -205,6 +205,66 @@ let siff ?(rotation_period = Siff.Router.default_rotation_period) () : factory =
         });
   }
 
+(* --- NetFence -------------------------------------------------------- *)
+
+let netfence ?(params = Netfence.Router.default_params) () : factory =
+ fun _sim ->
+  (* Routers created this run, in creation order; one shared secret master
+     models NetFence's pairwise inter-AS key agreement, so any access
+     router can validate any bottleneck's feedback tokens. *)
+  let routers : (string * Net.node * Netfence.Router.t) list ref = ref [] in
+  {
+    name = "netfence";
+    partition_safe = true;
+    make_qdisc = (fun ~bandwidth_bps -> Netfence.Router.make_qdisc ~bandwidth_bps);
+    install_router =
+      (fun ?obs:_ node ~link_bps ->
+        let router =
+          Netfence.Router.create ~params ~secret_master:"netfence-as-pairwise-key"
+            ~router_id:(Net.node_id node) ~sim:(Net.node_sim node) ~link_bps ()
+        in
+        routers := (Net.node_name node, node, router) :: !routers;
+        Net.set_handler node (Netfence.Router.handler router));
+    report_caches = (fun () -> []);
+    cache_occupancy =
+      (* Telemetry's state-occupancy channel: live (sender, bottleneck)
+         policing entries across the run's routers. *)
+      (fun () ->
+        List.fold_left
+          (fun acc (_, _, router) -> acc + Netfence.Router.sender_count router)
+          0 !routers);
+    fault_targets =
+      (fun () ->
+        List.rev_map
+          (fun (name, node, router) ->
+            {
+              Faults.Inject.rs_name = name;
+              rs_node = node;
+              rs_wipe_cache = (fun () -> Netfence.Router.flush_senders router);
+              rs_rotate_secret = (fun () -> Netfence.Router.rotate_secret router);
+            })
+          !routers);
+    make_endpoint =
+      (fun ?obs:_ node ~role ~policy:_ ->
+        let auto_reply = match role with Destination | Colluder -> true | User | Attacker -> false in
+        let host = Netfence.Host.create ~auto_reply ~node () in
+        {
+          ep_addr = Netfence.Host.addr host;
+          ep_send_segment = Netfence.Host.send_segment host;
+          ep_set_demux = Netfence.Host.set_segment_handler host;
+          ep_send_raw = Netfence.Host.send_raw host;
+          ep_send_legacy = Netfence.Host.send_legacy host;
+          (* NetFence has no request channel: a "request" is just a packet
+             sent while still in the bootstrap rate-limiter state. *)
+          ep_send_request = Netfence.Host.send_raw host;
+          (* A misbehaving sender floods through the normal header path —
+             keeping the feedback loop alive is in its interest, and the
+             access-router policer is what contains it. *)
+          ep_flood_misbehaving = Netfence.Host.send_raw host;
+          ep_reacquire_latencies = (fun () -> []);
+        });
+  }
+
 (* --- Pushback and legacy Internet ------------------------------------ *)
 
 let plain_endpoint node =
@@ -255,4 +315,5 @@ let all =
     ("siff", siff ());
     ("pushback", pushback ());
     ("tva", tva ());
+    ("netfence", netfence ());
   ]

@@ -1,6 +1,6 @@
-(** A uniform interface over the four schemes the paper simulates — TVA,
-    SIFF, pushback, and the legacy Internet — so one experiment harness can
-    drive them all (paper Sec. 5). *)
+(** A uniform interface over the five simulated schemes — TVA plus its
+    four comparators (SIFF, pushback, the legacy Internet, and NetFence) —
+    so one experiment harness can drive them all (paper Sec. 5). *)
 
 type role =
   | User
@@ -72,6 +72,12 @@ val siff : ?rotation_period:float -> unit -> factory
 val pushback : ?interval:float -> unit -> factory
 val internet : unit -> factory
 
+val netfence : ?params:Netfence.Router.params -> unit -> factory
+(** Closed-loop congestion policing (PAPERS.md): MACed congestion
+    feedback stamped at the bottleneck, per-(sender, bottleneck) AIMD
+    rate limiters at the access router, headerless traffic demoted to a
+    low-priority legacy channel. *)
+
 val all : (string * factory) list
-(** The four schemes in the paper's plotting order:
-    internet, siff, pushback, tva. *)
+(** The paper's four schemes in plotting order — internet, siff,
+    pushback, tva — followed by netfence. *)

@@ -11,6 +11,7 @@ let () =
       ("tcp", Test_tcp.suite);
       ("tva", Test_tva.suite);
       ("baselines", Test_baselines.suite);
+      ("netfence", Test_netfence.suite);
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);

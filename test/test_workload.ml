@@ -174,12 +174,76 @@ let scenario_render_shapes () =
       {
         Workload.Scenario.scheme = "x";
         points =
-          [ { Workload.Scenario.n_attackers = 1; fraction_completed = 1.; avg_transfer_time = 0.3 } ];
+          [
+            {
+              Workload.Scenario.n_attackers = 1;
+              fraction_completed = 1.;
+              avg_transfer_time = 0.3;
+              median_transfer_time = 0.3;
+              jain = 1.;
+            };
+          ];
       };
     ]
   in
   let t = Workload.Scenario.render series in
   Alcotest.(check int) "one row" 1 (List.length (Stats.Table.rows t))
+
+(* --- cross-scheme fairness report (DESIGN.md section 16) ---------------- *)
+
+let jain_index_algebra () =
+  let jain = Workload.Metrics.jain_index in
+  Alcotest.(check (float 1e-12)) "empty is fair" 1.0 (jain []);
+  Alcotest.(check (float 1e-12)) "singleton" 1.0 (jain [ 42. ]);
+  Alcotest.(check (float 1e-12)) "equal shares" 1.0 (jain [ 3.; 3.; 3.; 3. ]);
+  Alcotest.(check (float 1e-12)) "all idle is fair" 1.0 (jain [ 0.; 0.; 0. ]);
+  (* One user hogging everything among n: (x)^2 / (n * x^2) = 1/n. *)
+  Alcotest.(check (float 1e-12)) "one hog of 4" 0.25 (jain [ 10.; 0.; 0.; 0. ]);
+  Alcotest.(check (float 1e-12)) "scale invariant" (jain [ 1.; 2.; 3. ]) (jain [ 10.; 20.; 30. ])
+
+let median_transfer_time_shapes () =
+  let m = Workload.Metrics.create () in
+  Alcotest.(check bool) "no transfers is nan" true
+    (Float.is_nan (Workload.Metrics.median_transfer_time m));
+  List.iteri
+    (fun i d ->
+      Workload.Metrics.record_outcome m ~now:(float_of_int i)
+        (Tcp.Conn.Completed { duration = d }))
+    [ 0.5; 0.1; 0.9 ];
+  Alcotest.(check (float 1e-12)) "odd count picks the middle" 0.5
+    (Workload.Metrics.median_transfer_time m);
+  Workload.Metrics.record_outcome m ~now:4. (Tcp.Conn.Completed { duration = 0.3 });
+  Alcotest.(check (float 1e-12)) "even count averages the middle two" 0.4
+    (Workload.Metrics.median_transfer_time m)
+
+let report_deterministic_across_jobs () =
+  (* The report is the artifact CI pins; it must not depend on -j. *)
+  let base =
+    {
+      Workload.Experiment.default with
+      Workload.Experiment.transfers_per_user = 3;
+      max_time = 20.;
+    }
+  in
+  let render jobs =
+    let r = Workload.Report.run ~jobs ~attacker_counts:[ 1; 10 ] ~base () in
+    (Workload.Report.to_markdown r, Workload.Report.to_json r)
+  in
+  let md1, json1 = render 1 and md4, json4 = render 4 in
+  Alcotest.(check string) "markdown jobs=4 = jobs=1" md1 md4;
+  Alcotest.(check string) "json jobs=4 = jobs=1" json1 json4;
+  List.iter
+    (fun scheme ->
+      Alcotest.(check bool)
+        (scheme ^ " headline present") true
+        (let needle = "\"" ^ scheme ^ "_fraction\":" in
+         let len = String.length needle in
+         let rec scan i =
+           i + len <= String.length json1
+           && (String.sub json1 i len = needle || scan (i + 1))
+         in
+         scan 0))
+    (List.map fst Workload.Scenario.schemes)
 
 
 (* --- aggregate senders (DESIGN.md section 13) -------------------------- *)
@@ -575,6 +639,9 @@ let suite =
     Alcotest.test_case "experiment deterministic" `Slow experiment_deterministic;
     Alcotest.test_case "parallel sweep = sequential sweep" `Slow parallel_sweep_matches_sequential;
     Alcotest.test_case "scenario render" `Quick scenario_render_shapes;
+    Alcotest.test_case "jain index algebra" `Quick jain_index_algebra;
+    Alcotest.test_case "median transfer time" `Quick median_transfer_time_shapes;
+    Alcotest.test_case "report deterministic across jobs" `Slow report_deterministic_across_jobs;
     Alcotest.test_case "swarm = n real flooders" `Quick swarm_matches_real_flooders;
     Alcotest.test_case "swarm coalesced = independent" `Quick swarm_modes_agree;
     Alcotest.test_case "swarm batching preserves stream" `Quick swarm_batching_preserves_stream;
